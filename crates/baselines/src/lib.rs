@@ -1,0 +1,24 @@
+//! # tdsigma-baselines — comparison systems and ablation testbenches
+//!
+//! Everything the paper compares its ADC against:
+//!
+//! * [`comparators`] — the §2.2.1 ablation: common-mode sweep of the
+//!   proposed NOR3 comparator vs the strongARM reference vs the NAND3
+//!   comparator of Weaver et al. \[16\],
+//! * [`dacs`] — the §2.2.2 ablation: resistor DAC vs current-steering DAC
+//!   (Monte-Carlo matching, bias-network needs, synthesis friendliness),
+//! * [`prior`] — behavioral models of the previously published
+//!   synthesizable ADCs of Table 4 (\[15\] Verilog-to-layout ΔΣ,
+//!   \[16\] stochastic flash, \[17\] domino-logic), each simulated at its
+//!   own technology node.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comparators;
+pub mod dacs;
+pub mod prior;
+
+pub use comparators::{sweep_common_mode, CmSweepPoint};
+pub use dacs::{DacArchitecture, DacMonteCarlo};
+pub use prior::{PriorAdc, PriorArchitecture, Table4Row};

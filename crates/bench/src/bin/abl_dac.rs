@@ -1,0 +1,35 @@
+//! **ABL2** — §2.2.2 ablation: resistor DAC vs current-steering DAC
+//! (matching Monte-Carlo + synthesis-friendliness inventory).
+
+use tdsigma_baselines::dacs::{DacArchitecture, DacMonteCarlo};
+
+fn main() {
+    println!("=== §2.2.2 ablation: DAC architecture ===\n");
+    println!("Monte-Carlo of an 8-level thermometer DAC (2000 trials):\n");
+    println!(
+        "{:<30} {:>14} {:>14} {:>12} {:>8}",
+        "architecture", "mean INL [LSB]", "p99 INL [LSB]", "std-cell?", "bias?"
+    );
+    for arch in [DacArchitecture::Resistor, DacArchitecture::CurrentSteering] {
+        let mc = DacMonteCarlo::run(arch, 8, 2_000, 42);
+        println!(
+            "{:<30} {:>14.4} {:>14.4} {:>12} {:>8}",
+            arch.to_string(),
+            mc.mean_inl_lsb,
+            mc.p99_inl_lsb,
+            if arch.is_synthesis_friendly() { "yes" } else { "NO" },
+            if arch.needs_bias_network() { "NEEDED" } else { "none" }
+        );
+    }
+    println!();
+    println!("scaling of matching with DAC resolution (resistor DAC):");
+    for levels in [4usize, 8, 16, 32, 64] {
+        let mc = DacMonteCarlo::run(DacArchitecture::Resistor, levels, 1_000, 7);
+        println!("  {levels:>3} levels → p99 INL {:.4} LSB", mc.p99_inl_lsb);
+    }
+    println!();
+    println!("conclusion (paper §2.2.2): resistors exhibit high raw matching and need no");
+    println!("bias network, so the DAC reduces to one resistor standard cell + inverters —");
+    println!("fully synthesizable. The current-steering DAC needs a hand-crafted bias tree");
+    println!("and ~6x worse-matched elements.");
+}

@@ -1,0 +1,68 @@
+//! **ABL4** — §2.2 spec-adaptation knobs: "to increase the effective
+//! quantizer resolution, we can simply add more slices. To widen the
+//! signal bandwidth, we can increase the clock frequency. To increase
+//! SQNR, we can boost the loop gain."
+
+use tdsigma_core::sim::AdcSimulator;
+use tdsigma_core::spec::AdcSpec;
+
+fn sndr_of(spec: &AdcSpec, n: usize) -> f64 {
+    let fin = (spec.bw_hz / 5.0 * n as f64 / spec.fs_hz).round().max(1.0) * spec.fs_hz / n as f64;
+    let amp = 0.79 * spec.full_scale_v();
+    let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
+    sim.run_tone(fin, amp, n).analyze(spec.bw_hz).sndr_db
+}
+
+fn main() {
+    println!("=== §2.2 ablation: the architecture's scaling knobs ===\n");
+    let base = AdcSpec::paper_40nm().expect("spec");
+    let n = 8192;
+
+    println!("knob 1 — slices (effective quantizer resolution):");
+    for slices in [1usize, 2, 4, 8, 16] {
+        let spec = base.clone().with_slices(slices).expect("valid");
+        println!("  {slices:>2} slices → SNDR {:>5.1} dB", sndr_of(&spec, n));
+    }
+
+    println!("\nknob 2 — clock frequency (signal bandwidth at constant OSR):");
+    for scale in [0.5f64, 1.0, 2.0] {
+        let spec = base
+            .clone()
+            .with_clock(base.fs_hz * scale, base.bw_hz * scale)
+            .expect("valid");
+        println!(
+            "  fs {:>5.0} MHz, BW {:>4.1} MHz → SNDR {:>5.1} dB",
+            spec.fs_hz / 1e6,
+            spec.bw_hz / 1e6,
+            sndr_of(&spec, n)
+        );
+    }
+
+    println!("\nknob 3 — loop gain (Kvco / DAC current):");
+    for mult in [0.25f64, 0.5, 1.0, 1.5] {
+        let spec = base.clone().with_loop_gain(mult).expect("valid");
+        println!("  {mult:>4.2}x loop gain → SNDR {:>5.1} dB", sndr_of(&spec, n));
+    }
+
+    println!("\nknob 4 — OSR (bandwidth at fixed clock; first-order shaping ⇒");
+    println!("          ~9 dB per octave of oversampling):");
+    for bw_scale in [4.0f64, 2.0, 1.0, 0.5] {
+        let mut spec = base.clone();
+        spec.bw_hz = base.bw_hz * bw_scale;
+        let spec = spec.validated().expect("valid");
+        println!(
+            "  OSR {:>5.1} → SNDR {:>5.1} dB",
+            spec.oversampling_ratio(),
+            sndr_of(&spec, n)
+        );
+    }
+
+    println!("\nknob 5 — quantizer taps (ring stages): the multi-phase quantizer");
+    println!("          is where the per-slice resolution comes from:");
+    for stages in [1usize, 2, 4, 8] {
+        let mut spec = base.clone();
+        spec.vco_stages = stages;
+        let spec = spec.validated().expect("valid");
+        println!("  {stages:>2} taps/slice → SNDR {:>5.1} dB", sndr_of(&spec, n));
+    }
+}

@@ -1,0 +1,194 @@
+//! Level-sensitive latches and the SR latch of the proposed SAFF.
+//!
+//! The ADC slice retimes each comparator decision through a pair of
+//! transparent latches clocked on opposite phases (paper Fig. 4), which
+//! sets the feedback DAC's excess loop delay; the SR latch (Fig. 7) keeps
+//! the comparator output stable during the comparator's reset phase.
+
+use std::fmt;
+
+/// A level-sensitive transparent D latch.
+///
+/// Transparent while `enable` is high; holds while low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DLatch {
+    q: bool,
+}
+
+impl DLatch {
+    /// Creates a latch initialised to `q = false`.
+    pub fn new() -> Self {
+        DLatch::default()
+    }
+
+    /// Applies input `d` with the given `enable` level; returns the output.
+    pub fn update(&mut self, d: bool, enable: bool) -> bool {
+        if enable {
+            self.q = d;
+        }
+        self.q
+    }
+
+    /// Current output.
+    pub fn q(&self) -> bool {
+        self.q
+    }
+}
+
+impl fmt::Display for DLatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DLatch(q={})", self.q as u8)
+    }
+}
+
+/// A NOR-based set-reset latch (two cross-coupled NOR2 gates, exactly the
+/// structure in the paper's Fig. 7 following the NOR3 comparator).
+///
+/// `set`/`reset` are active-high. When both are asserted the NOR latch
+/// drives both outputs low; this model resolves the subsequent release to
+/// the previous state, which matches the SAFF usage where both can only be
+/// high transiently during comparator reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrLatch {
+    q: bool,
+}
+
+impl SrLatch {
+    /// Creates a latch initialised to `q = false`.
+    pub fn new() -> Self {
+        SrLatch::default()
+    }
+
+    /// Applies the set/reset inputs; returns the output.
+    pub fn update(&mut self, set: bool, reset: bool) -> bool {
+        match (set, reset) {
+            (true, false) => self.q = true,
+            (false, true) => self.q = false,
+            _ => {} // hold (both low) or forbidden-transient (both high)
+        }
+        self.q
+    }
+
+    /// Current output.
+    pub fn q(&self) -> bool {
+        self.q
+    }
+}
+
+impl fmt::Display for SrLatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SrLatch(q={})", self.q as u8)
+    }
+}
+
+/// A master-slave D flip-flop assembled from two [`DLatch`]es, clocked on
+/// the rising edge — used by the retiming path and by baseline designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DFlipFlop {
+    master: DLatch,
+    slave: DLatch,
+    last_clk: bool,
+}
+
+impl DFlipFlop {
+    /// Creates a flip-flop initialised to 0.
+    pub fn new() -> Self {
+        DFlipFlop::default()
+    }
+
+    /// Applies `d` and the clock level; captures on the rising edge.
+    /// Returns the (slave) output.
+    pub fn update(&mut self, d: bool, clk: bool) -> bool {
+        // Master transparent while clk low; slave transparent while clk high.
+        self.master.update(d, !clk);
+        self.slave.update(self.master.q(), clk);
+        self.last_clk = clk;
+        self.slave.q()
+    }
+
+    /// Current output.
+    pub fn q(&self) -> bool {
+        self.slave.q()
+    }
+}
+
+impl fmt::Display for DFlipFlop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DFF(q={})", self.q() as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlatch_transparent_when_enabled() {
+        let mut l = DLatch::new();
+        assert!(l.update(true, true));
+        assert!(!l.update(false, true));
+    }
+
+    #[test]
+    fn dlatch_holds_when_disabled() {
+        let mut l = DLatch::new();
+        l.update(true, true);
+        assert!(l.update(false, false), "must hold the 1");
+        assert!(l.q());
+    }
+
+    #[test]
+    fn sr_latch_set_reset_hold() {
+        let mut l = SrLatch::new();
+        assert!(l.update(true, false));
+        assert!(l.update(false, false), "hold keeps 1");
+        assert!(!l.update(false, true));
+        assert!(!l.update(false, false), "hold keeps 0");
+    }
+
+    #[test]
+    fn sr_latch_forbidden_state_holds_previous() {
+        let mut l = SrLatch::new();
+        l.update(true, false);
+        assert!(l.update(true, true), "transient both-high holds");
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge_only() {
+        let mut ff = DFlipFlop::new();
+        // clk low: master follows, slave holds.
+        ff.update(true, false);
+        assert!(!ff.q(), "no rising edge yet");
+        // Rising edge: slave takes the master's captured value.
+        ff.update(true, true);
+        assert!(ff.q());
+        // Data change while clk stays high is ignored.
+        ff.update(false, true);
+        assert!(ff.q());
+        // clk falls (master follows new data), output unchanged.
+        ff.update(false, false);
+        assert!(ff.q());
+        // Next rising edge captures the 0.
+        ff.update(false, true);
+        assert!(!ff.q());
+    }
+
+    #[test]
+    fn dff_pipeline_delays_by_one_cycle() {
+        let mut ff = DFlipFlop::new();
+        let inputs = [true, false, true, true, false];
+        let mut outputs = Vec::new();
+        for &d in &inputs {
+            ff.update(d, false); // clk low half-cycle
+            outputs.push(ff.update(d, true)); // rising edge
+        }
+        assert_eq!(outputs, vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(DLatch::new().to_string(), "DLatch(q=0)");
+        assert_eq!(SrLatch::new().to_string(), "SrLatch(q=0)");
+        assert_eq!(DFlipFlop::new().to_string(), "DFF(q=0)");
+    }
+}

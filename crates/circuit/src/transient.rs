@@ -1,0 +1,228 @@
+//! Clocking and fixed-step transient bookkeeping.
+
+use std::fmt;
+
+/// What happened to a clock during the last step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// No transition.
+    None,
+    /// Low → high transition.
+    Rising,
+    /// High → low transition.
+    Falling,
+}
+
+/// A square-wave clock with optional RMS cycle-to-cycle jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clock {
+    period_s: f64,
+    duty: f64,
+    time_s: f64,
+    level: bool,
+    rising_edges: u64,
+}
+
+impl Clock {
+    /// Creates a clock of frequency `freq_hz` with 50 % duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "clock frequency must be positive");
+        Clock {
+            period_s: 1.0 / freq_hz,
+            duty: 0.5,
+            time_s: 0.0,
+            level: true, // phase 0 is the high half
+            rising_edges: 0,
+        }
+    }
+
+    /// Sets the duty cycle (fraction of the period spent high).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty < 1`.
+    pub fn with_duty(mut self, duty: f64) -> Self {
+        assert!(duty > 0.0 && duty < 1.0, "duty must be in (0, 1)");
+        self.duty = duty;
+        self
+    }
+
+    /// Clock frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        1.0 / self.period_s
+    }
+
+    /// Clock period in seconds.
+    pub fn period_s(&self) -> f64 {
+        self.period_s
+    }
+
+    /// Current level.
+    pub fn level(&self) -> bool {
+        self.level
+    }
+
+    /// Rising edges seen so far.
+    pub fn rising_edge_count(&self) -> u64 {
+        self.rising_edges
+    }
+
+    /// Advances time by `dt_s` and reports any edge that occurred.
+    ///
+    /// `dt_s` must be smaller than half a period for edges not to be
+    /// skipped; the ADC simulator steps 8–64× per clock period.
+    pub fn advance(&mut self, dt_s: f64) -> EdgeKind {
+        self.time_s += dt_s;
+        let phase = (self.time_s / self.period_s).fract();
+        let new_level = phase < self.duty;
+        let edge = match (self.level, new_level) {
+            (false, true) => EdgeKind::Rising,
+            (true, false) => EdgeKind::Falling,
+            _ => EdgeKind::None,
+        };
+        if edge == EdgeKind::Rising {
+            self.rising_edges += 1;
+        }
+        self.level = new_level;
+        edge
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clock {:.3} MHz, duty {:.0} %",
+            self.frequency_hz() / 1e6,
+            self.duty * 100.0
+        )
+    }
+}
+
+/// Configuration of a fixed-step transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientConfig {
+    /// Simulation step, seconds.
+    pub dt_s: f64,
+    /// Total simulated time, seconds.
+    pub duration_s: f64,
+}
+
+impl TransientConfig {
+    /// Creates a config that takes `steps_per_cycle` steps per period of a
+    /// `clock_hz` clock and runs for `n_cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero/negative.
+    pub fn per_cycle(clock_hz: f64, steps_per_cycle: usize, n_cycles: usize) -> Self {
+        assert!(clock_hz > 0.0, "clock frequency must be positive");
+        assert!(steps_per_cycle > 0, "need at least one step per cycle");
+        assert!(n_cycles > 0, "need at least one cycle");
+        let period = 1.0 / clock_hz;
+        TransientConfig {
+            dt_s: period / steps_per_cycle as f64,
+            duration_s: period * n_cycles as f64,
+        }
+    }
+
+    /// Total number of steps (rounded to the nearest integer).
+    pub fn step_count(&self) -> usize {
+        (self.duration_s / self.dt_s).round() as usize
+    }
+}
+
+impl fmt::Display for TransientConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transient {:.2} µs @ dt {:.1} ps ({} steps)",
+            self.duration_s * 1e6,
+            self.dt_s * 1e12,
+            self.step_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_produces_expected_edges() {
+        let mut clk = Clock::new(1e6); // 1 µs period
+        let dt = 1e-8; // 100 steps/period
+        let mut rising = 0;
+        let mut falling = 0;
+        for _ in 0..1000 {
+            match clk.advance(dt) {
+                EdgeKind::Rising => rising += 1,
+                EdgeKind::Falling => falling += 1,
+                EdgeKind::None => {}
+            }
+        }
+        // 10 periods → 9-10 rising (start is high) and 10 falling edges.
+        assert!((9..=10).contains(&rising), "rising {rising}");
+        assert!((9..=10).contains(&falling), "falling {falling}");
+        assert_eq!(clk.rising_edge_count() as i32, rising);
+    }
+
+    #[test]
+    fn duty_cycle_respected() {
+        let mut clk = Clock::new(1e6).with_duty(0.25);
+        let dt = 1e-9;
+        let mut high = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            clk.advance(dt);
+            if clk.level() {
+                high += 1;
+            }
+        }
+        let duty = high as f64 / n as f64;
+        assert!((duty - 0.25).abs() < 0.01, "duty {duty}");
+    }
+
+    #[test]
+    fn starts_high() {
+        let clk = Clock::new(1e9);
+        assert!(clk.level());
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn bad_duty_panics() {
+        let _ = Clock::new(1e6).with_duty(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn bad_frequency_panics() {
+        let _ = Clock::new(0.0);
+    }
+
+    #[test]
+    fn per_cycle_config() {
+        let cfg = TransientConfig::per_cycle(750e6, 16, 4096);
+        assert_eq!(cfg.step_count(), 16 * 4096);
+        assert!((cfg.dt_s - 1.0 / 750e6 / 16.0).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let _ = TransientConfig::per_cycle(1e6, 0, 10);
+    }
+
+    #[test]
+    fn displays() {
+        assert!(Clock::new(750e6).to_string().contains("750.000 MHz"));
+        assert!(TransientConfig::per_cycle(1e6, 10, 100)
+            .to_string()
+            .contains("steps"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the ADC design flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while designing, simulating or synthesising the ADC.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The specification is internally inconsistent.
+    InvalidSpec {
+        /// What is wrong.
+        reason: String,
+    },
+    /// An error from the technology model.
+    Tech(tdsigma_tech::TechError),
+    /// An error from netlist construction.
+    Netlist(tdsigma_netlist::NetlistError),
+    /// An error from layout synthesis.
+    Layout(tdsigma_layout::LayoutError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSpec { reason } => write!(f, "invalid ADC spec: {reason}"),
+            CoreError::Tech(e) => write!(f, "technology error: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::InvalidSpec { .. } => None,
+            CoreError::Tech(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Layout(e) => Some(e),
+        }
+    }
+}
+
+impl From<tdsigma_tech::TechError> for CoreError {
+    fn from(e: tdsigma_tech::TechError) -> Self {
+        CoreError::Tech(e)
+    }
+}
+
+impl From<tdsigma_netlist::NetlistError> for CoreError {
+    fn from(e: tdsigma_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<tdsigma_layout::LayoutError> for CoreError {
+    fn from(e: tdsigma_layout::LayoutError) -> Self {
+        CoreError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidSpec {
+            reason: "no slices".into(),
+        };
+        assert!(e.to_string().contains("no slices"));
+        assert!(Error::source(&e).is_none());
+        let e = CoreError::from(tdsigma_tech::TechError::UnknownNode {
+            gate_length_nm: 3.0,
+        });
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

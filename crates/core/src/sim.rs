@@ -1,0 +1,715 @@
+//! Continuous-time behavioral simulation of the proposed ADC.
+//!
+//! Architecture simulated (paper Fig. 4: each slice is a self-contained
+//! first-order loop; the digital outputs sum):
+//!
+//! * Per slice, two resistive summing nodes `VCTRLP`/`VCTRLN`: the input
+//!   resistor injects the signal, the DAC resistor injects the feedback,
+//!   and the node capacitance (device + extracted wire) low-passes it.
+//! * A pseudo-differential ring-VCO pair integrates the node voltages
+//!   into phase (`dφ/dt = 2π(f0 + K_vco·V)`); staggered initial phases
+//!   decorrelate the slices' quantisation errors, so summing the N slice
+//!   bits averages the noise like a multi-level quantizer.
+//! * A buffer shifts the VCO swing to the ~0.25·VDD common mode; the
+//!   NOR3-based SAFF samples it at `clk`; the XOR of the two SAFF outputs
+//!   is the slice bit; retiming latches update the DAC half a cycle later
+//!   (excess loop delay).
+//! * The slice DAC (inverter + resistor) pulls its node branch to VREFP or
+//!   ground — closing a first-order delta-sigma loop per slice whose
+//!   quantisation error, VCO mismatch and comparator offset are all
+//!   high-pass shaped.
+
+use crate::error::CoreError;
+use crate::spec::AdcSpec;
+use std::f64::consts::PI;
+use std::fmt;
+use tdsigma_circuit::comparator::{ClockedComparator, CommonModeWindow, ComparatorParams};
+use tdsigma_circuit::mismatch::MismatchModel;
+use tdsigma_circuit::network::{BranchId, SummingNode};
+use tdsigma_circuit::noise::SimRng;
+use tdsigma_circuit::transient::{Clock, EdgeKind};
+use tdsigma_circuit::vco::{RingVco, VcoParams};
+use tdsigma_dsp::metrics::ToneAnalysis;
+use tdsigma_dsp::spectrum::Spectrum;
+use tdsigma_dsp::window::Window;
+use tdsigma_layout::Parasitics;
+
+/// The comparator flavour used in the SAFFs.
+///
+/// The paper's §2.2.1 story: the buffer output common mode is ~0.25 V, so
+/// a comparator must regenerate at *low* common mode. The proposed NOR3
+/// comparator does; the NAND3 comparator of Weaver et al. [16] needs a
+/// *high* common mode and fails here; the strongARM works but is not a
+/// standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComparatorFlavor {
+    /// Proposed: two cross-coupled 3-input NOR gates (synthesis friendly,
+    /// PMOS-input-like, valid at low common mode).
+    #[default]
+    Nor3,
+    /// Conventional strongARM (works, but a custom AMS cell).
+    StrongArm,
+    /// NAND3-based comparator of [16] (synthesis friendly but requires a
+    /// high input common mode).
+    Nand3,
+}
+
+impl ComparatorFlavor {
+    /// The comparator's valid input common-mode window at a given supply.
+    pub fn cm_window(self, vdd_v: f64) -> CommonModeWindow {
+        match self {
+            // PMOS-input style: works from ground up to ~0.45·VDD.
+            ComparatorFlavor::Nor3 => CommonModeWindow {
+                min_v: 0.0,
+                max_v: 0.45 * vdd_v,
+            },
+            // StrongARM with PMOS input pair: wide low-CM range.
+            ComparatorFlavor::StrongArm => CommonModeWindow {
+                min_v: 0.0,
+                max_v: 0.7 * vdd_v,
+            },
+            // NMOS-input NAND3 style: needs CM well above threshold.
+            ComparatorFlavor::Nand3 => CommonModeWindow {
+                min_v: 0.55 * vdd_v,
+                max_v: vdd_v,
+            },
+        }
+    }
+
+    /// Whether the flavour exists in a digital standard-cell library.
+    pub fn is_synthesis_friendly(self) -> bool {
+        !matches!(self, ComparatorFlavor::StrongArm)
+    }
+}
+
+impl fmt::Display for ComparatorFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComparatorFlavor::Nor3 => "NOR3 (proposed)",
+            ComparatorFlavor::StrongArm => "strongARM",
+            ComparatorFlavor::Nand3 => "NAND3 [16]",
+        };
+        f.write_str(s)
+    }
+}
+
+struct Slice {
+    node_p: SummingNode,
+    node_n: SummingNode,
+    in_p: BranchId,
+    in_n: BranchId,
+    dac_p: BranchId,
+    dac_n: BranchId,
+    /// Thevenin drive voltage per thermometer code, per side (includes
+    /// the drawn resistor mismatch of each DAC branch).
+    dac_drive_p: Vec<f64>,
+    dac_drive_n: Vec<f64>,
+    vco_p: RingVco,
+    vco_n: RingVco,
+    /// One SAFF per ring tap per VCO (multi-phase quantizer).
+    cmp_p: Vec<ClockedComparator>,
+    cmp_n: Vec<ClockedComparator>,
+    code: u8,
+    retimed_code: u8,
+    dac_code: u8,
+    dac_toggles: u64,
+    d_toggles: u64,
+}
+
+/// Switching-activity counters accumulated during a run (the inputs to the
+/// power model).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Activity {
+    /// Total VCO output transitions across all VCOs.
+    pub vco_edges: u64,
+    /// Clock cycles simulated.
+    pub clk_cycles: u64,
+    /// DAC inverter output toggles across all slices.
+    pub dac_toggles: u64,
+    /// Slice-bit (XOR output) toggles across all slices.
+    pub d_toggles: u64,
+    /// Comparator decisions across all slices.
+    pub comparator_decisions: u64,
+    /// Energy dissipated in the resistor network, joules.
+    pub resistor_energy_j: f64,
+    /// Simulated time, seconds.
+    pub duration_s: f64,
+}
+
+/// The result of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCapture {
+    /// Modulator output words `d[n] ∈ [0, slices·taps]`, one per clock.
+    pub output: Vec<f64>,
+    /// Per-slice codes, flattened with stride `n_slices`.
+    pub slice_codes: Vec<u8>,
+    /// Sampling clock, Hz.
+    pub fs_hz: f64,
+    /// Slice count.
+    pub n_slices: usize,
+    /// Quantizer taps per slice (= VCO stages).
+    pub taps_per_slice: usize,
+    /// Activity counters for the power model.
+    pub activity: Activity,
+}
+
+impl SimCapture {
+    /// The output spectrum, normalised so a full-scale input tone reads
+    /// 0 dBFS.
+    pub fn spectrum(&self, window: Window) -> Spectrum {
+        Spectrum::from_samples_with_full_scale(
+            &self.output,
+            self.fs_hz,
+            window,
+            (self.n_slices * self.taps_per_slice) as f64 / 2.0,
+        )
+    }
+
+    /// The code of `slice` at clock `sample`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn slice_code(&self, sample: usize, slice: usize) -> u8 {
+        assert!(slice < self.n_slices, "slice index out of range");
+        self.slice_codes[sample * self.n_slices + slice]
+    }
+
+    /// Single-tone analysis limited to `bw_hz`.
+    pub fn analyze(&self, bw_hz: f64) -> ToneAnalysis {
+        ToneAnalysis::of(&self.spectrum(Window::Hann), Some(bw_hz))
+    }
+
+    /// Mean output code.
+    pub fn mean_code(&self) -> f64 {
+        self.output.iter().sum::<f64>() / self.output.len().max(1) as f64
+    }
+}
+
+impl fmt::Display for SimCapture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capture of {} samples @ {:.1} MHz ({} slices)",
+            self.output.len(),
+            self.fs_hz / 1e6,
+            self.n_slices
+        )
+    }
+}
+
+/// The behavioral ADC simulator.
+///
+/// ```no_run
+/// use tdsigma_core::{sim::AdcSimulator, spec::AdcSpec};
+///
+/// # fn main() -> Result<(), tdsigma_core::CoreError> {
+/// let spec = AdcSpec::paper_40nm()?;
+/// let mut sim = AdcSimulator::new(spec.clone())?;
+/// let capture = sim.run_tone(1e6, 0.1, 16_384);
+/// println!("{}", capture.analyze(spec.bw_hz)); // SNDR, ENOB, ...
+/// # Ok(())
+/// # }
+/// ```
+pub struct AdcSimulator {
+    spec: AdcSpec,
+    flavor: ComparatorFlavor,
+    slices: Vec<Slice>,
+    clock: Clock,
+    rng: SimRng,
+    time_s: f64,
+    buf_swing_v: f64,
+    buf_cm_v: f64,
+}
+
+impl AdcSimulator {
+    /// Builds a schematic-level simulator (no layout parasitics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation errors.
+    pub fn new(spec: AdcSpec) -> Result<Self, CoreError> {
+        Self::build(spec, ComparatorFlavor::Nor3, 0.0)
+    }
+
+    /// Builds a simulator with a specific comparator flavour (for the
+    /// §2.2.1 ablation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation errors.
+    pub fn with_comparator(spec: AdcSpec, flavor: ComparatorFlavor) -> Result<Self, CoreError> {
+        Self::build(spec, flavor, 0.0)
+    }
+
+    /// Builds a post-layout simulator: the extracted capacitance of the
+    /// control-node nets is added to the summing nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation errors.
+    pub fn with_parasitics(spec: AdcSpec, parasitics: &Parasitics) -> Result<Self, CoreError> {
+        let vctrl_cap = parasitics.total_capacitance_where(|n| n.contains("VCTRL"));
+        // Split between the P and N nodes.
+        Self::build(spec, ComparatorFlavor::Nor3, vctrl_cap / 2.0)
+    }
+
+    fn build(
+        spec: AdcSpec,
+        flavor: ComparatorFlavor,
+        extra_node_cap_f: f64,
+    ) -> Result<Self, CoreError> {
+        let spec = spec.validated()?;
+        let mut rng = SimRng::new(spec.seed);
+        let vdd = spec.tech.vdd().value();
+        // Extracted VCTRL wire capacitance is distributed over the slices'
+        // 2·N control nodes.
+        let node_cap = spec.node_cap_f + extra_node_cap_f / spec.n_slices as f64;
+
+        let vco_params = VcoParams {
+            f0_hz: spec.vco_f0_hz,
+            kvco_hz_per_v: spec.kvco_hz_per_v,
+            vcm_v: spec.vctrl_cm_v,
+            n_stages: spec.vco_stages,
+            phase_noise_per_sqrt_hz: spec.phase_noise_per_sqrt_hz,
+        };
+        let vco_mm = MismatchModel::new(spec.vco_mismatch_sigma);
+        let cm_window = flavor.cm_window(vdd);
+
+        let n = spec.n_slices;
+        let mut slices = Vec::with_capacity(n);
+        for i in 0..n {
+            // Staggered initial phases: the common phase spreads over 2π
+            // and the per-slice phase difference spreads over the XOR
+            // detection range (0, π), decorrelating the slices'
+            // quantisation errors so the summed output averages them.
+            let common = 2.0 * PI * i as f64 / n as f64;
+            let ladder = PI * (i as f64 + 0.5) / n as f64;
+            let mut node_p = SummingNode::new(node_cap, spec.vctrl_cm_v);
+            let mut node_n = SummingNode::new(node_cap, spec.vctrl_cm_v);
+            if spec.thermal_noise && node_cap > 0.0 {
+                node_p = node_p.with_thermal_noise();
+                node_n = node_n.with_thermal_noise();
+            }
+            let in_p = node_p.add_branch(spec.rin_ohm, spec.input_cm_v);
+            let in_n = node_n.add_branch(spec.rin_ohm, spec.input_cm_v);
+            let vco_p = RingVco::with_mismatch(vco_params, &vco_mm, &mut rng, common + ladder);
+            let vco_n = RingVco::with_mismatch(vco_params, &vco_mm, &mut rng, common);
+            let mk_cmp = |rng: &mut SimRng| {
+                ClockedComparator::new(ComparatorParams {
+                    offset_v: rng.gaussian(spec.comparator_offset_sigma_v),
+                    noise_rms_v: spec.comparator_noise_v,
+                    metastability_window_v: 20e-6,
+                    cm_window,
+                })
+            };
+            let cmp_p: Vec<ClockedComparator> =
+                (0..spec.vco_stages).map(|_| mk_cmp(&mut rng)).collect();
+            let cmp_n: Vec<ClockedComparator> =
+                (0..spec.vco_stages).map(|_| mk_cmp(&mut rng)).collect();
+            // Thermometer DAC: `stages` parallel inverter+resistor branches
+            // per side — Thevenin equivalent driven at the conductance-
+            // weighted mix of VREFP/ground. Each branch resistance carries
+            // a mismatch draw; the code→drive tables bake that in.
+            let dac_mm = MismatchModel::new(spec.dac_mismatch_sigma);
+            let mk_dac = |rng: &mut SimRng, pull_up_when_low: bool| -> (f64, Vec<f64>) {
+                let g: Vec<f64> = dac_mm
+                    .draw_many(rng, spec.vco_stages)
+                    .into_iter()
+                    .map(|d| 1.0 / (spec.rdac_ohm * (1.0 + d)))
+                    .collect();
+                let g_total: f64 = g.iter().sum();
+                let r_thev = 1.0 / g_total;
+                // P-side: code-high branches pull LOW (inverter), so the
+                // drive is the conductance share of the still-high ones.
+                // N-side is the complement.
+                let drives = (0..=spec.vco_stages)
+                    .map(|code| {
+                        let hi: f64 = if pull_up_when_low {
+                            g.iter().skip(code).sum()
+                        } else {
+                            g.iter().take(code).sum()
+                        };
+                        spec.vrefp_v * hi / g_total
+                    })
+                    .collect();
+                (r_thev, drives)
+            };
+            let (r_thev_p, dac_drive_p) = mk_dac(&mut rng, true);
+            let (r_thev_n, dac_drive_n) = mk_dac(&mut rng, false);
+            let mid = spec.vco_stages / 2;
+            let dac_p = node_p.add_branch(r_thev_p, dac_drive_p[mid]);
+            let dac_n = node_n.add_branch(r_thev_n, dac_drive_n[mid]);
+            slices.push(Slice {
+                node_p,
+                node_n,
+                in_p,
+                in_n,
+                dac_p,
+                dac_n,
+                dac_drive_p,
+                dac_drive_n,
+                vco_p,
+                vco_n,
+                cmp_p,
+                cmp_n,
+                code: 0,
+                retimed_code: 0,
+                dac_code: 0,
+                dac_toggles: 0,
+                d_toggles: 0,
+            });
+        }
+
+        let clock = Clock::new(spec.fs_hz);
+        Ok(AdcSimulator {
+            buf_swing_v: 0.5 * vdd,
+            buf_cm_v: 0.23 * vdd,
+            spec,
+            flavor,
+            slices,
+            clock,
+            rng,
+            time_s: 0.0,
+        })
+    }
+
+    /// The spec this simulator was built from.
+    pub fn spec(&self) -> &AdcSpec {
+        &self.spec
+    }
+
+    /// The comparator flavour in use.
+    pub fn flavor(&self) -> ComparatorFlavor {
+        self.flavor
+    }
+
+    /// Runs the modulator for `n_samples` clock cycles with the given
+    /// differential input voltage as a function of time (seconds).
+    ///
+    /// The first ~64 cycles are a settling prefix and are still recorded;
+    /// analyses should use power-of-two captures where the prefix is a
+    /// negligible fraction.
+    pub fn run<F: Fn(f64) -> f64>(&mut self, input: F, n_samples: usize) -> SimCapture {
+        let dt = 1.0 / self.spec.fs_hz / self.spec.steps_per_cycle as f64;
+        let mut output = Vec::with_capacity(n_samples);
+        let mut slice_codes = Vec::with_capacity(n_samples * self.spec.n_slices);
+        let mut resistor_energy = 0.0f64;
+        let start_time = self.time_s;
+
+        while output.len() < n_samples {
+            self.time_s += dt;
+            let vin = input(self.time_s);
+            let drive_p = self.spec.input_cm_v + vin / 2.0;
+            let drive_n = self.spec.input_cm_v - vin / 2.0;
+            for slice in &mut self.slices {
+                slice.node_p.set_drive(slice.in_p, drive_p);
+                slice.node_n.set_drive(slice.in_n, drive_n);
+                slice.node_p.advance(dt, &mut self.rng);
+                slice.node_n.advance(dt, &mut self.rng);
+                resistor_energy += (slice.node_p.dissipated_power_w()
+                    + slice.node_n.dissipated_power_w())
+                    * dt;
+                let vp = slice.node_p.voltage();
+                let vn = slice.node_n.voltage();
+                slice.vco_p.advance(dt, vp, &mut self.rng);
+                slice.vco_n.advance(dt, vn, &mut self.rng);
+            }
+
+            match self.clock.advance(dt) {
+                EdgeKind::Rising => {
+                    let mut sum = 0.0;
+                    let stages = self.spec.vco_stages;
+                    let half = self.buf_swing_v / 2.0;
+                    // Clock jitter is common to every SAFF (one clock
+                    // tree); each VCO's sampled phase shifts by 2π·f·δt,
+                    // so the XOR sees only the *difference* frequency
+                    // times δt — the TD architecture's jitter tolerance.
+                    let jitter_s = if self.spec.clock_jitter_rms_s > 0.0 {
+                        self.rng.gaussian(self.spec.clock_jitter_rms_s)
+                    } else {
+                        0.0
+                    };
+                    for slice in self.slices.iter_mut() {
+                        // Multi-phase quantizer: every differential tap
+                        // pair of both rings is buffered and sampled, and
+                        // the per-tap XORs are summed — the slice code
+                        // resolves the phase difference to π/stages.
+                        let mut code = 0u8;
+                        let jp = 2.0 * PI * slice.vco_p.frequency_hz(slice.node_p.voltage()) * jitter_s;
+                        let jn = 2.0 * PI * slice.vco_n.frequency_hz(slice.node_n.voltage()) * jitter_s;
+                        for tap in 0..stages {
+                            let offset = PI * tap as f64 / stages as f64;
+                            // Buffer output: soft-clipped sine around the
+                            // low common mode (the VCO slews through its
+                            // transitions, where offset and noise act).
+                            let sp = ((slice.vco_p.phase() + jp + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let sn = ((slice.vco_n.phase() + jn + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let q1 = slice.cmp_p[tap].sample(
+                                self.buf_cm_v + half * sp,
+                                self.buf_cm_v - half * sp,
+                                &mut self.rng,
+                            );
+                            let q2 = slice.cmp_n[tap].sample(
+                                self.buf_cm_v + half * sn,
+                                self.buf_cm_v - half * sn,
+                                &mut self.rng,
+                            );
+                            if q1 ^ q2 {
+                                code += 1;
+                            }
+                        }
+                        if code != slice.code {
+                            slice.d_toggles += 1;
+                        }
+                        slice.code = code;
+                        sum += code as f64;
+                    }
+                    output.push(sum);
+                    slice_codes.extend(self.slices.iter().map(|s| s.code));
+                }
+                EdgeKind::Falling => {
+                    // The retiming latches are transparent in the low
+                    // phase: the thermometer code reaches the DAC half a
+                    // cycle after the decision (excess loop delay).
+                    for slice in &mut self.slices {
+                        slice.retimed_code = slice.code;
+                        if slice.retimed_code != slice.dac_code {
+                            slice.dac_toggles +=
+                                slice.retimed_code.abs_diff(slice.dac_code) as u64;
+                            slice.dac_code = slice.retimed_code;
+                            // code high → pull VCTRLP down, VCTRLN up
+                            // (negative feedback through the inverters);
+                            // drive tables include the resistor mismatch.
+                            let code = slice.dac_code as usize;
+                            slice.node_p.set_drive(slice.dac_p, slice.dac_drive_p[code]);
+                            slice.node_n.set_drive(slice.dac_n, slice.dac_drive_n[code]);
+                        }
+                    }
+                }
+                EdgeKind::None => {}
+            }
+        }
+
+        let activity = Activity {
+            vco_edges: self
+                .slices
+                .iter()
+                .map(|s| s.vco_p.edge_count() + s.vco_n.edge_count())
+                .sum(),
+            clk_cycles: n_samples as u64,
+            dac_toggles: self.slices.iter().map(|s| s.dac_toggles).sum(),
+            d_toggles: self.slices.iter().map(|s| s.d_toggles).sum(),
+            comparator_decisions: self
+                .slices
+                .iter()
+                .map(|s| {
+                    s.cmp_p.iter().chain(&s.cmp_n).map(|c| c.decision_count()).sum::<u64>()
+                })
+                .sum(),
+            resistor_energy_j: resistor_energy,
+            duration_s: self.time_s - start_time,
+        };
+
+        SimCapture {
+            output,
+            slice_codes,
+            fs_hz: self.spec.fs_hz,
+            n_slices: self.spec.n_slices,
+            taps_per_slice: self.spec.vco_stages,
+            activity,
+        }
+    }
+
+    /// Convenience: runs a single-tone test at `fin_hz` with differential
+    /// amplitude `amplitude_v` for `n_samples` cycles.
+    pub fn run_tone(&mut self, fin_hz: f64, amplitude_v: f64, n_samples: usize) -> SimCapture {
+        let w = 2.0 * PI * fin_hz;
+        self.run(|t| amplitude_v * (w * t).sin(), n_samples)
+    }
+}
+
+impl fmt::Debug for AdcSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdcSimulator")
+            .field("slices", &self.slices.len())
+            .field("fs_hz", &self.spec.fs_hz)
+            .field("flavor", &self.flavor)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> AdcSpec {
+        let mut s = AdcSpec::paper_40nm().unwrap();
+        s.steps_per_cycle = 8; // keep debug-mode tests fast
+        s
+    }
+
+    #[test]
+    fn zero_input_sits_at_midcode() {
+        let mut sim = AdcSimulator::new(quick_spec()).unwrap();
+        let cap = sim.run(|_| 0.0, 2048);
+        let mean = cap.mean_code();
+        assert!(
+            (mean - 16.0).abs() < 1.0,
+            "midcode should be slices·stages/2 = 16, got {mean}"
+        );
+    }
+
+    #[test]
+    fn dc_transfer_is_monotonic_and_centred() {
+        let spec = quick_spec();
+        let fsv = spec.full_scale_v();
+        let mut means = Vec::new();
+        for frac in [-0.6, -0.3, 0.0, 0.3, 0.6] {
+            let mut sim = AdcSimulator::new(spec.clone()).unwrap();
+            let cap = sim.run(|_| frac * fsv, 2048);
+            means.push(cap.mean_code());
+        }
+        for pair in means.windows(2) {
+            assert!(pair[1] > pair[0] + 1.0, "transfer must increase: {means:?}");
+        }
+        // Symmetric around midcode (N·stages/2 = 16).
+        assert!((means[0] + means[4] - 32.0).abs() < 2.0, "{means:?}");
+        // Slope: mean = 16·(1 + v/FS) → at 0.6·FS expect 25.6.
+        assert!((means[4] - 25.6).abs() < 1.6, "{means:?}");
+    }
+
+    #[test]
+    fn tone_appears_at_input_frequency() {
+        let mut spec = quick_spec();
+        spec.thermal_noise = false;
+        spec.phase_noise_per_sqrt_hz = 0.0;
+        let fsv = spec.full_scale_v();
+        let n = 4096;
+        // Coherent bin: fin = bin · fs / n.
+        let bin = 11;
+        let fin = bin as f64 * spec.fs_hz / n as f64;
+        let mut sim = AdcSimulator::new(spec).unwrap();
+        let cap = sim.run_tone(fin, 0.5 * fsv, n);
+        let spectrum = cap.spectrum(Window::Hann);
+        assert_eq!(spectrum.peak_bin(), bin);
+        // Amplitude: 0.5 FS → about −6 dBFS (the CT loop's signal
+        // transfer function adds a little gain in band).
+        let level = spectrum.dbfs(bin);
+        assert!((level + 6.0).abs() < 3.0, "tone level {level} dBFS");
+    }
+
+    #[test]
+    fn noise_is_shaped_sndr_improves_with_osr() {
+        let spec = quick_spec();
+        let fsv = spec.full_scale_v();
+        let n = 8192;
+        let fin = 7.0 * spec.fs_hz / n as f64;
+        let mut sim = AdcSimulator::new(spec.clone()).unwrap();
+        let cap = sim.run_tone(fin, 0.7 * fsv, n);
+        let wide = cap.analyze(spec.fs_hz / 4.0);
+        let narrow = cap.analyze(spec.bw_hz);
+        assert!(
+            narrow.sndr_db > wide.sndr_db + 10.0,
+            "shaping must reward oversampling: narrow {} vs wide {}",
+            narrow.sndr_db,
+            wide.sndr_db
+        );
+        assert!(narrow.sndr_db > 45.0, "in-band SNDR too low: {}", narrow.sndr_db);
+    }
+
+    #[test]
+    fn nand3_comparator_fails_at_low_cm() {
+        let spec = quick_spec();
+        let fsv = spec.full_scale_v();
+        let n = 2048;
+        let fin = 5.0 * spec.fs_hz / n as f64;
+        let mut good = AdcSimulator::with_comparator(spec.clone(), ComparatorFlavor::Nor3).unwrap();
+        let mut bad = AdcSimulator::with_comparator(spec, ComparatorFlavor::Nand3).unwrap();
+        let cap_good = good.run_tone(fin, 0.5 * fsv, n);
+        let cap_bad = bad.run_tone(fin, 0.5 * fsv, n);
+        let sndr_good = cap_good.analyze(5e6).sndr_db;
+        let sndr_bad = cap_bad.analyze(5e6).sndr_db;
+        assert!(
+            sndr_good > sndr_bad + 20.0,
+            "NAND3 at 0.25 V CM must collapse: good {sndr_good}, bad {sndr_bad}"
+        );
+    }
+
+    #[test]
+    fn strongarm_and_nor3_are_equivalent_here() {
+        // §2.2.1: "the proposed comparator is functionally identical to the
+        // strongARM comparator" at the low buffer CM.
+        let spec = quick_spec();
+        let fsv = spec.full_scale_v();
+        let n = 2048;
+        let fin = 5.0 * spec.fs_hz / n as f64;
+        let mut a = AdcSimulator::with_comparator(spec.clone(), ComparatorFlavor::Nor3).unwrap();
+        let mut b =
+            AdcSimulator::with_comparator(spec, ComparatorFlavor::StrongArm).unwrap();
+        let sndr_a = a.run_tone(fin, 0.5 * fsv, n).analyze(5e6).sndr_db;
+        let sndr_b = b.run_tone(fin, 0.5 * fsv, n).analyze(5e6).sndr_db;
+        assert!(
+            (sndr_a - sndr_b).abs() < 3.0,
+            "NOR3 {sndr_a} vs strongARM {sndr_b}"
+        );
+    }
+
+    #[test]
+    fn activity_counters_are_plausible() {
+        let spec = quick_spec();
+        let mut sim = AdcSimulator::new(spec.clone()).unwrap();
+        let n = 1024;
+        let cap = sim.run(|_| 0.0, n);
+        let a = &cap.activity;
+        assert_eq!(a.clk_cycles, n as u64);
+        // 16 VCOs at f0 = fs/5 → edges ≈ 16 · 2 · (n/5).
+        let expected_edges = 16.0 * 2.0 * n as f64 / 5.0;
+        assert!(
+            (a.vco_edges as f64 / expected_edges - 1.0).abs() < 0.25,
+            "vco edges {} vs expected {expected_edges}",
+            a.vco_edges
+        );
+        // 2 · stages comparator decisions per slice per cycle.
+        assert_eq!(a.comparator_decisions, 64 * n as u64);
+        assert!(a.resistor_energy_j > 0.0);
+        assert!(a.duration_s > 0.0);
+        assert!(a.dac_toggles > 0);
+    }
+
+    #[test]
+    fn capture_bookkeeping() {
+        let mut sim = AdcSimulator::new(quick_spec()).unwrap();
+        let cap = sim.run(|_| 0.0, 256);
+        assert_eq!(cap.output.len(), 256);
+        assert_eq!(cap.slice_codes.len(), 256 * 8);
+        for (n, &sum) in cap.output.iter().enumerate() {
+            let codes: f64 = (0..8).map(|i| cap.slice_code(n, i) as f64).sum();
+            assert_eq!(codes, sum, "codes must match the summed word");
+            for i in 0..8 {
+                assert!(cap.slice_code(n, i) <= 4, "code within 0..=stages");
+            }
+        }
+        assert!(cap.to_string().contains("256 samples"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = quick_spec();
+        let mut a = AdcSimulator::new(spec.clone()).unwrap();
+        let mut b = AdcSimulator::new(spec).unwrap();
+        let ca = a.run(|t| 0.1 * (1e7 * t).sin(), 512);
+        let cb = b.run(|t| 0.1 * (1e7 * t).sin(), 512);
+        assert_eq!(ca.output, cb.output);
+    }
+
+    #[test]
+    fn flavor_properties() {
+        assert!(ComparatorFlavor::Nor3.is_synthesis_friendly());
+        assert!(ComparatorFlavor::Nand3.is_synthesis_friendly());
+        assert!(!ComparatorFlavor::StrongArm.is_synthesis_friendly());
+        assert!(ComparatorFlavor::Nor3.cm_window(1.1).contains(0.25));
+        assert!(!ComparatorFlavor::Nand3.cm_window(1.1).contains(0.25));
+        assert!(ComparatorFlavor::Nor3.to_string().contains("proposed"));
+    }
+}

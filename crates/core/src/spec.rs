@@ -1,0 +1,318 @@
+//! The ADC specification: every architectural knob of the proposed design.
+//!
+//! The paper emphasises that the architecture "allows easy adaptations to
+//! different specifications": more slices for quantizer resolution, a
+//! faster clock for bandwidth, more DAC current or VCO gain for SQNR.
+//! `AdcSpec` is exactly that knob set, with validation and the two
+//! reference designs of Table 3.
+
+use crate::error::CoreError;
+use tdsigma_tech::{NodeId, Technology};
+
+/// Full specification of one ADC instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdcSpec {
+    /// Target technology.
+    pub tech: Technology,
+    /// Number of slices (effective quantizer levels = slices + 1).
+    pub n_slices: usize,
+    /// Sampling clock, Hz.
+    pub fs_hz: f64,
+    /// Signal bandwidth, Hz.
+    pub bw_hz: f64,
+    /// Ring-VCO stages per VCO (the paper's Fig. 5 cell uses 4).
+    pub vco_stages: usize,
+    /// VCO centre frequency, Hz.
+    pub vco_f0_hz: f64,
+    /// VCO tuning gain, Hz/V.
+    pub kvco_hz_per_v: f64,
+    /// Input resistor value, Ω (4 low-resistivity fragments: 1 kΩ).
+    pub rin_ohm: f64,
+    /// DAC branch resistance, Ω (two series 11 kΩ resistor cells of 4
+    /// high-resistivity fragments each: 22 kΩ per thermometer branch).
+    pub rdac_ohm: f64,
+    /// DAC reference voltage, V (the node's supply).
+    pub vrefp_v: f64,
+    /// Input common mode voltage, V.
+    pub input_cm_v: f64,
+    /// VCO control node common mode (the VCO's nominal supply), V.
+    pub vctrl_cm_v: f64,
+    /// Relative 1-σ VCO centre-frequency mismatch.
+    pub vco_mismatch_sigma: f64,
+    /// Relative 1-σ mismatch of one DAC branch. Each branch is 8 series
+    /// fragments (two 4-fragment resistor cells), so the branch matches
+    /// √8 better than a single fragment (§2.2.2: resistors "exhibit high
+    /// raw matching") — no calibration or DEM anywhere.
+    pub dac_mismatch_sigma: f64,
+    /// Comparator input-referred offset 1-σ, V.
+    pub comparator_offset_sigma_v: f64,
+    /// Comparator input-referred noise, V rms.
+    pub comparator_noise_v: f64,
+    /// VCO white-FM phase noise (relative frequency deviation per √Hz).
+    pub phase_noise_per_sqrt_hz: f64,
+    /// Enable kT/C thermal noise on the control nodes.
+    pub thermal_noise: bool,
+    /// Sampling-clock RMS jitter, seconds (common to all slices — a clock
+    /// tree property). The TD architecture is first-order insensitive to
+    /// it; the `abl_jitter` experiment quantifies the margin.
+    pub clock_jitter_rms_s: f64,
+    /// Extra control-node capacitance before extraction, F (device input
+    /// capacitance; wire capacitance is added by the post-layout flow).
+    pub node_cap_f: f64,
+    /// Include the on-chip thermometer-to-binary ones-counter back end
+    /// (adder tree + output register) in the generated netlist.
+    pub include_output_adder: bool,
+    /// Simulation substeps per clock period.
+    pub steps_per_cycle: usize,
+    /// RNG seed (mismatch draws + noise).
+    pub seed: u64,
+}
+
+impl AdcSpec {
+    /// The paper's 40 nm design point (Table 3 row 1): 750 MHz clock,
+    /// 5 MHz bandwidth, 8 slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates technology-resolution errors.
+    pub fn paper_40nm() -> Result<Self, CoreError> {
+        let tech = Technology::for_node(NodeId::N40)?;
+        AdcSpec::for_technology(tech, 750e6, 5e6)
+    }
+
+    /// The paper's 180 nm design point (Table 3 row 2): 250 MHz clock,
+    /// 1.4 MHz bandwidth, 8 slices — the *same* netlist migrated to the
+    /// older node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates technology-resolution errors.
+    pub fn paper_180nm() -> Result<Self, CoreError> {
+        let tech = Technology::for_node(NodeId::N180)?;
+        AdcSpec::for_technology(tech, 250e6, 1.4e6)
+    }
+
+    /// Derives a sensible spec for any technology, clock and bandwidth —
+    /// the design-porting story of the paper: only the clock and the
+    /// analog biases change with the node; the netlist is identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the clock exceeds what the
+    /// node's ring oscillator can support or the OSR is unusably low.
+    pub fn for_technology(tech: Technology, fs_hz: f64, bw_hz: f64) -> Result<Self, CoreError> {
+        let vdd = tech.vdd().value();
+        let vco_f0_hz = fs_hz / 5.0;
+        // With the input and DAC common modes both at VDD/2, the resistive
+        // divider parks the control nodes at VDD/2 — the VCO's nominal
+        // operating point.
+        let vctrl_cm_v = vdd * 0.5;
+        let spec = AdcSpec {
+            n_slices: 8,
+            fs_hz,
+            bw_hz,
+            vco_stages: 4,
+            vco_f0_hz,
+            // Loop gain: one thermometer-DAC LSB must slew the slice's
+            // phase difference by about one quantizer step (π / stages)
+            // per clock. Swept in `abl_scalability`; 0.8·fs/VDD is the
+            // robust optimum.
+            kvco_hz_per_v: 0.8 * fs_hz / vdd,
+            rin_ohm: 1_000.0,
+            rdac_ohm: 22_000.0,
+            vrefp_v: vdd,
+            input_cm_v: vdd / 2.0,
+            vctrl_cm_v,
+            // An 8-inverter pseudo-differential ring averages the device
+            // mismatch of its stages (Pelgrom: σ_ring ≈ σ_device / √8).
+            vco_mismatch_sigma: tech.min_device_sigma() / 3.0,
+            dac_mismatch_sigma: 0.005 / (8.0f64).sqrt(),
+            comparator_offset_sigma_v: 0.01,
+            comparator_noise_v: 0.3e-3,
+            // White-FM phase noise floor; roughly node-independent relative
+            // to f0 for inverter rings.
+            phase_noise_per_sqrt_hz: 2.0e-9,
+            thermal_noise: true,
+            clock_jitter_rms_s: 0.2e-12,
+            include_output_adder: true,
+            node_cap_f: 10e-15,
+            steps_per_cycle: 16,
+            seed: 2017,
+            tech,
+        };
+        spec.validated()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] with a human-readable reason.
+    pub fn validated(self) -> Result<Self, CoreError> {
+        let fail = |reason: &str| {
+            Err(CoreError::InvalidSpec {
+                reason: reason.to_string(),
+            })
+        };
+        if self.n_slices == 0 {
+            return fail("at least one slice required");
+        }
+        if self.fs_hz <= 0.0 || self.bw_hz <= 0.0 {
+            return fail("clock and bandwidth must be positive");
+        }
+        if self.oversampling_ratio() < 4.0 {
+            return fail("OSR below 4: widen the clock or narrow the bandwidth");
+        }
+        if self.vco_f0_hz >= self.fs_hz {
+            return fail("VCO centre frequency must be below the sampling clock");
+        }
+        let ring_max = self.tech.ring_max_frequency_hz(self.vco_stages);
+        if self.vco_f0_hz > ring_max {
+            return fail("VCO centre frequency exceeds the ring's capability at this node");
+        }
+        // The clocked logic (SAFF, latches) must close timing: a clock
+        // period shorter than ~10 FO4 is not realisable at the node.
+        if 1.0 / self.fs_hz < 10.0 * self.tech.fo4_delay_ps() * 1e-12 {
+            return fail("sampling clock too fast for the node's logic (needs 10 FO4 per period)");
+        }
+        if self.rin_ohm <= 0.0 || self.rdac_ohm <= 0.0 {
+            return fail("resistor values must be positive");
+        }
+        if self.vrefp_v <= 0.0 || self.vrefp_v > self.tech.vdd().value() * 1.001 {
+            return fail("VREFP must be positive and within the supply");
+        }
+        if self.steps_per_cycle < 4 {
+            return fail("need at least 4 simulation substeps per cycle");
+        }
+        if self.clock_jitter_rms_s < 0.0 || self.clock_jitter_rms_s > 0.1 / self.fs_hz {
+            return fail("clock jitter must be non-negative and well below the period");
+        }
+        Ok(self)
+    }
+
+    /// Oversampling ratio `fs / (2·BW)`.
+    pub fn oversampling_ratio(&self) -> f64 {
+        self.fs_hz / (2.0 * self.bw_hz)
+    }
+
+    /// Differential full-scale input amplitude, V.
+    ///
+    /// Each slice is a self-contained first-order loop: its own control
+    /// nodes, input resistors and a thermometer resistor DAC of
+    /// `vco_stages` inverter+resistor branches per side (§2.2.2:
+    /// "synthesize a DAC through proper instantiation" of the fragment
+    /// cell). The DAC can cancel at most `stages·VREFP·Rin/Rdac` of
+    /// differential input, so that is the edge of stable modulation —
+    /// identical for every slice.
+    pub fn full_scale_v(&self) -> f64 {
+        self.vco_stages as f64 * self.vrefp_v * self.rin_ohm / self.rdac_ohm
+    }
+
+    /// Effective number of quantizer levels (slices + 1).
+    pub fn quantizer_levels(&self) -> usize {
+        self.n_slices + 1
+    }
+
+    /// Returns a copy with a different slice count (the paper's "simply
+    /// add more slices" knob).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn with_slices(mut self, n: usize) -> Result<Self, CoreError> {
+        self.n_slices = n;
+        self.validated()
+    }
+
+    /// Returns a copy with a different clock and bandwidth (the paper's
+    /// "increase the clock frequency" knob), rescaling the VCO to match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn with_clock(mut self, fs_hz: f64, bw_hz: f64) -> Result<Self, CoreError> {
+        let scale = fs_hz / self.fs_hz;
+        self.fs_hz = fs_hz;
+        self.bw_hz = bw_hz;
+        self.vco_f0_hz *= scale;
+        self.kvco_hz_per_v *= scale;
+        self.validated()
+    }
+
+    /// Returns a copy with the loop gain scaled (the paper's "boost the
+    /// loop gain by increasing either the DAC feedback current or the VCO
+    /// tuning gain" knob).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn with_loop_gain(mut self, multiplier: f64) -> Result<Self, CoreError> {
+        self.kvco_hz_per_v *= multiplier;
+        self.validated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_build() {
+        let s40 = AdcSpec::paper_40nm().unwrap();
+        assert_eq!(s40.fs_hz, 750e6);
+        assert_eq!(s40.bw_hz, 5e6);
+        assert!((s40.oversampling_ratio() - 75.0).abs() < 1e-9);
+        assert_eq!(s40.n_slices, 8);
+        assert_eq!(s40.quantizer_levels(), 9);
+
+        let s180 = AdcSpec::paper_180nm().unwrap();
+        assert_eq!(s180.fs_hz, 250e6);
+        assert!((s180.oversampling_ratio() - 89.28).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_scale_is_set_by_resistor_ratio() {
+        let s = AdcSpec::paper_40nm().unwrap();
+        // 4 branches × 1.1 V × 1k / 22k = 200 mV differential.
+        assert!((s.full_scale_v() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knobs_rescale() {
+        let s = AdcSpec::paper_40nm().unwrap();
+        let more = s.clone().with_slices(16).unwrap();
+        assert_eq!(more.quantizer_levels(), 17);
+        let faster = s.clone().with_clock(1.5e9, 10e6).unwrap();
+        assert_eq!(faster.vco_f0_hz, s.vco_f0_hz * 2.0);
+        let base = s.kvco_hz_per_v;
+        let hotter = s.with_loop_gain(2.0).unwrap();
+        assert!((hotter.kvco_hz_per_v - 2.0 * base).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let s = AdcSpec::paper_40nm().unwrap();
+        assert!(s.clone().with_slices(0).is_err());
+        // OSR too low.
+        assert!(s.clone().with_clock(750e6, 200e6).is_err());
+        // A 20 GHz clock is far beyond 180 nm logic (10 FO4 = 500 ps).
+        let t180 = Technology::for_node(NodeId::N180).unwrap();
+        assert!(AdcSpec::for_technology(t180, 20e9, 100e6).is_err());
+    }
+
+    #[test]
+    fn validation_messages_are_specific() {
+        let mut s = AdcSpec::paper_40nm().unwrap();
+        s.vrefp_v = 5.0;
+        match s.validated() {
+            Err(CoreError::InvalidSpec { reason }) => assert!(reason.contains("VREFP")),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn osr_definition() {
+        let s = AdcSpec::paper_40nm().unwrap();
+        assert_eq!(s.oversampling_ratio(), 750e6 / 10e6);
+    }
+}

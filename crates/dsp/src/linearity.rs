@@ -1,0 +1,256 @@
+//! Static linearity metrology: INL/DNL from DC transfer sweeps and from
+//! sine-wave code-density histograms.
+//!
+//! Two standard ADC lab methods:
+//!
+//! * **Transfer-sweep INL** — apply DC levels, record the mean output
+//!   code, fit the best straight line, report the worst deviation in LSB.
+//!   Right for oversampling converters, whose "code" is an average.
+//! * **Code-density (histogram) DNL/INL** — drive a full-scale sine and
+//!   compare the code histogram against the ideal arcsine density. Right
+//!   for Nyquist converters (used on the stochastic-flash baseline).
+
+use std::f64::consts::PI;
+use std::fmt;
+
+/// One point of a DC transfer sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferPoint {
+    /// Applied input (any unit; volts in practice).
+    pub input: f64,
+    /// Measured mean output code.
+    pub output: f64,
+}
+
+/// Result of a linearity analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlReport {
+    /// Per-point INL in LSB (same order as the sweep).
+    pub inl_lsb: Vec<f64>,
+    /// Worst absolute INL, LSB.
+    pub max_inl_lsb: f64,
+    /// Best-fit gain (codes per input unit).
+    pub gain: f64,
+    /// Best-fit offset (codes).
+    pub offset: f64,
+    /// LSB size used for normalisation (codes).
+    pub lsb: f64,
+}
+
+impl fmt::Display for InlReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "INL {:.3} LSB max over {} points (gain {:.4}, offset {:.2})",
+            self.max_inl_lsb,
+            self.inl_lsb.len(),
+            self.gain,
+            self.offset
+        )
+    }
+}
+
+/// Computes best-fit-line INL from a DC transfer sweep.
+///
+/// `lsb` is the output-code step corresponding to one LSB (for a
+/// `levels`-level converter spanning the sweep, `(max−min)/(levels−1)`).
+///
+/// # Panics
+///
+/// Panics if fewer than 3 points are given or `lsb` is not positive.
+pub fn transfer_inl(points: &[TransferPoint], lsb: f64) -> InlReport {
+    assert!(points.len() >= 3, "need at least 3 sweep points");
+    assert!(lsb > 0.0, "LSB must be positive");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.input).sum();
+    let sy: f64 = points.iter().map(|p| p.output).sum();
+    let sxx: f64 = points.iter().map(|p| p.input * p.input).sum();
+    let sxy: f64 = points.iter().map(|p| p.input * p.output).sum();
+    let gain = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let offset = (sy - gain * sx) / n;
+    let inl_lsb: Vec<f64> = points
+        .iter()
+        .map(|p| (p.output - (gain * p.input + offset)) / lsb)
+        .collect();
+    let max_inl_lsb = inl_lsb.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    InlReport {
+        inl_lsb,
+        max_inl_lsb,
+        gain,
+        offset,
+        lsb,
+    }
+}
+
+/// Result of a code-density histogram analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramReport {
+    /// Per-code DNL in LSB (length = codes − 2; end bins are excluded as
+    /// is standard, since the sine clips there).
+    pub dnl_lsb: Vec<f64>,
+    /// Per-code INL in LSB (cumulative DNL).
+    pub inl_lsb: Vec<f64>,
+    /// Worst absolute DNL, LSB.
+    pub max_dnl_lsb: f64,
+    /// Worst absolute INL, LSB.
+    pub max_inl_lsb: f64,
+}
+
+impl fmt::Display for HistogramReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "code density: DNL {:.3} / INL {:.3} LSB max over {} codes",
+            self.max_dnl_lsb,
+            self.max_inl_lsb,
+            self.dnl_lsb.len()
+        )
+    }
+}
+
+/// Code-density DNL/INL from a sine-wave histogram.
+///
+/// `codes` are integer output codes in `0..levels` captured while a sine
+/// slightly overdriving the full range was applied.
+///
+/// # Panics
+///
+/// Panics if `levels < 4` or the capture misses interior codes entirely.
+pub fn sine_histogram(codes: &[usize], levels: usize) -> HistogramReport {
+    assert!(levels >= 4, "need at least 4 codes");
+    let mut hist = vec![0u64; levels];
+    for &c in codes {
+        hist[c.min(levels - 1)] += 1;
+    }
+    let interior = &hist[1..levels - 1];
+    let total: u64 = interior.iter().sum();
+    assert!(total > 0, "no interior codes captured");
+    // Ideal sine PDF between code k and k+1 boundaries (arcsine density):
+    // p(k) ∝ asin(x_{k+1}) − asin(x_k) with x mapped to [−1, 1].
+    let m = levels - 2;
+    let ideal: Vec<f64> = (0..m)
+        .map(|k| {
+            let x0 = -1.0 + 2.0 * (k + 1) as f64 / levels as f64;
+            let x1 = -1.0 + 2.0 * (k + 2) as f64 / levels as f64;
+            (x1.clamp(-1.0, 1.0).asin() - x0.clamp(-1.0, 1.0).asin()) / PI
+        })
+        .collect();
+    let ideal_total: f64 = ideal.iter().sum();
+    let dnl_lsb: Vec<f64> = interior
+        .iter()
+        .zip(&ideal)
+        .map(|(&h, &p)| (h as f64 / total as f64) / (p / ideal_total) - 1.0)
+        .collect();
+    let mut inl = 0.0;
+    let inl_lsb: Vec<f64> = dnl_lsb
+        .iter()
+        .map(|&d| {
+            inl += d;
+            inl
+        })
+        .collect();
+    let max_dnl_lsb = dnl_lsb.iter().fold(0.0f64, |mx, &v| mx.max(v.abs()));
+    let max_inl_lsb = inl_lsb.iter().fold(0.0f64, |mx, &v| mx.max(v.abs()));
+    HistogramReport {
+        dnl_lsb,
+        inl_lsb,
+        max_dnl_lsb,
+        max_inl_lsb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_transfer_has_zero_inl() {
+        let points: Vec<TransferPoint> = (0..21)
+            .map(|i| TransferPoint {
+                input: i as f64 * 0.1 - 1.0,
+                output: 16.0 + 8.0 * (i as f64 * 0.1 - 1.0),
+            })
+            .collect();
+        let report = transfer_inl(&points, 1.0);
+        assert!(report.max_inl_lsb < 1e-9, "{report}");
+        assert!((report.gain - 8.0).abs() < 1e-9);
+        assert!((report.offset - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bowed_transfer_shows_inl() {
+        // Quadratic bow of 0.5 LSB at the centre.
+        let points: Vec<TransferPoint> = (0..41)
+            .map(|i| {
+                let x = i as f64 / 40.0 * 2.0 - 1.0;
+                TransferPoint {
+                    input: x,
+                    output: 16.0 + 16.0 * x + 0.5 * (1.0 - x * x),
+                }
+            })
+            .collect();
+        let report = transfer_inl(&points, 1.0);
+        assert!(
+            (report.max_inl_lsb - 0.33).abs() < 0.1,
+            "bow minus best-fit ≈ 1/3 LSB: {report}"
+        );
+    }
+
+    #[test]
+    fn ideal_quantizer_histogram_is_flat() {
+        // Quantize a dithered full-scale sine ideally: DNL ≈ 0.
+        let levels = 16usize;
+        let n = 400_000;
+        let codes: Vec<usize> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.618_033_988; // irrational stride
+                let x = (2.0 * PI * t).sin(); // [-1, 1]
+                (((x + 1.0) / 2.0 * levels as f64) as usize).min(levels - 1)
+            })
+            .collect();
+        let report = sine_histogram(&codes, levels);
+        assert!(report.max_dnl_lsb < 0.05, "{report}");
+        assert!(report.max_inl_lsb < 0.05, "{report}");
+    }
+
+    #[test]
+    fn missing_code_shows_as_negative_dnl() {
+        let levels = 16usize;
+        let n = 200_000;
+        let codes: Vec<usize> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.618_033_988;
+                let x = (2.0 * PI * t).sin();
+                let mut c = (((x + 1.0) / 2.0 * levels as f64) as usize).min(levels - 1);
+                if c == 7 {
+                    c = 8; // code 7 never occurs
+                }
+                c
+            })
+            .collect();
+        let report = sine_histogram(&codes, levels);
+        // Code 7 is interior index 6: DNL −1 (missing).
+        assert!((report.dnl_lsb[6] + 1.0).abs() < 0.05, "{report:?}");
+        assert!(report.max_dnl_lsb > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 sweep points")]
+    fn too_few_points_panics() {
+        let _ = transfer_inl(
+            &[
+                TransferPoint { input: 0.0, output: 0.0 },
+                TransferPoint { input: 1.0, output: 1.0 },
+            ],
+            1.0,
+        );
+    }
+
+    #[test]
+    fn displays() {
+        let points: Vec<TransferPoint> = (0..5)
+            .map(|i| TransferPoint { input: i as f64, output: i as f64 })
+            .collect();
+        assert!(transfer_inl(&points, 1.0).to_string().contains("INL"));
+    }
+}

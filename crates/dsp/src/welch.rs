@@ -1,0 +1,236 @@
+//! Welch's method: averaged-periodogram power-spectral-density estimation.
+//!
+//! Single-FFT spectra (Fig. 17 style) have ~100 % variance per bin; Welch
+//! averaging over overlapping segments trades frequency resolution for a
+//! smooth, quantitative noise-floor estimate — the right tool for reading
+//! noise densities (V/√Hz) off a simulation.
+
+use crate::fft::fft_real;
+use crate::window::Window;
+use std::fmt;
+
+/// A PSD estimate from Welch's method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdEstimate {
+    psd: Vec<f64>,
+    bin_width_hz: f64,
+    segments: usize,
+}
+
+impl PsdEstimate {
+    /// Power spectral density per bin, in (input units)²/Hz.
+    pub fn values(&self) -> &[f64] {
+        &self.psd
+    }
+
+    /// Frequency-bin width, Hz.
+    pub fn bin_width_hz(&self) -> f64 {
+        self.bin_width_hz
+    }
+
+    /// Centre frequency of bin `k`.
+    pub fn frequency_hz(&self, k: usize) -> f64 {
+        k as f64 * self.bin_width_hz
+    }
+
+    /// Number of averaged segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Number of frequency bins.
+    pub fn len(&self) -> usize {
+        self.psd.len()
+    }
+
+    /// True if no bins (never for constructed estimates).
+    pub fn is_empty(&self) -> bool {
+        self.psd.is_empty()
+    }
+
+    /// Total power integrated between two frequencies (trapezoid-free
+    /// rectangle sum), in (input units)².
+    pub fn band_power(&self, f_lo_hz: f64, f_hi_hz: f64) -> f64 {
+        let lo = (f_lo_hz / self.bin_width_hz).round() as usize;
+        let hi = ((f_hi_hz / self.bin_width_hz).round() as usize).min(self.psd.len() - 1);
+        self.psd[lo.min(hi)..=hi].iter().sum::<f64>() * self.bin_width_hz
+    }
+
+    /// Median PSD between two frequencies — a robust noise-floor estimate
+    /// that ignores tones.
+    pub fn median_floor(&self, f_lo_hz: f64, f_hi_hz: f64) -> f64 {
+        let lo = (f_lo_hz / self.bin_width_hz).round() as usize;
+        let hi = ((f_hi_hz / self.bin_width_hz).round() as usize).min(self.psd.len() - 1);
+        let mut band: Vec<f64> = self.psd[lo.min(hi)..=hi].to_vec();
+        band.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        band[band.len() / 2]
+    }
+}
+
+impl fmt::Display for PsdEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Welch PSD: {} bins of {:.1} kHz, {} segments",
+            self.psd.len(),
+            self.bin_width_hz / 1e3,
+            self.segments
+        )
+    }
+}
+
+/// Estimates the one-sided PSD of `samples` with Welch's method:
+/// `segment_len`-point windowed periodograms, 50 % overlap, averaged.
+///
+/// # Panics
+///
+/// Panics if `segment_len` is not a power of two or exceeds the input
+/// length, or if `sample_rate_hz` is not positive.
+pub fn welch_psd(
+    samples: &[f64],
+    segment_len: usize,
+    window: Window,
+    sample_rate_hz: f64,
+) -> PsdEstimate {
+    assert!(
+        segment_len.is_power_of_two() && segment_len >= 8,
+        "segment length must be a power of two >= 8"
+    );
+    assert!(segment_len <= samples.len(), "segment longer than input");
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    let hop = segment_len / 2;
+    let coeffs = window.coefficients(segment_len);
+    // Window power normalisation (U in Welch's paper).
+    let u: f64 = coeffs.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let mut acc = vec![0.0f64; segment_len / 2 + 1];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= samples.len() {
+        let windowed: Vec<f64> = samples[start..start + segment_len]
+            .iter()
+            .zip(&coeffs)
+            .map(|(&x, &w)| (x - mean) * w)
+            .collect();
+        let spec = fft_real(&windowed);
+        for (k, a) in acc.iter_mut().enumerate() {
+            let scale = if k == 0 || k == segment_len / 2 { 1.0 } else { 2.0 };
+            *a += scale * spec[k].norm_sqr() / (u * segment_len as f64 * sample_rate_hz);
+        }
+        segments += 1;
+        start += hop;
+    }
+    for a in &mut acc {
+        *a /= segments as f64;
+    }
+    PsdEstimate {
+        psd: acc,
+        bin_width_hz: sample_rate_hz / segment_len as f64,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn white_noise(n: usize, rms: f64, seed: u64) -> Vec<f64> {
+        // xorshift-based gaussian-ish (sum of uniforms) noise.
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as f64 / u64::MAX as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                let s: f64 = (0..12).map(|_| rng()).sum();
+                s * rms
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_psd_is_flat_and_integrates_to_variance() {
+        let fs = 1e6;
+        let rms = 0.05;
+        let samples = white_noise(1 << 16, rms, 99);
+        let psd = welch_psd(&samples, 1 << 10, Window::Hann, fs);
+        // Total power ≈ variance.
+        let total = psd.band_power(0.0, fs / 2.0);
+        let var = rms * rms; // sum of 12 uniforms: var = 12·(1/12)·rms² = rms²
+        assert!(
+            (total / var - 1.0).abs() < 0.1,
+            "integrated PSD {total} vs variance {var}"
+        );
+        // Flatness: median of first and last quarter within 1.5x.
+        let lo = psd.median_floor(fs * 0.02, fs * 0.12);
+        let hi = psd.median_floor(fs * 0.35, fs * 0.48);
+        assert!((lo / hi).abs() < 1.5 && (hi / lo).abs() < 1.5, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn sine_peak_sits_at_its_frequency() {
+        let fs = 1e6;
+        let f0 = 12_345.0 * 8.0; // ~98.8 kHz
+        let n = 1 << 15;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let psd = welch_psd(&samples, 1 << 11, Window::Hann, fs);
+        let peak = psd
+            .values()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        assert!(
+            (psd.frequency_hz(peak) - f0).abs() < 2.0 * psd.bin_width_hz(),
+            "peak at {} vs {f0}",
+            psd.frequency_hz(peak)
+        );
+        // Tone power ≈ A²/2 = 0.5.
+        let tone_power = psd.band_power(f0 - 5.0 * psd.bin_width_hz(), f0 + 5.0 * psd.bin_width_hz());
+        assert!((tone_power - 0.5).abs() < 0.05, "tone power {tone_power}");
+    }
+
+    #[test]
+    fn averaging_reduces_variance() {
+        let fs = 1e6;
+        let samples = white_noise(1 << 15, 0.1, 7);
+        let few = welch_psd(&samples, 1 << 13, Window::Hann, fs);
+        let many = welch_psd(&samples, 1 << 8, Window::Hann, fs);
+        assert!(many.segments() > 10 * few.segments());
+        // Spread of the log-PSD shrinks with averaging.
+        let spread = |p: &PsdEstimate| {
+            let vals: Vec<f64> = p.values()[2..p.len() - 1].iter().map(|v| v.ln()).collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        assert!(spread(&many) < spread(&few) * 0.5);
+    }
+
+    #[test]
+    fn dc_is_removed() {
+        let fs = 1e3;
+        let samples: Vec<f64> = vec![5.0; 4096];
+        let psd = welch_psd(&samples, 256, Window::Hann, fs);
+        assert!(psd.values()[0] < 1e-20, "constant input has no AC power");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_segment_panics() {
+        let _ = welch_psd(&[0.0; 100], 100, Window::Hann, 1e3);
+    }
+
+    #[test]
+    fn display_reports_segments() {
+        let psd = welch_psd(&white_noise(4096, 0.1, 3), 512, Window::Hann, 1e6);
+        assert!(psd.to_string().contains("segments"));
+        assert!(!psd.is_empty());
+    }
+}

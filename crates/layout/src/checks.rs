@@ -1,0 +1,277 @@
+//! Layout sign-off checks.
+//!
+//! Besides the geometric sanity checks (overlap, region containment), this
+//! module implements the check at the heart of the paper's §3.3 argument:
+//! **rail consistency**. In row-based digital layout, all cells sharing a
+//! placement row short their P/G pins through the row's rails. If two
+//! cells in one row connect their `VDD` pins to different nets, the rails
+//! short those nets — functional death for this ADC, whose VCO inverters
+//! are "powered" from the integrating control nodes.
+
+use crate::place::Placement;
+use std::collections::BTreeMap;
+use std::fmt;
+use tdsigma_netlist::{FlatNetlist, LeafPins};
+
+/// One check violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckViolation {
+    /// Two cells overlap geometrically.
+    Overlap {
+        /// First cell path.
+        a: String,
+        /// Second cell path.
+        b: String,
+    },
+    /// Cells in the same placement row connect VDD to different nets —
+    /// the rails would short `net_a` to `net_b`.
+    RailConflict {
+        /// Row bottom y, nm.
+        row_y_nm: i64,
+        /// First supply net.
+        net_a: String,
+        /// Second supply net.
+        net_b: String,
+        /// Cell on `net_a`.
+        cell_a: String,
+        /// Cell on `net_b`.
+        cell_b: String,
+    },
+}
+
+impl fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckViolation::Overlap { a, b } => write!(f, "cells {a} and {b} overlap"),
+            CheckViolation::RailConflict {
+                row_y_nm,
+                net_a,
+                net_b,
+                cell_a,
+                cell_b,
+            } => write!(
+                f,
+                "row y={row_y_nm}: rail short between {net_a} ({cell_a}) and {net_b} ({cell_b})"
+            ),
+        }
+    }
+}
+
+/// Result of running the checks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckReport {
+    /// All violations found.
+    pub violations: Vec<CheckViolation>,
+}
+
+impl CheckReport {
+    /// True if the layout is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count of rail-conflict violations (the §3.3 failure mode).
+    pub fn rail_conflicts(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, CheckViolation::RailConflict { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "checks clean")
+        } else {
+            writeln!(f, "checks: {} violations", self.violations.len())?;
+            for v in self.violations.iter().take(20) {
+                writeln!(f, "  {v}")?;
+            }
+            if self.violations.len() > 20 {
+                writeln!(f, "  ... and {} more", self.violations.len() - 20)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs overlap and rail-consistency checks on a placement.
+///
+/// Rail consistency: for every placement row (cells grouped by `y_nm`),
+/// all cells **with power pins** must connect `VDD` to the same net.
+/// Resistor fragments have no P/G pins and may sit in any row.
+pub fn check_placement(flat: &FlatNetlist, placement: &Placement) -> CheckReport {
+    let mut report = CheckReport::default();
+
+    // Overlaps via per-row sweep.
+    let mut by_row: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    for (i, cell) in placement.cells.iter().enumerate() {
+        by_row.entry(cell.y_nm).or_default().push(i);
+    }
+    for cells_in_row in by_row.values() {
+        let mut sorted: Vec<usize> = cells_in_row.clone();
+        sorted.sort_by_key(|&i| placement.cells[i].x_nm);
+        for pair in sorted.windows(2) {
+            let a = &placement.cells[pair[0]];
+            let b = &placement.cells[pair[1]];
+            if a.x_nm + a.width_nm > b.x_nm {
+                report.violations.push(CheckViolation::Overlap {
+                    a: a.path.clone(),
+                    b: b.path.clone(),
+                });
+            }
+        }
+    }
+
+    // Rail consistency.
+    let vdd_net_of: BTreeMap<&str, Option<&str>> = flat
+        .cells
+        .iter()
+        .map(|c| {
+            let has_pg = LeafPins::for_cell(&c.cell)
+                .map(|p| p.has_power_pins())
+                .unwrap_or(false);
+            let net = if has_pg {
+                c.connections.get("VDD").map(|s| s.as_str())
+            } else {
+                None
+            };
+            (c.path.as_str(), net)
+        })
+        .collect();
+    for (row_y, cells_in_row) in &by_row {
+        let mut first_powered: Option<(&str, &str)> = None; // (net, cell)
+        for &i in cells_in_row {
+            let placed = &placement.cells[i];
+            let Some(Some(net)) = vdd_net_of.get(placed.path.as_str()) else {
+                continue;
+            };
+            match first_powered {
+                None => first_powered = Some((net, &placed.path)),
+                Some((net0, cell0)) => {
+                    if net != &net0 {
+                        report.violations.push(CheckViolation::RailConflict {
+                            row_y_nm: *row_y,
+                            net_a: net0.to_string(),
+                            net_b: net.to_string(),
+                            cell_a: cell0.to_string(),
+                            cell_b: placed.path.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::PlacedCell;
+    use std::collections::BTreeMap as Map;
+    use tdsigma_netlist::{Design, Module, PortDirection};
+
+    fn flat_two_domains() -> FlatNetlist {
+        let mut m = Module::new("two");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vctrlp = m.add_port("VCTRLP", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_net("a");
+        let b = m.add_net("b");
+        let c = m.add_net("c");
+        m.add_leaf("VCO0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrlp), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("LOG0", "INVX1", [("A", b), ("Y", c), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", c), ("T2", vctrlp)]).unwrap();
+        Design::new(m).unwrap().flatten()
+    }
+
+    fn placement_at(positions: &[(&str, &str, i64, i64)]) -> Placement {
+        // Hand-built placement: (path, cell, x, y), 200 nm wide cells.
+        let cells: Vec<PlacedCell> = positions
+            .iter()
+            .map(|(path, cell, x, y)| PlacedCell {
+                path: path.to_string(),
+                cell: cell.to_string(),
+                region: "TEST".to_string(),
+                x_nm: *x,
+                y_nm: *y,
+                width_nm: 200,
+                height_nm: 1000,
+            })
+            .collect();
+        let index: Map<String, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.path.clone(), i))
+            .collect();
+        // Placement's fields are public except index; reconstruct via struct
+        // update from a placed instance is not possible, so use the public
+        // constructor path: Placement is only constructible in-crate, fine
+        // for unit tests.
+        Placement {
+            cells,
+            hpwl_nm: 0,
+            index,
+        }
+    }
+
+    #[test]
+    fn same_row_different_supplies_is_a_rail_conflict() {
+        let flat = flat_two_domains();
+        let p = placement_at(&[
+            ("VCO0", "INVX1", 0, 0),
+            ("LOG0", "INVX1", 400, 0), // same row!
+            ("R0", "RESLO", 800, 0),
+        ]);
+        let report = check_placement(&flat, &p);
+        assert_eq!(report.rail_conflicts(), 1);
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("rail short"), "{text}");
+    }
+
+    #[test]
+    fn separate_rows_are_clean() {
+        let flat = flat_two_domains();
+        let p = placement_at(&[
+            ("VCO0", "INVX1", 0, 0),
+            ("LOG0", "INVX1", 0, 1000),
+            ("R0", "RESLO", 0, 2000),
+        ]);
+        let report = check_placement(&flat, &p);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn resistor_in_any_row_is_fine() {
+        let flat = flat_two_domains();
+        // Resistor shares a row with a powered cell: no conflict (no P/G pins).
+        let p = placement_at(&[
+            ("VCO0", "INVX1", 0, 0),
+            ("R0", "RESLO", 400, 0),
+            ("LOG0", "INVX1", 0, 1000),
+        ]);
+        let report = check_placement(&flat, &p);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let flat = flat_two_domains();
+        let p = placement_at(&[
+            ("VCO0", "INVX1", 0, 0),
+            ("LOG0", "INVX1", 100, 0), // overlaps the 200-wide VCO0
+            ("R0", "RESLO", 800, 1000),
+        ]);
+        let report = check_placement(&flat, &p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, CheckViolation::Overlap { .. })));
+    }
+}

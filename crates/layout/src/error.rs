@@ -1,0 +1,111 @@
+//! Error types for layout synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the layout-synthesis flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// A cell name was not found in the physical library.
+    UnknownCell {
+        /// The missing cell name.
+        name: String,
+    },
+    /// The floorplan cannot fit the given cells (utilisation too high).
+    DoesNotFit {
+        /// Region that overflowed.
+        region: String,
+        /// Sites required.
+        required_sites: usize,
+        /// Sites available.
+        available_sites: usize,
+    },
+    /// The router gave up on a net (congestion).
+    Unroutable {
+        /// The failing net.
+        net: String,
+    },
+    /// Sign-off checks failed.
+    ChecksFailed {
+        /// Number of violations.
+        violations: usize,
+    },
+    /// An error bubbled up from the netlist layer.
+    Netlist(tdsigma_netlist::NetlistError),
+    /// An error bubbled up from the technology layer.
+    Tech(tdsigma_tech::TechError),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::UnknownCell { name } => write!(f, "unknown physical cell {name}"),
+            LayoutError::DoesNotFit {
+                region,
+                required_sites,
+                available_sites,
+            } => write!(
+                f,
+                "region {region} cannot fit cells: {required_sites} sites needed, {available_sites} available"
+            ),
+            LayoutError::Unroutable { net } => write!(f, "net {net} is unroutable"),
+            LayoutError::ChecksFailed { violations } => {
+                write!(f, "layout checks failed with {violations} violations")
+            }
+            LayoutError::Netlist(e) => write!(f, "netlist error: {e}"),
+            LayoutError::Tech(e) => write!(f, "technology error: {e}"),
+        }
+    }
+}
+
+impl Error for LayoutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LayoutError::Netlist(e) => Some(e),
+            LayoutError::Tech(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tdsigma_netlist::NetlistError> for LayoutError {
+    fn from(e: tdsigma_netlist::NetlistError) -> Self {
+        LayoutError::Netlist(e)
+    }
+}
+
+impl From<tdsigma_tech::TechError> for LayoutError {
+    fn from(e: tdsigma_tech::TechError) -> Self {
+        LayoutError::Tech(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = LayoutError::DoesNotFit {
+            region: "PD_VDD".into(),
+            required_sites: 100,
+            available_sites: 50,
+        };
+        assert!(e.to_string().contains("PD_VDD"));
+        let e = LayoutError::Unroutable { net: "x".into() };
+        assert!(e.to_string().contains("unroutable"));
+    }
+
+    #[test]
+    fn from_netlist_error_keeps_source() {
+        let inner = tdsigma_netlist::NetlistError::UnknownCell { cell: "Z".into() };
+        let e = LayoutError::from(inner);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LayoutError>();
+    }
+}

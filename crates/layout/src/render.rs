@@ -1,0 +1,240 @@
+//! Layout rendering: SVG (Fig. 13/14 style) and ASCII (terminal quick
+//! look).
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+use crate::route::Routing;
+use std::fmt::Write as _;
+
+/// Palette for regions (cycled), chosen to read on white like the paper's
+/// screenshots.
+const REGION_COLORS: [&str; 9] = [
+    "#9ecae1", "#fdd0a2", "#a1d99b", "#fcbba1", "#dadaeb", "#fee391", "#c7e9c0", "#d9d9d9",
+    "#fa9fb5",
+];
+
+/// Renders the floorplan + placement as an SVG document.
+///
+/// Regions are filled with distinct colours and labelled (the paper's
+/// Fig. 14); individual cells are drawn as outlined rectangles; resistor
+/// cells are hatched darker so the DAC / input resistor groups stand out.
+pub fn to_svg(floorplan: &Floorplan, placement: &Placement) -> String {
+    let scale = 900.0 / floorplan.die.width().max(1) as f64;
+    let w = floorplan.die.width() as f64 * scale;
+    let h = floorplan.die.height() as f64 * scale;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        w + 160.0,
+        h + 20.0,
+        w + 160.0,
+        h + 20.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect x="0" y="0" width="{w:.1}" height="{h:.1}" fill="white" stroke="black"/>"#
+    );
+    // y flip: SVG y grows downward.
+    let ty = |y_nm: i64| h - y_nm as f64 * scale;
+    for (i, region) in floorplan.regions.iter().enumerate() {
+        let color = REGION_COLORS[i % REGION_COLORS.len()];
+        let x = region.rect.x0 as f64 * scale;
+        let rw = region.rect.width() as f64 * scale;
+        let rh = region.rect.height() as f64 * scale;
+        let y = ty(region.rect.y1);
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{rw:.1}" height="{rh:.1}" fill="{color}" stroke="black" stroke-width="0.5" opacity="0.6"/>"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" font-family="monospace">{}</text>"#,
+            w + 8.0,
+            y + rh / 2.0 + 4.0,
+            region.name
+        );
+    }
+    for cell in &placement.cells {
+        let x = cell.x_nm as f64 * scale;
+        let cw = cell.width_nm as f64 * scale;
+        let ch = cell.height_nm as f64 * scale;
+        let y = ty(cell.y_nm + cell.height_nm);
+        let fill = if cell.cell.starts_with("RES") {
+            "#636363"
+        } else {
+            "none"
+        };
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{x:.2}" y="{y:.2}" width="{cw:.2}" height="{ch:.2}" fill="{fill}" stroke="#444" stroke-width="0.3" opacity="0.8"/>"##
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders the floorplan + placement + routed wires as an SVG document —
+/// the full physical view with the global-routing polylines overlaid.
+pub fn to_svg_with_routes(
+    floorplan: &Floorplan,
+    placement: &Placement,
+    routing: &Routing,
+) -> String {
+    let base = to_svg(floorplan, placement);
+    let scale = 900.0 / floorplan.die.width().max(1) as f64;
+    let h = floorplan.die.height() as f64 * scale;
+    let mut wires = String::new();
+    for net in &routing.nets {
+        // Colour long nets hotter so congestion reads visually.
+        let hue = (240.0 - (net.wirelength_nm as f64 / 2e4).min(1.0) * 240.0) as i32;
+        for (a, b) in &net.segments {
+            let _ = writeln!(
+                wires,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="hsl({hue},80%,45%)" stroke-width="0.6" opacity="0.5"/>"#,
+                a.x as f64 * scale,
+                h - a.y as f64 * scale,
+                b.x as f64 * scale,
+                h - b.y as f64 * scale,
+            );
+        }
+    }
+    base.replace("</svg>", &format!("{wires}</svg>"))
+}
+
+/// Renders a coarse ASCII view: one character per region band row, with
+/// region initials; useful in terminal experiment logs.
+pub fn to_ascii(floorplan: &Floorplan, placement: &Placement, width_chars: usize) -> String {
+    let width_chars = width_chars.max(16);
+    let mut out = String::new();
+    let die_w = floorplan.die.width().max(1);
+    let _ = writeln!(
+        out,
+        "die {:.1} x {:.1} um  ({:.4} mm2), {} cells",
+        floorplan.die.width() as f64 / 1e3,
+        floorplan.die.height() as f64 / 1e3,
+        floorplan.die.area_mm2(),
+        placement.cells.len()
+    );
+    for region in floorplan.regions.iter().rev() {
+        let rows = region.rows.len();
+        let fill_sites: usize = placement
+            .cells
+            .iter()
+            .filter(|c| c.region == region.name)
+            .map(|c| (c.width_nm / floorplan.site_width_nm()).max(0) as usize)
+            .sum();
+        let capacity: usize = region.rows.iter().map(|r| r.sites).sum();
+        let used = ((fill_sites as f64 / capacity.max(1) as f64) * width_chars as f64) as usize;
+        let bar: String = "#".repeat(used.min(width_chars))
+            + &".".repeat(width_chars - used.min(width_chars));
+        let _ = writeln!(
+            out,
+            "{bar} {:<14} {} rows, {:>5.1}% util",
+            region.name,
+            rows,
+            100.0 * fill_sites as f64 / capacity.max(1) as f64
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(width_chars));
+    let _ = writeln!(out, "width {:.1} um", die_w as f64 / 1e3);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::physlib::PhysicalLibrary;
+    use crate::place::place;
+    use std::collections::BTreeMap;
+    use tdsigma_netlist::{Design, Module, PortDirection, PowerPlan};
+    use tdsigma_tech::{NodeId, Technology};
+
+    fn rendered() -> (Floorplan, Placement) {
+        let mut m = Module::new("r");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vctrlp = m.add_port("VCTRLP", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_net("a");
+        let b = m.add_net("b");
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("V0", "INVX1", [("A", b), ("Y", a), ("VDD", vctrlp), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", a), ("T2", vctrlp)]).unwrap();
+        let flat = Design::new(m).unwrap().flatten();
+        let plan = PowerPlan::infer(&flat).unwrap();
+        let lib = PhysicalLibrary::for_technology(&Technology::for_node(NodeId::N40).unwrap());
+        let fp = Floorplan::generate(&flat, &plan, &lib, 0.7).unwrap();
+        let assignments: BTreeMap<String, String> = flat
+            .cells
+            .iter()
+            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .collect();
+        let p = place(&flat, &assignments, &fp, &lib, 1).unwrap();
+        (fp, p)
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_labelled() {
+        let (fp, p) = rendered();
+        let svg = to_svg(&fp, &p);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("PD_VDD"));
+        assert!(svg.contains("PD_VCTRLP"));
+        assert!(svg.contains("GROUP_RESLO"));
+        // One rect per region + per cell + background.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + fp.regions.len() + p.cells.len());
+    }
+
+    #[test]
+    fn svg_with_routes_draws_wires() {
+        let (fp, p) = rendered();
+        // Reconstruct the flat netlist to route it.
+        let mut m = tdsigma_netlist::Module::new("r");
+        let vdd = m.add_port("VDD", tdsigma_netlist::PortDirection::Inout);
+        let vctrlp = m.add_port("VCTRLP", tdsigma_netlist::PortDirection::Inout);
+        let vss = m.add_port("VSS", tdsigma_netlist::PortDirection::Inout);
+        let a = m.add_net("a");
+        let b = m.add_net("b");
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("V0", "INVX1", [("A", b), ("Y", a), ("VDD", vctrlp), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", a), ("T2", vctrlp)]).unwrap();
+        let flat = tdsigma_netlist::Design::new(m).unwrap().flatten();
+        // One-row gcells so the two regions land in different gcells and
+        // the inter-region nets produce real segments.
+        let routing = crate::route::route(
+            &flat,
+            &p,
+            fp.die.width(),
+            fp.die.height(),
+            fp.row_height_nm(),
+            1,
+        )
+        .unwrap();
+        let svg = to_svg_with_routes(&fp, &p, &routing);
+        assert!(svg.contains("<line"), "wire segments drawn");
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn ascii_mentions_regions_and_area() {
+        let (fp, p) = rendered();
+        let text = to_ascii(&fp, &p, 40);
+        assert!(text.contains("mm2"));
+        assert!(text.contains("PD_VCTRLP"));
+        assert!(text.contains("util"));
+    }
+
+    #[test]
+    fn ascii_minimum_width_clamped() {
+        let (fp, p) = rendered();
+        let text = to_ascii(&fp, &p, 1);
+        assert!(text.lines().count() >= fp.regions.len());
+    }
+}

@@ -1,0 +1,433 @@
+//! Static timing analysis over the placed-and-routed netlist.
+//!
+//! A lightweight STA for the digital (clocked) portion of the design: cell
+//! delays come from the technology catalog's linear delay model
+//! (`t = t_intrinsic + R_drive · C_load`), loads from the fanout's input
+//! capacitances plus the extracted wire capacitance, and the longest
+//! register-to-register / input-to-register path is compared against the
+//! clock period. The analog rings (cross-coupled inverters on the control
+//! nodes) are excluded — their "timing" is the VCO oscillation itself.
+
+use crate::error::LayoutError;
+use crate::extract::Parasitics;
+use std::collections::BTreeMap;
+use std::fmt;
+use tdsigma_netlist::{FlatNetlist, LeafPins, PinRole};
+use tdsigma_tech::Technology;
+
+/// One stage of a timing path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStage {
+    /// Driving cell path.
+    pub cell: String,
+    /// Library cell name.
+    pub lib_cell: String,
+    /// Stage delay, ps.
+    pub delay_ps: f64,
+    /// Output net.
+    pub net: String,
+}
+
+/// The result of a timing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// The slowest path, source to sink.
+    pub critical_path: Vec<PathStage>,
+    /// Total delay of the critical path, ps.
+    pub critical_delay_ps: f64,
+    /// Clock period, ps.
+    pub clock_period_ps: f64,
+    /// Endpoints analysed.
+    pub endpoints: usize,
+    /// Combinational loops cut (cross-coupled structures).
+    pub loops_cut: usize,
+}
+
+impl TimingReport {
+    /// Positive slack = timing met.
+    pub fn slack_ps(&self) -> f64 {
+        self.clock_period_ps - self.critical_delay_ps
+    }
+
+    /// True if the design meets timing at the analysed clock.
+    pub fn met(&self) -> bool {
+        self.slack_ps() >= 0.0
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timing: critical {:.1} ps vs period {:.1} ps → slack {:+.1} ps ({})",
+            self.critical_delay_ps,
+            self.clock_period_ps,
+            self.slack_ps(),
+            if self.met() { "MET" } else { "VIOLATED" }
+        )?;
+        for stage in &self.critical_path {
+            writeln!(
+                f,
+                "    {:<28} {:<8} +{:>6.1} ps → {}",
+                stage.cell, stage.lib_cell, stage.delay_ps, stage.net
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs STA on the digital portion of `flat` at `clock_hz`.
+///
+/// Cells are included when their `VDD` pin connects to a net whose last
+/// path segment is exactly `VDD` (the clocked logic); analog-supplied
+/// cells (VCTRL/VBUF/VREFP) and resistors are excluded. Timing startpoints
+/// are latch/DFF outputs and excluded-region boundaries; endpoints are
+/// latch/DFF data inputs.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::Netlist`] if a cell's pins cannot be resolved.
+pub fn analyze_timing(
+    flat: &FlatNetlist,
+    parasitics: &Parasitics,
+    tech: &Technology,
+    clock_hz: f64,
+) -> Result<TimingReport, LayoutError> {
+    let catalog = tech.catalog();
+    let is_digital = |cell: &tdsigma_netlist::FlatCell| -> bool {
+        cell.connections
+            .get("VDD")
+            .map(|n| n.rsplit('/').next().unwrap_or(n) == "VDD")
+            .unwrap_or(false)
+    };
+
+    // Net → total load capacitance (fF): input pins + wire.
+    let mut net_load_ff: BTreeMap<&str, f64> = BTreeMap::new();
+    for cell in &flat.cells {
+        let pins = LeafPins::for_cell(&cell.cell).map_err(LayoutError::Netlist)?;
+        let spec = match catalog.cell(&cell.cell) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        for (pin, net) in &cell.connections {
+            if pins.role(pin) == Some(PinRole::Input) {
+                *net_load_ff.entry(net.as_str()).or_default() += spec.input_cap_ff();
+            }
+        }
+    }
+    for (net, p) in parasitics.iter() {
+        *net_load_ff.entry(net).or_default() += p.capacitance_f * 1e15;
+    }
+
+    // Digital cells: index, and net → driver index.
+    let mut drivers: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut sequential: Vec<bool> = Vec::new();
+    let mut included: Vec<usize> = Vec::new();
+    for (idx, cell) in flat.cells.iter().enumerate() {
+        let dig = is_digital(cell);
+        sequential.push(cell.cell.starts_with("LATCH") || cell.cell.starts_with("DFF"));
+        if !dig {
+            continue;
+        }
+        included.push(idx);
+        let pins = LeafPins::for_cell(&cell.cell).map_err(LayoutError::Netlist)?;
+        for (pin, net) in &cell.connections {
+            if pins.role(pin) == Some(PinRole::Output) {
+                drivers.insert(net.as_str(), idx);
+            }
+        }
+    }
+
+    // Combinational-cycle detection (cross-coupled structures): count
+    // back edges with an iterative colouring DFS over the included cells.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = flat.cells.len();
+    let preds_of = |i: usize| -> Vec<usize> {
+        let cell = &flat.cells[i];
+        let Ok(pins) = LeafPins::for_cell(&cell.cell) else {
+            return Vec::new();
+        };
+        cell.connections
+            .iter()
+            .filter(|(pin, _)| pins.role(pin) == Some(PinRole::Input))
+            .filter_map(|(_, net)| drivers.get(net.as_str()).copied())
+            .filter(|&p| !sequential[p]) // registers break timing paths
+            .collect()
+    };
+    let mut mark = vec![Mark::White; n];
+    let mut loops_cut = 0usize;
+    for &root in &included {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        mark[root] = Mark::Grey;
+        stack.push((root, preds_of(root), 0));
+        while let Some((cur, preds, pi)) = stack.pop() {
+            if pi < preds.len() {
+                let p = preds[pi];
+                stack.push((cur, preds.clone(), pi + 1));
+                match mark[p] {
+                    Mark::Grey => loops_cut += 1,
+                    Mark::Black => {}
+                    Mark::White => {
+                        mark[p] = Mark::Grey;
+                        stack.push((p, preds_of(p), 0));
+                    }
+                }
+            } else {
+                mark[cur] = Mark::Black;
+            }
+        }
+    }
+
+    let delay_of = |idx: usize| -> f64 {
+        let cell = &flat.cells[idx];
+        let Ok(spec) = catalog.cell(&cell.cell) else {
+            return 0.0;
+        };
+        let Ok(pins) = LeafPins::for_cell(&cell.cell) else {
+            return 0.0;
+        };
+        let mut load = 0.0;
+        for (pin, net) in &cell.connections {
+            if pins.role(pin) == Some(PinRole::Output) {
+                load += net_load_ff.get(net.as_str()).copied().unwrap_or(0.0);
+            }
+        }
+        spec.delay_ps(load)
+    };
+
+    // Longest-path arrival times by relaxation over the (loop-cut) graph.
+    // The cycle guard on `best_pred` keeps the result a forest even when
+    // cross-coupled cells are present, so the sweep converges.
+    let mut arrival = vec![0.0f64; n];
+    let mut best_pred: Vec<Option<usize>> = vec![None; n];
+    for _ in 0..included.len().max(8) {
+        let mut changed = false;
+        for &idx in &included {
+            for p in preds_of(idx) {
+                let base = arrival[p];
+                let cand = base + delay_of(p);
+                if cand > arrival[idx] + 1e-9 && !creates_cycle(idx, p, &best_pred) {
+                    arrival[idx] = cand;
+                    best_pred[idx] = Some(p);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Endpoints: sequential cells' data inputs.
+    let mut worst: Option<(usize, f64)> = None;
+    let mut endpoints = 0usize;
+    for &idx in &included {
+        if !sequential[idx] {
+            continue;
+        }
+        endpoints += 1;
+        // Arrival at the endpoint = its own arrival (input-side fold).
+        let a = arrival[idx];
+        if worst.map(|(_, w)| a > w).unwrap_or(true) {
+            worst = Some((idx, a));
+        }
+    }
+
+    // Reconstruct the critical path.
+    let mut critical_path = Vec::new();
+    let mut critical_delay = 0.0;
+    if let Some((end, delay)) = worst {
+        critical_delay = delay;
+        let mut cur = Some(end);
+        let mut guard = 0;
+        while let Some(idx) = cur {
+            guard += 1;
+            if guard > flat.cells.len() {
+                break;
+            }
+            let cell = &flat.cells[idx];
+            let out_net = cell
+                .connections
+                .iter()
+                .find(|(pin, _)| {
+                    LeafPins::for_cell(&cell.cell)
+                        .ok()
+                        .and_then(|p| p.role(pin))
+                        == Some(PinRole::Output)
+                })
+                .map(|(_, n)| n.clone())
+                .unwrap_or_default();
+            critical_path.push(PathStage {
+                cell: cell.path.clone(),
+                lib_cell: cell.cell.clone(),
+                delay_ps: delay_of(idx),
+                net: out_net,
+            });
+            if sequential[idx] && critical_path.len() > 1 {
+                break; // reached the startpoint register
+            }
+            cur = best_pred[idx];
+        }
+        critical_path.reverse();
+    }
+
+    Ok(TimingReport {
+        critical_path,
+        critical_delay_ps: critical_delay,
+        clock_period_ps: 1e12 / clock_hz,
+        endpoints,
+        loops_cut,
+    })
+}
+
+fn creates_cycle(from: usize, to: usize, best_pred: &[Option<usize>]) -> bool {
+    // Walk the pred chain from `to`; if we reach `from`, adopting `to`
+    // as from's predecessor would close a cycle.
+    let mut cur = Some(to);
+    let mut guard = 0;
+    while let Some(i) = cur {
+        if i == from {
+            return true;
+        }
+        guard += 1;
+        if guard > best_pred.len() {
+            return true;
+        }
+        cur = best_pred[i];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsigma_netlist::{Design, Module, PortDirection};
+    use tdsigma_tech::NodeId;
+
+    /// latch → k inverters → latch, all on VDD.
+    fn pipeline(k: usize) -> FlatNetlist {
+        let mut m = Module::new("pipe");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let clk = m.add_port("CLK", PortDirection::Input);
+        let d = m.add_port("D", PortDirection::Input);
+        let q0 = m.add_net("q0");
+        m.add_leaf("L0", "LATCHX1", [("D", d), ("EN", clk), ("Q", q0), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut prev = q0;
+        for i in 0..k {
+            let next = m.add_net(format!("n{i}"));
+            m.add_leaf(
+                format!("I{i}"),
+                "INVX1",
+                [("A", prev), ("Y", next), ("VDD", vdd), ("VSS", vss)],
+            )
+            .unwrap();
+            prev = next;
+        }
+        let q1 = m.add_port("Q", PortDirection::Output);
+        m.add_leaf("L1", "LATCHX1", [("D", prev), ("EN", clk), ("Q", q1), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        Design::new(m).unwrap().flatten()
+    }
+
+    #[test]
+    fn longer_pipelines_have_longer_critical_paths() {
+        let tech = Technology::for_node(NodeId::N40).unwrap();
+        let p = Parasitics::default();
+        let short = analyze_timing(&pipeline(2), &p, &tech, 750e6).unwrap();
+        let long = analyze_timing(&pipeline(12), &p, &tech, 750e6).unwrap();
+        assert!(long.critical_delay_ps > short.critical_delay_ps + 5.0);
+        assert_eq!(short.endpoints, 2);
+        assert!(short.met(), "{short}");
+    }
+
+    #[test]
+    fn timing_scales_with_node() {
+        let p = Parasitics::default();
+        let flat = pipeline(8);
+        let t40 = analyze_timing(&flat, &p, &Technology::for_node(NodeId::N40).unwrap(), 750e6)
+            .unwrap();
+        let t180 =
+            analyze_timing(&flat, &p, &Technology::for_node(NodeId::N180).unwrap(), 250e6)
+                .unwrap();
+        assert!(
+            t180.critical_delay_ps > 3.0 * t40.critical_delay_ps,
+            "180 nm gates are much slower: {} vs {}",
+            t180.critical_delay_ps,
+            t40.critical_delay_ps
+        );
+        assert!(t40.met() && t180.met());
+    }
+
+    #[test]
+    fn violation_detected_at_absurd_clock() {
+        let tech = Technology::for_node(NodeId::N180).unwrap();
+        let report =
+            analyze_timing(&pipeline(30), &Parasitics::default(), &tech, 20e9).unwrap();
+        assert!(!report.met(), "30 gates cannot run at 20 GHz in 180 nm");
+        assert!(report.slack_ps() < 0.0);
+        assert!(report.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn cross_coupled_loops_are_cut_not_hung() {
+        // An SR latch (cross-coupled NOR2) + a real path.
+        let mut m = Module::new("loopy");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let clk = m.add_port("CLK", PortDirection::Input);
+        let s = m.add_port("S", PortDirection::Input);
+        let r = m.add_port("R", PortDirection::Input);
+        let q = m.add_net("q");
+        let qb = m.add_net("qb");
+        m.add_leaf("N0", "NOR2X1", [("A", r), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("N1", "NOR2X1", [("A", s), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let out = m.add_port("OUT", PortDirection::Output);
+        m.add_leaf("L0", "LATCHX1", [("D", q), ("EN", clk), ("Q", out), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let flat = Design::new(m).unwrap().flatten();
+        let tech = Technology::for_node(NodeId::N40).unwrap();
+        let report = analyze_timing(&flat, &Parasitics::default(), &tech, 750e6).unwrap();
+        assert!(report.loops_cut > 0, "the SR loop must be cut");
+        assert!(report.critical_delay_ps > 0.0);
+    }
+
+    #[test]
+    fn analog_cells_are_excluded() {
+        // A "VCO" inverter pair on VCTRLP must not appear in the report.
+        let mut m = Module::new("mix");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vctrl = m.add_port("VCTRLP", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let clk = m.add_port("CLK", PortDirection::Input);
+        let a = m.add_net("a");
+        let b = m.add_net("b");
+        m.add_leaf("V0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrl), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("V1", "INVX1", [("A", b), ("Y", a), ("VDD", vctrl), ("VSS", vss)])
+            .unwrap();
+        let d = m.add_port("D", PortDirection::Input);
+        let q = m.add_port("Q", PortDirection::Output);
+        m.add_leaf("L0", "LATCHX1", [("D", d), ("EN", clk), ("Q", q), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let flat = Design::new(m).unwrap().flatten();
+        let tech = Technology::for_node(NodeId::N40).unwrap();
+        let report = analyze_timing(&flat, &Parasitics::default(), &tech, 750e6).unwrap();
+        assert!(report
+            .critical_path
+            .iter()
+            .all(|s| !s.cell.starts_with('V')), "{report}");
+        assert_eq!(report.loops_cut, 0, "analog loop not even traversed");
+    }
+}

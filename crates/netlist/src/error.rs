@@ -1,0 +1,101 @@
+//! Error types for netlist construction, parsing and lint.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, serialising or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// An instance referenced a pin the cell does not have.
+    UnknownPin {
+        /// Library cell or module name.
+        cell: String,
+        /// The offending pin name.
+        pin: String,
+    },
+    /// A leaf instance used a library cell name outside the supported set.
+    UnknownCell {
+        /// The offending cell name.
+        cell: String,
+    },
+    /// A name (module, instance, net or port) was declared twice.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A hierarchical instance referenced a module absent from the design.
+    MissingModule {
+        /// The missing module name.
+        module: String,
+    },
+    /// A required pin was left unconnected.
+    UnconnectedPin {
+        /// Instance path.
+        instance: String,
+        /// Pin name.
+        pin: String,
+    },
+    /// The Verilog reader hit a syntax problem.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Lint found structural problems; the report carries the details.
+    LintFailed {
+        /// Number of violations.
+        violations: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownPin { cell, pin } => {
+                write!(f, "cell {cell} has no pin {pin}")
+            }
+            NetlistError::UnknownCell { cell } => write!(f, "unknown library cell {cell}"),
+            NetlistError::DuplicateName { name } => write!(f, "duplicate name {name}"),
+            NetlistError::MissingModule { module } => {
+                write!(f, "instance references missing module {module}")
+            }
+            NetlistError::UnconnectedPin { instance, pin } => {
+                write!(f, "pin {pin} of {instance} is unconnected")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::LintFailed { violations } => {
+                write!(f, "netlist lint failed with {violations} violations")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NetlistError::UnknownPin {
+            cell: "NOR3X4".into(),
+            pin: "D".into(),
+        };
+        assert_eq!(e.to_string(), "cell NOR3X4 has no pin D");
+        let e = NetlistError::Parse {
+            line: 7,
+            message: "expected ;".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,497 @@
+//! Event-driven gate-level logic simulation.
+//!
+//! A small 4-value (0/1/X/Z) simulator for the digital portion of the
+//! netlists this crate builds. It exists to *verify the generated
+//! structure independently of the behavioral ADC model*: the Table-1
+//! comparator must behave as a clocked SR sampler, the retiming latch pair
+//! must delay by half a cycle, the DAC inverters must complement — all as
+//! gates, not as equations.
+//!
+//! Supply pins are driven implicitly (`VDD*`/`VREF*` high, `VSS`/`GND`
+//! low); resistor fragments conduct as ideal unidirectional bridges for
+//! logic purposes (T1 ↔ T2), which is enough to propagate DAC levels.
+
+use crate::cellpins::{LeafPins, PinRole};
+use crate::design::FlatNetlist;
+use crate::error::NetlistError;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// A 4-state logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown (uninitialised or conflicting).
+    #[default]
+    X,
+    /// Undriven.
+    Z,
+}
+
+impl Logic {
+    fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Boolean view; `None` for X/Z.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+            Logic::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+fn nor(inputs: &[Logic]) -> Logic {
+    if inputs.iter().any(|&v| v == Logic::One) {
+        return Logic::Zero;
+    }
+    if inputs.iter().all(|&v| v == Logic::Zero) {
+        return Logic::One;
+    }
+    Logic::X
+}
+
+fn nand(inputs: &[Logic]) -> Logic {
+    if inputs.iter().any(|&v| v == Logic::Zero) {
+        return Logic::One;
+    }
+    if inputs.iter().all(|&v| v == Logic::One) {
+        return Logic::Zero;
+    }
+    Logic::X
+}
+
+fn xor2(a: Logic, b: Logic) -> Logic {
+    match (a.to_bool(), b.to_bool()) {
+        (Some(x), Some(y)) => Logic::from_bool(x ^ y),
+        _ => Logic::X,
+    }
+}
+
+/// An event-driven gate-level simulator over a flattened netlist.
+///
+/// ```
+/// use tdsigma_netlist::{Design, GateSimulator, Logic, Module, PortDirection};
+///
+/// # fn main() -> Result<(), tdsigma_netlist::NetlistError> {
+/// let mut m = Module::new("inv");
+/// let vdd = m.add_port("VDD", PortDirection::Inout);
+/// let vss = m.add_port("VSS", PortDirection::Inout);
+/// let a = m.add_port("A", PortDirection::Input);
+/// let y = m.add_port("Y", PortDirection::Output);
+/// m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])?;
+/// let mut sim = GateSimulator::new(&Design::new(m)?.flatten())?;
+/// sim.drive("A", true);
+/// assert_eq!(sim.value("Y"), Logic::Zero);
+/// # Ok(())
+/// # }
+/// ```
+pub struct GateSimulator {
+    /// Net name → value.
+    values: BTreeMap<String, Logic>,
+    /// Cell index → (cell name, pins, connections).
+    cells: Vec<(String, LeafPins, BTreeMap<String, String>)>,
+    /// Net name → cell indices reading it.
+    fanout: BTreeMap<String, Vec<usize>>,
+    /// Per-latch internal state (by cell index).
+    latch_state: BTreeMap<usize, Logic>,
+    /// Evaluation steps taken in the last settle (loop-guarded).
+    last_settle_steps: usize,
+}
+
+impl GateSimulator {
+    /// Builds a simulator for `flat`. Supply-ish nets are pre-driven:
+    /// any net whose last path segment starts with `VDD`/`VREFP`/`VCTRL`/
+    /// `VBUF` is high; `VSS`/`GND`/`VREFN` are low.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for unsupported cells.
+    pub fn new(flat: &FlatNetlist) -> Result<Self, NetlistError> {
+        let mut cells = Vec::with_capacity(flat.cells.len());
+        let mut fanout: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut values: BTreeMap<String, Logic> = BTreeMap::new();
+        for (idx, cell) in flat.cells.iter().enumerate() {
+            let pins = LeafPins::for_cell(&cell.cell)?;
+            for (pin, net) in &cell.connections {
+                values.entry(net.clone()).or_default();
+                let reads = matches!(
+                    pins.role(pin),
+                    Some(PinRole::Input) | Some(PinRole::Passive)
+                );
+                if reads {
+                    fanout.entry(net.clone()).or_default().push(idx);
+                }
+            }
+            cells.push((cell.cell.clone(), pins, cell.connections.clone()));
+        }
+        let mut sim = GateSimulator {
+            values,
+            cells,
+            fanout,
+            latch_state: BTreeMap::new(),
+            last_settle_steps: 0,
+        };
+        // Pre-drive supplies.
+        let keys: Vec<String> = sim.values.keys().cloned().collect();
+        for net in keys {
+            let base = net.rsplit('/').next().unwrap_or(&net);
+            if base.starts_with("VDD")
+                || base.starts_with("VREFP")
+                || base.starts_with("VCTRL")
+                || base.starts_with("VBUF")
+            {
+                sim.values.insert(net, Logic::One);
+            } else if base.starts_with("VSS") || base.starts_with("GND") || base.starts_with("VREFN")
+            {
+                sim.values.insert(net, Logic::Zero);
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Drives a net to a value and propagates to a fixed point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not exist.
+    pub fn drive(&mut self, net: &str, value: bool) {
+        assert!(self.values.contains_key(net), "unknown net {net}");
+        self.set_and_settle(net.to_string(), Logic::from_bool(value));
+    }
+
+    /// Current value of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not exist.
+    pub fn value(&self, net: &str) -> Logic {
+        *self.values.get(net).unwrap_or_else(|| panic!("unknown net {net}"))
+    }
+
+    /// Number of gate evaluations in the last settle (diagnostics).
+    pub fn last_settle_steps(&self) -> usize {
+        self.last_settle_steps
+    }
+
+    fn set_and_settle(&mut self, net: String, value: Logic) {
+        if self.values.get(&net) == Some(&value) {
+            return;
+        }
+        self.values.insert(net.clone(), value);
+        let mut queue: VecDeque<usize> = self
+            .fanout
+            .get(&net)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let mut steps = 0usize;
+        // Loop guard: cross-coupled structures converge or oscillate; the
+        // bound is generous (each gate may re-evaluate many times).
+        let max_steps = self.cells.len() * 64 + 1024;
+        while let Some(idx) = queue.pop_front() {
+            steps += 1;
+            if steps > max_steps {
+                // Oscillation (e.g. an enabled ring oscillator): mark the
+                // remaining queue's outputs X and stop.
+                break;
+            }
+            for (out_net, new_val) in self.evaluate(idx) {
+                if self.values.get(&out_net) != Some(&new_val) {
+                    self.values.insert(out_net.clone(), new_val);
+                    if let Some(f) = self.fanout.get(&out_net) {
+                        queue.extend(f.iter().copied());
+                    }
+                }
+            }
+        }
+        self.last_settle_steps = steps;
+    }
+
+    /// Evaluates one cell, returning its (output net, value) updates.
+    fn evaluate(&mut self, idx: usize) -> Vec<(String, Logic)> {
+        let (cell_name, _pins, conns) = &self.cells[idx];
+        let read = |pin: &str| -> Logic {
+            conns
+                .get(pin)
+                .and_then(|n| self.values.get(n))
+                .copied()
+                .unwrap_or(Logic::X)
+        };
+        let out_net = |pin: &str| conns.get(pin).cloned();
+        let cell_name = cell_name.as_str();
+        let mut updates = Vec::new();
+        if cell_name.starts_with("INV") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, read("A").not()));
+            }
+        } else if cell_name.starts_with("BUF") {
+            if let Some(y) = out_net("Y") {
+                let a = read("A");
+                updates.push((y, a.not().not()));
+            }
+        } else if cell_name.starts_with("NOR2") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, nor(&[read("A"), read("B")])));
+            }
+        } else if cell_name.starts_with("NOR3") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, nor(&[read("A"), read("B"), read("C")])));
+            }
+        } else if cell_name.starts_with("NAND2") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, nand(&[read("A"), read("B")])));
+            }
+        } else if cell_name.starts_with("NAND3") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, nand(&[read("A"), read("B"), read("C")])));
+            }
+        } else if cell_name.starts_with("XOR2") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, xor2(read("A"), read("B"))));
+            }
+        } else if cell_name.starts_with("LATCH") {
+            let en = read("EN");
+            let d = read("D");
+            let state = self.latch_state.entry(idx).or_insert(Logic::X);
+            if en == Logic::One {
+                *state = d;
+            }
+            let q = *state;
+            if let Some(qn) = conns.get("Q").cloned() {
+                updates.push((qn, q));
+            }
+        } else if cell_name.starts_with("DFF") {
+            // Level behaviour approximated as master-slave on CK.
+            let ck = read("CK");
+            let d = read("D");
+            let state = self.latch_state.entry(idx).or_insert(Logic::X);
+            if ck == Logic::One {
+                *state = d;
+            }
+            if let Some(qn) = conns.get("Q").cloned() {
+                updates.push((qn, *state));
+            }
+        } else if cell_name == "RESLO" || cell_name == "RESHI" {
+            // Logic view of a resistor: a bridge. Propagate a defined value
+            // to an undefined side (both directions).
+            let t1 = read("T1");
+            let t2 = read("T2");
+            match (t1.to_bool(), t2.to_bool()) {
+                (Some(_), None) => {
+                    if let Some(n) = conns.get("T2").cloned() {
+                        updates.push((n, t1));
+                    }
+                }
+                (None, Some(_)) => {
+                    if let Some(n) = conns.get("T1").cloned() {
+                        updates.push((n, t2));
+                    }
+                }
+                _ => {}
+            }
+        } else if cell_name.starts_with("TIE") {
+            if let Some(y) = out_net("Y") {
+                updates.push((y, Logic::One));
+            }
+        }
+        updates
+    }
+}
+
+impl fmt::Debug for GateSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GateSimulator")
+            .field("cells", &self.cells.len())
+            .field("nets", &self.values.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::module::{Module, PortDirection};
+
+    fn sim_of(m: Module) -> GateSimulator {
+        let flat = Design::new(m).unwrap().flatten();
+        GateSimulator::new(&flat).unwrap()
+    }
+
+    #[test]
+    fn inverter_chain_propagates() {
+        let mut m = Module::new("chain");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_port("A", PortDirection::Input);
+        let mid = m.add_net("mid");
+        let y = m.add_port("Y", PortDirection::Output);
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("I1", "INVX2", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut sim = sim_of(m);
+        sim.drive("A", true);
+        assert_eq!(sim.value("mid"), Logic::Zero);
+        assert_eq!(sim.value("Y"), Logic::One);
+        sim.drive("A", false);
+        assert_eq!(sim.value("Y"), Logic::Zero);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut m = Module::new("x");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_port("A", PortDirection::Input);
+        let b = m.add_port("B", PortDirection::Input);
+        let y = m.add_port("Y", PortDirection::Output);
+        m.add_leaf("X0", "XOR2X1", [("A", a), ("B", b), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut sim = sim_of(m);
+        for (a_v, b_v, y_v) in [(false, false, Logic::Zero), (true, false, Logic::One),
+                                (false, true, Logic::One), (true, true, Logic::Zero)] {
+            sim.drive("A", a_v);
+            sim.drive("B", b_v);
+            assert_eq!(sim.value("Y"), y_v, "{a_v} ^ {b_v}");
+        }
+    }
+
+    #[test]
+    fn sr_latch_from_nor2_holds_state() {
+        // The comparator's output stage: cross-coupled NOR2.
+        let mut m = Module::new("sr");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let s = m.add_port("S", PortDirection::Input);
+        let r = m.add_port("R", PortDirection::Input);
+        let q = m.add_port("Q", PortDirection::Output);
+        let qb = m.add_port("QB", PortDirection::Output);
+        m.add_leaf("N0", "NOR2X1", [("A", r), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("N1", "NOR2X1", [("A", s), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut sim = sim_of(m);
+        // Reset then release: Q = 0 held.
+        sim.drive("S", false);
+        sim.drive("R", true);
+        sim.drive("R", false);
+        assert_eq!(sim.value("Q"), Logic::Zero);
+        assert_eq!(sim.value("QB"), Logic::One);
+        // Set then release: Q = 1 held.
+        sim.drive("S", true);
+        sim.drive("S", false);
+        assert_eq!(sim.value("Q"), Logic::One);
+        assert_eq!(sim.value("QB"), Logic::Zero);
+    }
+
+    #[test]
+    fn latch_is_transparent_then_holds() {
+        let mut m = Module::new("l");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let d = m.add_port("D", PortDirection::Input);
+        let en = m.add_port("EN", PortDirection::Input);
+        let q = m.add_port("Q", PortDirection::Output);
+        m.add_leaf("L0", "LATCHX1", [("D", d), ("EN", en), ("Q", q), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut sim = sim_of(m);
+        sim.drive("EN", true);
+        sim.drive("D", true);
+        assert_eq!(sim.value("Q"), Logic::One);
+        sim.drive("EN", false);
+        sim.drive("D", false);
+        assert_eq!(sim.value("Q"), Logic::One, "must hold through EN low");
+        sim.drive("EN", true);
+        assert_eq!(sim.value("Q"), Logic::Zero, "transparent again");
+    }
+
+    #[test]
+    fn resistor_bridges_logic_levels() {
+        let mut m = Module::new("r");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_port("A", PortDirection::Input);
+        let y = m.add_net("y");
+        let out = m.add_net("out");
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("R0", "RESHI", [("T1", y), ("T2", out)]).unwrap();
+        let mut sim = sim_of(m);
+        sim.drive("A", false);
+        assert_eq!(sim.value("out"), Logic::One, "resistor carries the level");
+    }
+
+    #[test]
+    fn undriven_nets_start_x() {
+        let mut m = Module::new("u");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_port("A", PortDirection::Input);
+        let y = m.add_port("Y", PortDirection::Output);
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let sim = sim_of(m);
+        assert_eq!(sim.value("Y"), Logic::X);
+        assert_eq!(sim.value("A"), Logic::X);
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(format!("{}", Logic::X), "X");
+    }
+
+    #[test]
+    fn supplies_are_predriven() {
+        let mut m = Module::new("s");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_port("A", PortDirection::Input);
+        let y = m.add_port("Y", PortDirection::Output);
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let sim = sim_of(m);
+        assert_eq!(sim.value("VDD"), Logic::One);
+        assert_eq!(sim.value("VSS"), Logic::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown net")]
+    fn unknown_net_panics() {
+        let mut m = Module::new("u2");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_port("A", PortDirection::Input);
+        let y = m.add_port("Y", PortDirection::Output);
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut sim = sim_of(m);
+        sim.drive("NOPE", true);
+    }
+}

@@ -1,0 +1,50 @@
+//! # tdsigma-netlist — gate-level netlist core
+//!
+//! The structural representation of the synthesis-friendly ADC and the
+//! "HDL generation" phase of the paper's flow (§3.2): hierarchical
+//! gate-level netlists, their power-domain / component-group annotation
+//! (§3.3), a Verilog writer producing exactly the style of the paper's
+//! Tables 1 and 2, a reader for round-tripping, and structural lint.
+//!
+//! ```
+//! use tdsigma_netlist::{Design, Module, PortDirection};
+//!
+//! # fn main() -> Result<(), tdsigma_netlist::NetlistError> {
+//! let mut m = Module::new("comparator");
+//! let vdd = m.add_port("VDD", PortDirection::Inout);
+//! let vss = m.add_port("VSS", PortDirection::Inout);
+//! let inp = m.add_port("INP", PortDirection::Input);
+//! let clk = m.add_port("CLK", PortDirection::Input);
+//! let q = m.add_port("Q", PortDirection::Output);
+//! let outm = m.add_net("OUTM");
+//! m.add_leaf("I0", "NOR3X4", [("A", outm), ("B", inp), ("C", clk),
+//!     ("Y", q), ("VDD", vdd), ("VSS", vss)])?;
+//! let design = Design::new(m)?;
+//! let verilog = tdsigma_netlist::verilog::write_design(&design)?;
+//! assert!(verilog.contains("NOR3X4 I0"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cellpins;
+pub mod design;
+pub mod error;
+pub mod gatesim;
+pub mod lint;
+pub mod module;
+pub mod power;
+pub mod stats;
+pub mod vcd;
+pub mod verilog;
+
+pub use cellpins::{LeafPins, PinRole};
+pub use design::{Design, FlatCell, FlatNetlist};
+pub use error::NetlistError;
+pub use gatesim::{GateSimulator, Logic};
+pub use module::{Instance, InstanceKind, Module, NetId, Port, PortDirection, PortId};
+pub use power::{GroupKind, PowerPlan, Region};
+pub use stats::DesignStats;
+pub use vcd::VcdWriter;

@@ -1,0 +1,289 @@
+//! Power domains and component groups (paper §3.3).
+//!
+//! The proposed ADC is unusual for a "digital" netlist: different standard
+//! cells connect their power pins to *different* nets — the VCO inverters
+//! are supplied from the VCO control nodes (`VCTRLP`/`VCTRLN`), the buffers
+//! from `VBUF`, the DAC inverters from `VREFP`, and the ordinary logic from
+//! `VDD`. Conventional APR would short all P/G rails of a placement row, so
+//! the circuit must first be partitioned into **power domains** (cells
+//! sharing a supply) and **component groups** (supply-less cells, i.e. the
+//! resistor fragments), which the floorplanner then maps to disjoint
+//! regions (multi-supply-voltage flow).
+
+use crate::cellpins::LeafPins;
+use crate::design::FlatNetlist;
+use crate::error::NetlistError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a floorplan region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupKind {
+    /// A power domain: all member cells share this supply net (the net
+    /// their `VDD` pin connects to).
+    PowerDomain {
+        /// Name of the supply net.
+        supply_net: String,
+    },
+    /// A component group: members need no supply (resistor fragments).
+    ComponentGroup,
+}
+
+/// A named region of the floorplan: one power domain or component group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region name, e.g. `"PD_VCTRLP"` or `"GROUP_RESLO"`.
+    pub name: String,
+    /// Domain or group.
+    pub kind: GroupKind,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            GroupKind::PowerDomain { supply_net } => {
+                write!(f, "{} (power domain on {supply_net})", self.name)
+            }
+            GroupKind::ComponentGroup => write!(f, "{} (component group)", self.name),
+        }
+    }
+}
+
+/// The partition of a flat netlist into power domains and component groups.
+///
+/// ```
+/// use tdsigma_netlist::{Design, Module, PortDirection, PowerPlan};
+///
+/// # fn main() -> Result<(), tdsigma_netlist::NetlistError> {
+/// let mut m = Module::new("mini");
+/// let vdd = m.add_port("VDD", PortDirection::Inout);
+/// let vctrl = m.add_port("VCTRLP", PortDirection::Inout);
+/// let vss = m.add_port("VSS", PortDirection::Inout);
+/// let a = m.add_net("a");
+/// let b = m.add_net("b");
+/// // A VCO inverter "powered" from the control node…
+/// m.add_leaf("V0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrl), ("VSS", vss)])?;
+/// // …and ordinary logic on VDD must land in different domains.
+/// m.add_leaf("L0", "INVX1", [("A", b), ("Y", a), ("VDD", vdd), ("VSS", vss)])?;
+/// let flat = Design::new(m)?.flatten();
+/// let plan = PowerPlan::infer(&flat)?;
+/// assert_eq!(plan.domain_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerPlan {
+    regions: Vec<Region>,
+    /// Flat cell path → index into `regions`.
+    assignment: BTreeMap<String, usize>,
+}
+
+impl PowerPlan {
+    /// Infers the plan directly from connectivity: each cell with P/G pins
+    /// joins the power domain of the net on its `VDD` pin; each supply-less
+    /// cell (resistor fragment) joins a component group named after its
+    /// library cell.
+    ///
+    /// This is exactly the paper's §3.3 recipe: *"The digital gates are
+    /// assigned to different PDs according to their supply voltage, and the
+    /// resistors are assigned to different groups according to the resistor
+    /// types."*
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] if a cell name is unsupported
+    /// and [`NetlistError::UnconnectedPin`] if a powered cell lacks a `VDD`
+    /// connection.
+    pub fn infer(flat: &FlatNetlist) -> Result<Self, NetlistError> {
+        let mut plan = PowerPlan {
+            regions: Vec::new(),
+            assignment: BTreeMap::new(),
+        };
+        for cell in &flat.cells {
+            let pins = LeafPins::for_cell(&cell.cell)?;
+            let region_idx = if pins.has_power_pins() {
+                let supply = cell.connections.get("VDD").ok_or_else(|| {
+                    NetlistError::UnconnectedPin {
+                        instance: cell.path.clone(),
+                        pin: "VDD".to_string(),
+                    }
+                })?;
+                let name = format!("PD_{}", supply.replace('/', "_"));
+                plan.region_index_or_insert(Region {
+                    name,
+                    kind: GroupKind::PowerDomain {
+                        supply_net: supply.clone(),
+                    },
+                })
+            } else {
+                let name = format!("GROUP_{}", cell.cell);
+                plan.region_index_or_insert(Region {
+                    name,
+                    kind: GroupKind::ComponentGroup,
+                })
+            };
+            plan.assignment.insert(cell.path.clone(), region_idx);
+        }
+        Ok(plan)
+    }
+
+    fn region_index_or_insert(&mut self, region: Region) -> usize {
+        if let Some(i) = self.regions.iter().position(|r| r.name == region.name) {
+            return i;
+        }
+        self.regions.push(region);
+        self.regions.len() - 1
+    }
+
+    /// All regions in creation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region a flat cell was assigned to.
+    pub fn region_of(&self, path: &str) -> Option<&Region> {
+        self.assignment.get(path).map(|&i| &self.regions[i])
+    }
+
+    /// Paths of all cells in the named region, in path order.
+    pub fn cells_in(&self, region_name: &str) -> Vec<&str> {
+        let Some(idx) = self.regions.iter().position(|r| r.name == region_name) else {
+            return Vec::new();
+        };
+        self.assignment
+            .iter()
+            .filter(|(_, &i)| i == idx)
+            .map(|(p, _)| p.as_str())
+            .collect()
+    }
+
+    /// Number of power domains.
+    pub fn domain_count(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| matches!(r.kind, GroupKind::PowerDomain { .. }))
+            .count()
+    }
+
+    /// Number of component groups.
+    pub fn group_count(&self) -> usize {
+        self.regions.len() - self.domain_count()
+    }
+
+    /// Verifies that every cell of `flat` is assigned and that cells never
+    /// share a domain with a different supply net — the invariant whose
+    /// violation shorts P/G rails in a naive flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::LintFailed`] with the violation count.
+    pub fn validate(&self, flat: &FlatNetlist) -> Result<(), NetlistError> {
+        let mut violations = 0usize;
+        for cell in &flat.cells {
+            match self.region_of(&cell.path) {
+                None => violations += 1,
+                Some(region) => {
+                    if let GroupKind::PowerDomain { supply_net } = &region.kind {
+                        if cell.connections.get("VDD") != Some(supply_net) {
+                            violations += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if violations > 0 {
+            Err(NetlistError::LintFailed { violations })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for PowerPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "power plan: {} domains, {} groups, {} cells",
+            self.domain_count(),
+            self.group_count(),
+            self.assignment.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::module::{Module, PortDirection};
+
+    /// Builds a miniature slice: a VCO inverter on VCTRLP, a logic inverter
+    /// on VDD, and a DAC resistor.
+    fn mini_slice() -> FlatNetlist {
+        let mut m = Module::new("mini");
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vctrlp = m.add_port("VCTRLP", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let a = m.add_net("a");
+        let b = m.add_net("b");
+        let c = m.add_net("c");
+        m.add_leaf("VCO0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrlp), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("LOG0", "INVX1", [("A", b), ("Y", c), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", c), ("T2", vctrlp)]).unwrap();
+        m.add_leaf("R1", "RESHI", [("T1", a), ("T2", vctrlp)]).unwrap();
+        Design::new(m).unwrap().flatten()
+    }
+
+    #[test]
+    fn infer_partitions_by_supply() {
+        let flat = mini_slice();
+        let plan = PowerPlan::infer(&flat).unwrap();
+        assert_eq!(plan.domain_count(), 2); // PD_VDD + PD_VCTRLP
+        assert_eq!(plan.group_count(), 2); // GROUP_RESLO + GROUP_RESHI
+        assert_eq!(plan.region_of("VCO0").unwrap().name, "PD_VCTRLP");
+        assert_eq!(plan.region_of("LOG0").unwrap().name, "PD_VDD");
+        assert_eq!(plan.region_of("R0").unwrap().name, "GROUP_RESLO");
+        assert_eq!(plan.region_of("R1").unwrap().name, "GROUP_RESHI");
+    }
+
+    #[test]
+    fn validate_accepts_inferred_plan() {
+        let flat = mini_slice();
+        let plan = PowerPlan::infer(&flat).unwrap();
+        plan.validate(&flat).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_missing_cells() {
+        let flat = mini_slice();
+        let plan = PowerPlan::infer(&flat).unwrap();
+        // Validate against a netlist with one extra, unassigned cell.
+        let mut bigger = flat.clone();
+        let mut extra = bigger.cells[0].clone();
+        extra.path = "GHOST".to_string();
+        bigger.cells.push(extra);
+        let err = plan.validate(&bigger).unwrap_err();
+        assert_eq!(err, NetlistError::LintFailed { violations: 1 });
+    }
+
+    #[test]
+    fn cells_in_lists_members() {
+        let flat = mini_slice();
+        let plan = PowerPlan::infer(&flat).unwrap();
+        assert_eq!(plan.cells_in("PD_VCTRLP"), vec!["VCO0"]);
+        assert_eq!(plan.cells_in("GROUP_RESLO"), vec!["R0"]);
+        assert!(plan.cells_in("PD_NOPE").is_empty());
+    }
+
+    #[test]
+    fn regions_display() {
+        let flat = mini_slice();
+        let plan = PowerPlan::infer(&flat).unwrap();
+        let text: Vec<String> = plan.regions().iter().map(|r| r.to_string()).collect();
+        assert!(text.iter().any(|t| t.contains("power domain on VCTRLP")));
+        assert!(text.iter().any(|t| t.contains("component group")));
+        assert!(plan.to_string().contains("2 domains"));
+    }
+}

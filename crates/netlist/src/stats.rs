@@ -1,0 +1,143 @@
+//! Netlist statistics: per-module and per-cell-type census, the numbers a
+//! synthesis report prints.
+
+use crate::design::{Design, FlatNetlist};
+use crate::module::InstanceKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Census of a design: per-module instance counts and the flat leaf-cell
+/// histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Module name → (leaf instances, hierarchical instances) at that
+    /// level (not flattened).
+    pub per_module: BTreeMap<String, (usize, usize)>,
+    /// Flat library-cell histogram.
+    pub cell_histogram: BTreeMap<String, usize>,
+    /// Total flattened leaf cells.
+    pub total_cells: usize,
+    /// Total flat nets.
+    pub total_nets: usize,
+}
+
+impl DesignStats {
+    /// Gathers statistics for a design.
+    pub fn of(design: &Design) -> Self {
+        let mut per_module = BTreeMap::new();
+        for module in design.modules() {
+            let mut leafs = 0;
+            let mut hiers = 0;
+            for inst in module.instances() {
+                match inst.kind {
+                    InstanceKind::Leaf { .. } => leafs += 1,
+                    InstanceKind::Hierarchical { .. } => hiers += 1,
+                }
+            }
+            per_module.insert(module.name().to_string(), (leafs, hiers));
+        }
+        let flat = design.flatten();
+        Self::with_flat(per_module, &flat)
+    }
+
+    fn with_flat(per_module: BTreeMap<String, (usize, usize)>, flat: &FlatNetlist) -> Self {
+        let mut cell_histogram: BTreeMap<String, usize> = BTreeMap::new();
+        for cell in &flat.cells {
+            *cell_histogram.entry(cell.cell.clone()).or_default() += 1;
+        }
+        DesignStats {
+            per_module,
+            cell_histogram,
+            total_cells: flat.len(),
+            total_nets: flat.nets.len(),
+        }
+    }
+
+    /// Count of one library cell in the flat design.
+    pub fn count_of(&self, cell: &str) -> usize {
+        self.cell_histogram.get(cell).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct library cells used.
+    pub fn distinct_cells(&self) -> usize {
+        self.cell_histogram.len()
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "design: {} leaf cells ({} distinct types), {} nets",
+            self.total_cells,
+            self.distinct_cells(),
+            self.total_nets
+        )?;
+        writeln!(f, "  per module (local instances):")?;
+        for (name, (leafs, hiers)) in &self.per_module {
+            writeln!(f, "    {name:<16} {leafs:>5} leaf, {hiers:>4} hierarchical")?;
+        }
+        writeln!(f, "  flat cell histogram:")?;
+        for (cell, count) in &self.cell_histogram {
+            writeln!(f, "    {cell:<10} {count:>6}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Module, PortDirection};
+
+    fn design() -> Design {
+        let mut pair = Module::new("pair");
+        let a = pair.add_port("A", PortDirection::Input);
+        let y = pair.add_port("Y", PortDirection::Output);
+        let vdd = pair.add_port("VDD", PortDirection::Inout);
+        let vss = pair.add_port("VSS", PortDirection::Inout);
+        let mid = pair.add_net("mid");
+        pair.add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        pair.add_leaf("I1", "INVX2", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut top = Module::new("top");
+        let tin = top.add_port("IN", PortDirection::Input);
+        let tout = top.add_port("OUT", PortDirection::Output);
+        let vdd = top.add_port("VDD", PortDirection::Inout);
+        let vss = top.add_port("VSS", PortDirection::Inout);
+        let x = top.add_net("x");
+        top.add_submodule("P0", "pair", [("A", tin), ("Y", x), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        top.add_submodule("P1", "pair", [("A", x), ("Y", tout), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        Design::with_modules([pair, top], "top").unwrap()
+    }
+
+    #[test]
+    fn census_counts_are_right() {
+        let stats = DesignStats::of(&design());
+        assert_eq!(stats.total_cells, 4);
+        assert_eq!(stats.count_of("INVX1"), 2);
+        assert_eq!(stats.count_of("INVX2"), 2);
+        assert_eq!(stats.count_of("NOR3X4"), 0);
+        assert_eq!(stats.distinct_cells(), 2);
+        assert_eq!(stats.per_module["pair"], (2, 0));
+        assert_eq!(stats.per_module["top"], (0, 2));
+    }
+
+    #[test]
+    fn net_count_covers_flat_nets() {
+        let stats = DesignStats::of(&design());
+        // IN, OUT, VDD, VSS, x, P0/mid, P1/mid = 7.
+        assert_eq!(stats.total_nets, 7);
+    }
+
+    #[test]
+    fn display_is_a_report() {
+        let text = DesignStats::of(&design()).to_string();
+        assert!(text.contains("4 leaf cells"));
+        assert!(text.contains("INVX1"));
+        assert!(text.contains("per module"));
+    }
+}

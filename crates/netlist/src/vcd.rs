@@ -1,0 +1,226 @@
+//! VCD (Value Change Dump) waveform export.
+//!
+//! The standard waveform interchange format, written by every Verilog
+//! simulator; viewers like GTKWave open these directly. Used here to dump
+//! gate-level traces from [`crate::GateSimulator`] runs and behavioral
+//! captures from the ADC simulator (via the bench harness).
+
+use crate::gatesim::Logic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A VCD waveform writer: declare signals, then record value changes per
+/// timestamp.
+#[derive(Debug)]
+pub struct VcdWriter {
+    timescale: String,
+    module: String,
+    signals: Vec<(String, usize)>, // name, width
+    ids: BTreeMap<String, String>,
+    changes: Vec<(u64, String, String)>, // time, id, value
+    last: BTreeMap<String, String>,
+}
+
+impl VcdWriter {
+    /// Creates a writer; `timescale` like `"1ps"`, `module` the scope name.
+    pub fn new(timescale: &str, module: &str) -> Self {
+        VcdWriter {
+            timescale: timescale.to_string(),
+            module: module.to_string(),
+            signals: Vec::new(),
+            ids: BTreeMap::new(),
+            changes: Vec::new(),
+            last: BTreeMap::new(),
+        }
+    }
+
+    fn id_for(index: usize) -> String {
+        // Printable VCD identifier characters: '!' (33) … '~' (126).
+        let mut i = index;
+        let mut id = String::new();
+        loop {
+            id.push((33 + (i % 94)) as u8 as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        id
+    }
+
+    /// Declares a signal of `width` bits. Signals must be declared before
+    /// any change is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or zero width.
+    pub fn declare(&mut self, name: &str, width: usize) {
+        assert!(width > 0, "signal width must be positive");
+        assert!(!self.ids.contains_key(name), "duplicate signal {name}");
+        let id = Self::id_for(self.signals.len());
+        self.ids.insert(name.to_string(), id);
+        self.signals.push((name.to_string(), width));
+    }
+
+    /// Records a scalar logic change at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was not declared.
+    pub fn change_logic(&mut self, time: u64, name: &str, value: Logic) {
+        let v = value.to_string();
+        self.push_change(time, name, v);
+    }
+
+    /// Records a scalar boolean change at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was not declared.
+    pub fn change_bool(&mut self, time: u64, name: &str, value: bool) {
+        self.push_change(time, name, if value { "1" } else { "0" }.to_string());
+    }
+
+    /// Records a multi-bit value change at `time` (LSB-first width bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was not declared.
+    pub fn change_vector(&mut self, time: u64, name: &str, value: u64) {
+        let width = self
+            .signals
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("undeclared signal {name}"))
+            .1;
+        let mut bits = String::with_capacity(width + 2);
+        bits.push('b');
+        for w in (0..width).rev() {
+            bits.push(if value & (1 << w) != 0 { '1' } else { '0' });
+        }
+        bits.push(' ');
+        self.push_change(time, name, bits);
+    }
+
+    fn push_change(&mut self, time: u64, name: &str, value: String) {
+        let id = self
+            .ids
+            .get(name)
+            .unwrap_or_else(|| panic!("undeclared signal {name}"))
+            .clone();
+        if self.last.get(name) == Some(&value) {
+            return; // VCD is change-based
+        }
+        self.last.insert(name.to_string(), value.clone());
+        self.changes.push((time, id, value));
+    }
+
+    /// Serialises the dump.
+    pub fn finish(mut self) -> String {
+        self.changes.sort_by_key(|(t, _, _)| *t);
+        let mut out = String::new();
+        let _ = writeln!(out, "$date tdsigma $end");
+        let _ = writeln!(out, "$timescale {} $end", self.timescale);
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (name, width) in &self.signals {
+            let id = &self.ids[name];
+            let kind = if *width == 1 { "wire 1" } else { &format!("wire {width}")[..] };
+            let _ = writeln!(out, "$var {kind} {id} {name} $end");
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut current = u64::MAX;
+        for (time, id, value) in &self.changes {
+            if *time != current {
+                let _ = writeln!(out, "#{time}");
+                current = *time;
+            }
+            if value.starts_with('b') {
+                let _ = writeln!(out, "{value}{id}");
+            } else {
+                let _ = writeln!(out, "{value}{id}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_declarations() {
+        let mut vcd = VcdWriter::new("1ps", "adc");
+        vcd.declare("clk", 1);
+        vcd.declare("sum", 6);
+        let text = vcd.finish();
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$scope module adc $end"));
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("$var wire 6 \" sum $end"));
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_are_time_ordered_and_deduplicated() {
+        let mut vcd = VcdWriter::new("1ns", "m");
+        vcd.declare("a", 1);
+        vcd.change_bool(10, "a", true);
+        vcd.change_bool(10, "a", true); // duplicate: dropped
+        vcd.change_bool(5, "a", false);
+        let text = vcd.finish();
+        let pos5 = text.find("#5").expect("time 5 present");
+        let pos10 = text.find("#10").expect("time 10 present");
+        assert!(pos5 < pos10, "times sorted");
+        assert_eq!(text.matches("1!").count(), 1, "dedup");
+    }
+
+    #[test]
+    fn vectors_render_binary() {
+        let mut vcd = VcdWriter::new("1ns", "m");
+        vcd.declare("word", 6);
+        vcd.change_vector(0, "word", 0b101001);
+        let text = vcd.finish();
+        assert!(text.contains("b101001 !"), "{text}");
+    }
+
+    #[test]
+    fn logic_values_map_to_vcd_chars() {
+        let mut vcd = VcdWriter::new("1ns", "m");
+        vcd.declare("x", 1);
+        vcd.change_logic(0, "x", Logic::X);
+        vcd.change_logic(1, "x", Logic::One);
+        vcd.change_logic(2, "x", Logic::Z);
+        let text = vcd.finish();
+        assert!(text.contains("X!"));
+        assert!(text.contains("1!"));
+        assert!(text.contains("Z!"));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared signal")]
+    fn undeclared_signal_panics() {
+        let mut vcd = VcdWriter::new("1ns", "m");
+        vcd.change_bool(0, "ghost", true);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal")]
+    fn duplicate_declaration_panics() {
+        let mut vcd = VcdWriter::new("1ns", "m");
+        vcd.declare("a", 1);
+        vcd.declare("a", 1);
+    }
+
+    #[test]
+    fn many_signals_get_unique_ids() {
+        let mut vcd = VcdWriter::new("1ns", "m");
+        for i in 0..200 {
+            vcd.declare(&format!("s{i}"), 1);
+        }
+        let text = vcd.finish();
+        // 200 unique $var lines.
+        assert_eq!(text.matches("$var wire 1 ").count(), 200);
+    }
+}

@@ -1,0 +1,432 @@
+//! Gate-level Verilog writer and reader (paper §3.2, Tables 1–2).
+//!
+//! The writer emits exactly the style the paper shows: one module per
+//! hierarchy level, `inout`/`input`/`output` declarations, `wire`
+//! declarations, and named-pin instantiations. The reader accepts the same
+//! subset, giving loss-free round trips (asserted by property tests in the
+//! core crate).
+
+use crate::design::Design;
+use crate::error::NetlistError;
+use crate::module::{Module, PortDirection};
+use std::fmt::Write as _;
+
+/// Serialises a whole design bottom-up (submodules before the top, so the
+/// file is self-contained for tools that read in order).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] if a net or module name is not a legal
+/// Verilog identifier (flattened names with `/` must be mangled first).
+pub fn write_design(design: &Design) -> Result<String, NetlistError> {
+    let mut out = String::new();
+    for module in design.modules_bottom_up() {
+        write_module(module, &mut out)?;
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn check_identifier(name: &str) -> Result<(), NetlistError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().expect("non-empty").is_ascii_digit();
+    if ok {
+        Ok(())
+    } else {
+        Err(NetlistError::Parse {
+            line: 0,
+            message: format!("illegal Verilog identifier: {name}"),
+        })
+    }
+}
+
+fn write_module(module: &Module, out: &mut String) -> Result<(), NetlistError> {
+    check_identifier(module.name())?;
+    let port_list: Vec<&str> = module.ports().iter().map(|p| p.name.as_str()).collect();
+    for p in &port_list {
+        check_identifier(p)?;
+    }
+    writeln!(out, "module {} ({});", module.name(), port_list.join(", "))
+        .expect("writing to String cannot fail");
+
+    for dir in [
+        PortDirection::Inout,
+        PortDirection::Input,
+        PortDirection::Output,
+    ] {
+        let names: Vec<&str> = module
+            .ports()
+            .iter()
+            .filter(|p| p.direction == dir)
+            .map(|p| p.name.as_str())
+            .collect();
+        if !names.is_empty() {
+            writeln!(out, "  {} {};", dir, names.join(", ")).expect("infallible");
+        }
+    }
+
+    let wires: Vec<&str> = module
+        .net_names()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !module.is_port_net(crate::module::NetId(*i)))
+        .map(|(_, n)| n.as_str())
+        .collect();
+    for w in &wires {
+        check_identifier(w)?;
+    }
+    if !wires.is_empty() {
+        writeln!(out, "  wire {};", wires.join(", ")).expect("infallible");
+    }
+    out.push('\n');
+
+    for inst in module.instances() {
+        check_identifier(&inst.name)?;
+        let cell = match &inst.kind {
+            crate::module::InstanceKind::Leaf { cell } => cell.as_str(),
+            crate::module::InstanceKind::Hierarchical { module } => module.as_str(),
+        };
+        let pins: Vec<String> = inst
+            .connections
+            .iter()
+            .map(|(pin, net)| format!(".{}({})", pin, module.net_name(*net)))
+            .collect();
+        writeln!(out, "  {} {} ({});", cell, inst.name, pins.join(", ")).expect("infallible");
+    }
+    writeln!(out, "endmodule").expect("infallible");
+    Ok(())
+}
+
+/// Parses a gate-level Verilog file of the subset the writer produces.
+///
+/// The last module in the file becomes the design top (matching the
+/// writer's bottom-up order). Instance names that match a module defined in
+/// the same file become hierarchical instances; all others are leaf cells.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on syntax errors and propagates netlist
+/// construction errors (unknown cells/pins etc.).
+pub fn read_design(text: &str) -> Result<Design, NetlistError> {
+    let mut raw_modules: Vec<RawModule> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((_, line)) = lines.peek() {
+        if line.trim().starts_with("module") {
+            raw_modules.push(parse_raw_module(&mut lines)?);
+        } else {
+            lines.next();
+        }
+    }
+    if raw_modules.is_empty() {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: "no module found".to_string(),
+        });
+    }
+    let module_names: Vec<String> = raw_modules.iter().map(|m| m.name.clone()).collect();
+    let top = module_names.last().expect("non-empty").clone();
+    let mut modules = Vec::new();
+    for raw in raw_modules {
+        modules.push(raw.build(&module_names)?);
+    }
+    Design::with_modules(modules, &top)
+}
+
+struct RawModule {
+    name: String,
+    /// Header order of the port list.
+    port_order: Vec<String>,
+    ports: Vec<(String, PortDirection)>,
+    wires: Vec<String>,
+    instances: Vec<(String, String, Vec<(String, String)>)>, // cell, name, (pin, net)
+}
+
+impl RawModule {
+    fn build(self, module_names: &[String]) -> Result<Module, NetlistError> {
+        let mut m = Module::new(self.name);
+        for name in &self.port_order {
+            let dir = self
+                .ports
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| *d)
+                .expect("parser checked every port has a direction");
+            m.add_port(name.clone(), dir);
+        }
+        for w in self.wires {
+            m.add_net(w);
+        }
+        for (cell, inst_name, pins) in self.instances {
+            let net_ids: Vec<(String, crate::module::NetId)> = pins
+                .into_iter()
+                .map(|(pin, net)| {
+                    let id = m.add_net(net);
+                    (pin, id)
+                })
+                .collect();
+            let conns = net_ids.iter().map(|(p, n)| (p.as_str(), *n));
+            if module_names.contains(&cell) {
+                m.add_submodule(inst_name, &cell, conns)?;
+            } else {
+                m.add_leaf(inst_name, &cell, conns)?;
+            }
+        }
+        Ok(m)
+    }
+}
+
+fn parse_raw_module<'a, I>(lines: &mut std::iter::Peekable<I>) -> Result<RawModule, NetlistError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let (lineno, header) = lines.next().expect("caller checked a module line exists");
+    let header = header.trim();
+    let err = |lineno: usize, msg: &str| NetlistError::Parse {
+        line: lineno + 1,
+        message: msg.to_string(),
+    };
+    let rest = header
+        .strip_prefix("module")
+        .ok_or_else(|| err(lineno, "expected module"))?
+        .trim();
+    let open = rest.find('(').ok_or_else(|| err(lineno, "expected ("))?;
+    let close = rest.rfind(')').ok_or_else(|| err(lineno, "expected )"))?;
+    let name = rest[..open].trim().to_string();
+    let port_names: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let mut ports: Vec<(String, PortDirection)> = Vec::new();
+    let mut wires = Vec::new();
+    let mut instances = Vec::new();
+    for (lineno, raw_line) in lines.by_ref() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line == "endmodule" {
+            // Ports must be declared with directions.
+            for p in &port_names {
+                if !ports.iter().any(|(n, _)| n == p) {
+                    return Err(err(lineno, &format!("port {p} has no direction")));
+                }
+            }
+            return Ok(RawModule {
+                name,
+                port_order: port_names,
+                ports,
+                wires,
+                instances,
+            });
+        }
+        let line = line
+            .strip_suffix(';')
+            .ok_or_else(|| err(lineno, "expected trailing ;"))?
+            .trim();
+        if let Some(rest) = line.strip_prefix("inout ") {
+            for n in rest.split(',') {
+                ports.push((n.trim().to_string(), PortDirection::Inout));
+            }
+        } else if let Some(rest) = line.strip_prefix("input ") {
+            for n in rest.split(',') {
+                ports.push((n.trim().to_string(), PortDirection::Input));
+            }
+        } else if let Some(rest) = line.strip_prefix("output ") {
+            for n in rest.split(',') {
+                ports.push((n.trim().to_string(), PortDirection::Output));
+            }
+        } else if let Some(rest) = line.strip_prefix("wire ") {
+            for n in rest.split(',') {
+                wires.push(n.trim().to_string());
+            }
+        } else {
+            // Instance: CELL NAME (.PIN(NET), ...)
+            let open = line.find('(').ok_or_else(|| err(lineno, "expected instance ("))?;
+            let head: Vec<&str> = line[..open].split_whitespace().collect();
+            if head.len() != 2 {
+                return Err(err(lineno, "expected `CELL NAME (`"));
+            }
+            let close = line.rfind(')').ok_or_else(|| err(lineno, "expected )"))?;
+            let mut pins = Vec::new();
+            for conn in split_top_level_commas(&line[open + 1..close]) {
+                let conn = conn.trim();
+                if conn.is_empty() {
+                    continue;
+                }
+                let conn = conn
+                    .strip_prefix('.')
+                    .ok_or_else(|| err(lineno, "expected .PIN(NET)"))?;
+                let popen = conn.find('(').ok_or_else(|| err(lineno, "expected ("))?;
+                let pclose = conn.rfind(')').ok_or_else(|| err(lineno, "expected )"))?;
+                pins.push((
+                    conn[..popen].trim().to_string(),
+                    conn[popen + 1..pclose].trim().to_string(),
+                ));
+            }
+            instances.push((head[0].to_string(), head[1].to_string(), pins));
+        }
+    }
+    Err(err(0, "missing endmodule"))
+}
+
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+
+    /// The paper's Table 1 comparator, reconstructed.
+    fn comparator_module() -> Module {
+        let mut m = Module::new("comparator");
+        let q = m.add_port("Q", PortDirection::Output);
+        let qb = m.add_port("QB", PortDirection::Output);
+        let vdd = m.add_port("VDD", PortDirection::Inout);
+        let vss = m.add_port("VSS", PortDirection::Inout);
+        let clk = m.add_port("CLK", PortDirection::Input);
+        let inm = m.add_port("INM", PortDirection::Input);
+        let inp = m.add_port("INP", PortDirection::Input);
+        let outp = m.add_net("OUTP");
+        let outm = m.add_net("OUTM");
+        m.add_leaf(
+            "I0",
+            "NOR3X4",
+            [("Y", outp), ("VDD", vdd), ("VSS", vss), ("A", outm), ("B", inp), ("C", clk)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "I1",
+            "NOR3X4",
+            [("Y", outm), ("VDD", vdd), ("VSS", vss), ("A", outp), ("B", inm), ("C", clk)],
+        )
+        .unwrap();
+        m.add_leaf("I2", "NOR2X1", [("Y", q), ("VDD", vdd), ("VSS", vss), ("A", outp), ("B", qb)])
+            .unwrap();
+        m.add_leaf("I3", "NOR2X1", [("Y", qb), ("VDD", vdd), ("VSS", vss), ("A", outm), ("B", q)])
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn writer_matches_paper_style() {
+        let design = Design::new(comparator_module()).unwrap();
+        let v = write_design(&design).unwrap();
+        assert!(v.contains("module comparator (Q, QB, VDD, VSS, CLK, INM, INP);"));
+        assert!(v.contains("inout VDD, VSS;"));
+        assert!(v.contains("input CLK, INM, INP;"));
+        assert!(v.contains("output Q, QB;"));
+        assert!(v.contains("wire OUTP, OUTM;"));
+        assert!(v.contains("NOR3X4 I0"));
+        assert!(v.contains(".B(INP)"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let design = Design::new(comparator_module()).unwrap();
+        let v = write_design(&design).unwrap();
+        let back = read_design(&v).unwrap();
+        assert_eq!(back.top_name(), "comparator");
+        let top = back.top();
+        assert_eq!(top.ports().len(), 7);
+        assert_eq!(top.instances().len(), 4);
+        // Re-writing gives the identical text (canonical form).
+        let v2 = write_design(&back).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn hierarchical_roundtrip() {
+        let mut inner = Module::new("cell_pair");
+        let a = inner.add_port("A", PortDirection::Input);
+        let y = inner.add_port("Y", PortDirection::Output);
+        let vdd = inner.add_port("VDD", PortDirection::Inout);
+        let vss = inner.add_port("VSS", PortDirection::Inout);
+        let mid = inner.add_net("mid");
+        inner
+            .add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        inner
+            .add_leaf("I1", "INVX2", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let mut top = Module::new("chain");
+        let tin = top.add_port("IN", PortDirection::Input);
+        let tout = top.add_port("OUT", PortDirection::Output);
+        let vdd = top.add_port("VDD", PortDirection::Inout);
+        let vss = top.add_port("VSS", PortDirection::Inout);
+        top.add_submodule("P0", "cell_pair", [("A", tin), ("Y", tout), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let design = Design::with_modules([inner, top], "chain").unwrap();
+
+        let v = write_design(&design).unwrap();
+        // Submodule appears before the top.
+        assert!(v.find("module cell_pair").unwrap() < v.find("module chain").unwrap());
+        let back = read_design(&v).unwrap();
+        assert_eq!(back.top_name(), "chain");
+        assert_eq!(back.flatten().len(), 2);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(matches!(
+            read_design("not verilog at all"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_design("module m (A);\n  input A\nendmodule"),
+            Err(NetlistError::Parse { .. }) // missing semicolon
+        ));
+        assert!(matches!(
+            read_design("module m (A);\n  input A;\n"),
+            Err(NetlistError::Parse { .. }) // missing endmodule
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_undeclared_port_direction() {
+        let err = read_design("module m (A);\nendmodule").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn writer_rejects_illegal_identifiers() {
+        let mut m = Module::new("top");
+        let a = m.add_net("a/b"); // flat-style name
+        let y = m.add_net("y");
+        let vdd = m.add_net("vdd");
+        let vss = m.add_net("vss");
+        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .unwrap();
+        let design = Design::new(m).unwrap();
+        assert!(write_design(&design).is_err());
+    }
+
+    #[test]
+    fn split_commas_respects_nesting() {
+        let parts = split_top_level_commas(".A(n1), .B(f(x, y)), .C(n3)");
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[1].trim(), ".B(f(x, y))");
+    }
+}

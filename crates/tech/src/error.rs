@@ -1,0 +1,71 @@
+//! Error types for the technology model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the technology model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// A technology node outside the supported 22–500 nm range was requested.
+    UnknownNode {
+        /// The requested gate length in nanometres.
+        gate_length_nm: f64,
+    },
+    /// A standard cell was requested that the node's catalog does not provide.
+    UnknownCell {
+        /// Name of the missing cell, e.g. `"NOR3X4"`.
+        name: String,
+    },
+    /// A physical parameter was out of the range the model can interpolate.
+    ParameterOutOfRange {
+        /// Which parameter was queried.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::UnknownNode { gate_length_nm } => {
+                write!(f, "unknown technology node: {gate_length_nm} nm")
+            }
+            TechError::UnknownCell { name } => {
+                write!(f, "unknown standard cell: {name}")
+            }
+            TechError::ParameterOutOfRange { parameter, value } => {
+                write!(f, "parameter {parameter} out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_node() {
+        let e = TechError::UnknownNode {
+            gate_length_nm: 7.0,
+        };
+        assert_eq!(e.to_string(), "unknown technology node: 7 nm");
+    }
+
+    #[test]
+    fn display_unknown_cell() {
+        let e = TechError::UnknownCell {
+            name: "FOO".to_string(),
+        };
+        assert!(e.to_string().contains("FOO"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

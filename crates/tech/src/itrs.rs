@@ -1,0 +1,280 @@
+//! ITRS-style raw technology trend table.
+//!
+//! This table carries the public scaling-trend data the paper's Fig. 1 is
+//! drawn from (International Technology Roadmap for Semiconductors, plus
+//! standard textbook rules of thumb for interconnect and cell geometry).
+//! Endpoints match the paper's quoted numbers: intrinsic gain 180 → 6,
+//! VDD 5 V → 1 V, fT 16 GHz → 400 GHz and FO4 140 ps → 6 ps as the gate
+//! length shrinks from 500 nm to 22 nm.
+
+/// Raw per-node technology record.
+///
+/// All fields are plain `f64` in the unit named by the field suffix; the
+/// higher-level [`crate::Technology`] type exposes them with conversions and
+/// derived quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeRecord {
+    /// Drawn gate length in nanometres; doubles as the node name.
+    pub gate_length_nm: f64,
+    /// Nominal core supply voltage in volts.
+    pub vdd_v: f64,
+    /// Transistor intrinsic gain `gm·ro` at nominal bias.
+    pub intrinsic_gain: f64,
+    /// Transistor transit frequency in GHz.
+    pub ft_ghz: f64,
+    /// Fan-out-of-4 inverter delay in picoseconds.
+    pub fo4_ps: f64,
+    /// Metal-1 routing pitch in nanometres.
+    pub m1_pitch_nm: f64,
+    /// Standard-cell row height in routing tracks.
+    pub row_tracks: f64,
+    /// Minimum-size (X1) inverter input capacitance in femtofarads.
+    pub inv_cin_ff: f64,
+    /// Wire capacitance per micrometre of minimum-pitch metal, in fF/µm.
+    pub wire_cap_ff_per_um: f64,
+    /// Wire resistance per micrometre of minimum-pitch metal, in Ω/µm.
+    pub wire_res_ohm_per_um: f64,
+    /// Sub-threshold leakage per equivalent minimum gate, in nanowatts.
+    pub gate_leakage_nw: f64,
+    /// Sheet resistance of the low-resistivity resistor material, Ω/square.
+    pub res_sheet_low_ohm: f64,
+    /// Sheet resistance of the high-resistivity resistor material, Ω/square.
+    pub res_sheet_high_ohm: f64,
+}
+
+/// The supported technology nodes, newest first would be conventional but the
+/// paper's Fig. 1 runs oldest → newest, so we keep that order.
+pub const NODE_TABLE: &[NodeRecord] = &[
+    NodeRecord {
+        gate_length_nm: 500.0,
+        vdd_v: 5.0,
+        intrinsic_gain: 180.0,
+        ft_ghz: 16.0,
+        fo4_ps: 140.0,
+        m1_pitch_nm: 1250.0,
+        row_tracks: 12.0,
+        inv_cin_ff: 6.0,
+        wire_cap_ff_per_um: 0.22,
+        wire_res_ohm_per_um: 0.03,
+        gate_leakage_nw: 0.001,
+        res_sheet_low_ohm: 80.0,
+        res_sheet_high_ohm: 900.0,
+    },
+    NodeRecord {
+        gate_length_nm: 350.0,
+        vdd_v: 3.3,
+        intrinsic_gain: 130.0,
+        ft_ghz: 25.0,
+        fo4_ps: 98.0,
+        m1_pitch_nm: 880.0,
+        row_tracks: 12.0,
+        inv_cin_ff: 4.2,
+        wire_cap_ff_per_um: 0.22,
+        wire_res_ohm_per_um: 0.04,
+        gate_leakage_nw: 0.002,
+        res_sheet_low_ohm: 85.0,
+        res_sheet_high_ohm: 950.0,
+    },
+    NodeRecord {
+        gate_length_nm: 250.0,
+        vdd_v: 2.5,
+        intrinsic_gain: 90.0,
+        ft_ghz: 40.0,
+        fo4_ps: 70.0,
+        m1_pitch_nm: 640.0,
+        row_tracks: 11.0,
+        inv_cin_ff: 3.0,
+        wire_cap_ff_per_um: 0.21,
+        wire_res_ohm_per_um: 0.05,
+        gate_leakage_nw: 0.005,
+        res_sheet_low_ohm: 90.0,
+        res_sheet_high_ohm: 1000.0,
+    },
+    NodeRecord {
+        gate_length_nm: 180.0,
+        vdd_v: 1.8,
+        intrinsic_gain: 60.0,
+        ft_ghz: 55.0,
+        fo4_ps: 50.0,
+        m1_pitch_nm: 460.0,
+        row_tracks: 11.0,
+        inv_cin_ff: 2.2,
+        wire_cap_ff_per_um: 0.21,
+        wire_res_ohm_per_um: 0.08,
+        gate_leakage_nw: 0.01,
+        res_sheet_low_ohm: 100.0,
+        res_sheet_high_ohm: 1050.0,
+    },
+    NodeRecord {
+        gate_length_nm: 130.0,
+        vdd_v: 1.3,
+        intrinsic_gain: 40.0,
+        ft_ghz: 90.0,
+        fo4_ps: 36.0,
+        m1_pitch_nm: 340.0,
+        row_tracks: 10.0,
+        inv_cin_ff: 1.6,
+        wire_cap_ff_per_um: 0.20,
+        wire_res_ohm_per_um: 0.15,
+        gate_leakage_nw: 0.05,
+        res_sheet_low_ohm: 105.0,
+        res_sheet_high_ohm: 1100.0,
+    },
+    NodeRecord {
+        gate_length_nm: 90.0,
+        vdd_v: 1.2,
+        intrinsic_gain: 28.0,
+        ft_ghz: 140.0,
+        fo4_ps: 25.0,
+        m1_pitch_nm: 240.0,
+        row_tracks: 10.0,
+        inv_cin_ff: 1.2,
+        wire_cap_ff_per_um: 0.20,
+        wire_res_ohm_per_um: 0.30,
+        gate_leakage_nw: 0.2,
+        res_sheet_low_ohm: 110.0,
+        res_sheet_high_ohm: 1150.0,
+    },
+    NodeRecord {
+        gate_length_nm: 65.0,
+        vdd_v: 1.1,
+        intrinsic_gain: 20.0,
+        ft_ghz: 200.0,
+        fo4_ps: 18.0,
+        m1_pitch_nm: 180.0,
+        row_tracks: 9.0,
+        inv_cin_ff: 0.9,
+        wire_cap_ff_per_um: 0.19,
+        wire_res_ohm_per_um: 0.50,
+        gate_leakage_nw: 0.5,
+        res_sheet_low_ohm: 115.0,
+        res_sheet_high_ohm: 1200.0,
+    },
+    NodeRecord {
+        gate_length_nm: 45.0,
+        vdd_v: 1.1,
+        intrinsic_gain: 13.0,
+        ft_ghz: 270.0,
+        fo4_ps: 12.5,
+        m1_pitch_nm: 140.0,
+        row_tracks: 9.0,
+        inv_cin_ff: 0.7,
+        wire_cap_ff_per_um: 0.19,
+        wire_res_ohm_per_um: 0.80,
+        gate_leakage_nw: 1.0,
+        res_sheet_low_ohm: 120.0,
+        res_sheet_high_ohm: 1250.0,
+    },
+    NodeRecord {
+        gate_length_nm: 40.0,
+        vdd_v: 1.1,
+        intrinsic_gain: 11.0,
+        ft_ghz: 300.0,
+        fo4_ps: 11.0,
+        m1_pitch_nm: 120.0,
+        row_tracks: 9.0,
+        inv_cin_ff: 0.65,
+        wire_cap_ff_per_um: 0.19,
+        wire_res_ohm_per_um: 0.90,
+        gate_leakage_nw: 1.2,
+        res_sheet_low_ohm: 120.0,
+        res_sheet_high_ohm: 1250.0,
+    },
+    NodeRecord {
+        gate_length_nm: 32.0,
+        vdd_v: 1.0,
+        intrinsic_gain: 8.0,
+        ft_ghz: 350.0,
+        fo4_ps: 9.0,
+        m1_pitch_nm: 100.0,
+        row_tracks: 9.0,
+        inv_cin_ff: 0.55,
+        wire_cap_ff_per_um: 0.19,
+        wire_res_ohm_per_um: 1.40,
+        gate_leakage_nw: 1.5,
+        res_sheet_low_ohm: 125.0,
+        res_sheet_high_ohm: 1300.0,
+    },
+    NodeRecord {
+        gate_length_nm: 22.0,
+        vdd_v: 1.0,
+        intrinsic_gain: 6.0,
+        ft_ghz: 400.0,
+        fo4_ps: 6.0,
+        m1_pitch_nm: 80.0,
+        row_tracks: 9.0,
+        inv_cin_ff: 0.45,
+        wire_cap_ff_per_um: 0.18,
+        wire_res_ohm_per_um: 2.00,
+        gate_leakage_nw: 2.0,
+        res_sheet_low_ohm: 130.0,
+        res_sheet_high_ohm: 1350.0,
+    },
+];
+
+/// Looks up a node record by exact gate length.
+pub fn record_for(gate_length_nm: f64) -> Option<&'static NodeRecord> {
+    NODE_TABLE
+        .iter()
+        .find(|r| (r.gate_length_nm - gate_length_nm).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_paper_endpoints() {
+        let oldest = record_for(500.0).expect("500 nm present");
+        let newest = record_for(22.0).expect("22 nm present");
+        assert_eq!(oldest.vdd_v, 5.0);
+        assert_eq!(oldest.intrinsic_gain, 180.0);
+        assert_eq!(oldest.ft_ghz, 16.0);
+        assert_eq!(oldest.fo4_ps, 140.0);
+        assert_eq!(newest.vdd_v, 1.0);
+        assert_eq!(newest.intrinsic_gain, 6.0);
+        assert_eq!(newest.ft_ghz, 400.0);
+        assert_eq!(newest.fo4_ps, 6.0);
+    }
+
+    #[test]
+    fn table_is_sorted_oldest_first() {
+        for pair in NODE_TABLE.windows(2) {
+            assert!(pair[0].gate_length_nm > pair[1].gate_length_nm);
+        }
+    }
+
+    #[test]
+    fn trends_are_monotonic() {
+        for pair in NODE_TABLE.windows(2) {
+            let (old, new) = (&pair[0], &pair[1]);
+            assert!(new.vdd_v <= old.vdd_v, "VDD must not increase");
+            assert!(new.intrinsic_gain < old.intrinsic_gain, "gain shrinks");
+            assert!(new.ft_ghz > old.ft_ghz, "fT grows");
+            assert!(new.fo4_ps < old.fo4_ps, "FO4 shrinks");
+            assert!(new.m1_pitch_nm < old.m1_pitch_nm, "pitch shrinks");
+            assert!(new.inv_cin_ff < old.inv_cin_ff, "gate cap shrinks");
+            assert!(
+                new.wire_res_ohm_per_um > old.wire_res_ohm_per_um,
+                "wire R grows"
+            );
+            assert!(new.gate_leakage_nw > old.gate_leakage_nw, "leakage grows");
+        }
+    }
+
+    #[test]
+    fn paper_design_nodes_present() {
+        assert!(record_for(40.0).is_some());
+        assert!(record_for(180.0).is_some());
+        // Prior-work nodes in Table 4.
+        assert!(record_for(65.0).is_some());
+        assert!(record_for(130.0).is_some());
+        assert!(record_for(90.0).is_some());
+    }
+
+    #[test]
+    fn lookup_of_missing_node_is_none() {
+        assert!(record_for(7.0).is_none());
+        assert!(record_for(28.0).is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! `tdsigma` — command-line front end for the ADC design & synthesis flow.
+//!
+//! ```text
+//! tdsigma design [--node 40] [--fs-mhz 750] [--bw-mhz 5] [--slices 8]
+//!                [--samples 16384] [--out results]
+//! tdsigma nodes
+//! tdsigma help
+//! ```
+//!
+//! `design` runs the complete Fig.-9 flow and writes every artifact
+//! (Verilog, LEF, DEF, .fp, GDS-text, layout SVG, spectrum CSV, JSON
+//! report) into the output directory.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
+use tdsigma::layout::physlib::PhysicalLibrary;
+use tdsigma::layout::{gds, lef, render};
+use tdsigma::tech::{NodeId, Technology};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("design") => match parse_flags(&args[1..]) {
+            Ok(flags) => run_design(&flags),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("nodes") => {
+            println!("supported technology nodes:");
+            for id in NodeId::ALL {
+                let t = Technology::for_node(id).expect("built-in node");
+                println!("  {t}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("tdsigma — scaling-compatible, synthesis-friendly VCO-based ΔΣ ADC flow");
+    println!();
+    println!("USAGE:");
+    println!("  tdsigma design [--node N] [--fs-mhz F] [--bw-mhz B] [--slices S]");
+    println!("                 [--samples K] [--out DIR]     run the full flow");
+    println!("  tdsigma nodes                                 list technology nodes");
+    println!("  tdsigma help                                  this message");
+    println!();
+    println!("DEFAULTS: --node 40 --fs-mhz 750 --bw-mhz 5 --slices 8 --samples 16384");
+    println!("          --out results");
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn run_design(flags: &BTreeMap<String, String>) -> ExitCode {
+    match try_run_design(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_run_design(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<f64>().map_err(|e| format!("--{key}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    let node_nm = get_f64("node", 40.0)?;
+    let fs_hz = get_f64("fs-mhz", 750.0)? * 1e6;
+    let bw_hz = get_f64("bw-mhz", 5.0)? * 1e6;
+    let slices = get_f64("slices", 8.0)? as usize;
+    let samples = get_f64("samples", 16_384.0)? as usize;
+    let default_out = "results".to_string();
+    let out = flags.get("out").unwrap_or(&default_out);
+    let out = Path::new(out);
+    fs::create_dir_all(out)?;
+
+    let node = NodeId::from_gate_length(node_nm)?;
+    let tech = Technology::for_node(node)?;
+    let spec = AdcSpec::for_technology(tech, fs_hz, bw_hz)?.with_slices(slices)?;
+    println!(
+        "designing {} slices at {} — fs {:.0} MHz, BW {:.2} MHz, OSR {:.0}",
+        spec.n_slices,
+        spec.tech,
+        spec.fs_hz / 1e6,
+        spec.bw_hz / 1e6,
+        spec.oversampling_ratio()
+    );
+
+    let outcome = DesignFlow::new(spec.clone()).with_samples(samples).run()?;
+    println!("{outcome}");
+
+    // Artifacts.
+    fs::write(out.join("adc_top.v"), &outcome.verilog)?;
+    let lib = PhysicalLibrary::for_technology(&spec.tech);
+    fs::write(out.join("library.lef"), lef::to_lef(&lib))?;
+    fs::write(out.join("adc_top.fp"), outcome.layout.floorplan.to_fp_text())?;
+    fs::write(
+        out.join("adc_top.def"),
+        lef::to_def(
+            &outcome.layout.placement,
+            "adc_top",
+            outcome.layout.floorplan.die.width(),
+            outcome.layout.floorplan.die.height(),
+        ),
+    )?;
+    fs::write(
+        out.join("adc_top.gds.txt"),
+        gds::to_gds_text(&outcome.layout.placement, &lib, "adc_top"),
+    )?;
+    fs::write(
+        out.join("layout.svg"),
+        render::to_svg_with_routes(
+            &outcome.layout.floorplan,
+            &outcome.layout.placement,
+            &outcome.layout.routing,
+        ),
+    )?;
+    let spectrum = outcome.capture.spectrum(tdsigma::dsp::window::Window::Hann);
+    let mut csv = String::from("freq_hz,dbfs\n");
+    for bin in 1..spectrum.len() {
+        csv.push_str(&format!(
+            "{},{}\n",
+            spectrum.bin_frequency_hz(bin),
+            spectrum.dbfs(bin)
+        ));
+    }
+    fs::write(out.join("spectrum.csv"), csv)?;
+    fs::write(out.join("report.json"), report_json(&outcome))?;
+    println!(
+        "wrote adc_top.{{v,fp,def,gds.txt}}, library.lef, layout.svg, spectrum.csv, report.json → {}",
+        out.display()
+    );
+    Ok(())
+}
+
+/// Hand-rolled JSON (flat object, numeric fields) — no serialization
+/// dependency needed for a report this small.
+fn report_json(outcome: &tdsigma::core::flow::FlowOutcome) -> String {
+    let r = &outcome.report;
+    let fields: Vec<(&str, f64)> = vec![
+        ("node_nm", r.node.gate_length().value()),
+        ("fs_mhz", r.fs_mhz),
+        ("bw_mhz", r.bw_mhz),
+        ("sndr_db", r.sndr_db),
+        ("enob", r.enob),
+        ("power_mw", r.power_mw),
+        ("digital_fraction", r.digital_fraction),
+        ("area_mm2", r.area_mm2),
+        ("fom_fj_per_conv", r.fom_fj),
+        ("timing_slack_ps", outcome.timing.slack_ps()),
+        ("wirelength_um", outcome.layout.routing.total_wirelength_nm as f64 / 1e3),
+        ("cells", outcome.layout.placement.len() as f64),
+    ];
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}

@@ -1,0 +1,19 @@
+//! # tdsigma — facade crate
+//!
+//! Re-exports every subsystem of the `tdsigma` workspace, a full Rust
+//! reproduction of *"A Scaling Compatible, Synthesis Friendly VCO-based
+//! Delta-sigma ADC Design and Synthesis Methodology"* (DAC 2017).
+//!
+//! See the `examples/` directory for runnable scenarios and `DESIGN.md` for
+//! the system inventory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tdsigma_baselines as baselines;
+pub use tdsigma_circuit as circuit;
+pub use tdsigma_core as core;
+pub use tdsigma_dsp as dsp;
+pub use tdsigma_layout as layout;
+pub use tdsigma_netlist as netlist;
+pub use tdsigma_tech as tech;

@@ -1,0 +1,92 @@
+//! Smoke tests for the `tdsigma` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tdsigma")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = Command::new(bin()).arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("design"));
+}
+
+#[test]
+fn nodes_lists_all_supported() {
+    let out = Command::new(bin()).arg("nodes").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for node in ["500 nm", "180 nm", "40 nm", "22 nm"] {
+        assert!(text.contains(node), "missing {node}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = Command::new(bin()).arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn design_rejects_bad_flags() {
+    let out = Command::new(bin())
+        .args(["design", "--node", "seven"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--node"), "{err}");
+
+    let out = Command::new(bin())
+        .args(["design", "--node"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+
+    let out = Command::new(bin())
+        .args(["design", "--node", "41"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "41 nm is not a supported node");
+}
+
+#[test]
+fn design_produces_all_artifacts() {
+    let dir = std::env::temp_dir().join("tdsigma_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(bin())
+        .args([
+            "design",
+            "--samples",
+            "2048",
+            "--out",
+            dir.to_str().expect("utf8 temp path"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for artifact in [
+        "adc_top.v",
+        "library.lef",
+        "adc_top.fp",
+        "adc_top.def",
+        "adc_top.gds.txt",
+        "layout.svg",
+        "spectrum.csv",
+        "report.json",
+    ] {
+        assert!(dir.join(artifact).exists(), "missing {artifact}");
+    }
+    let json = std::fs::read_to_string(dir.join("report.json")).expect("readable");
+    assert!(json.contains("\"sndr_db\""));
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    let _ = std::fs::remove_dir_all(&dir);
+}
