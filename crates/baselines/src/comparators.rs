@@ -24,7 +24,12 @@ pub struct CmSweepPoint {
 
 impl fmt::Display for CmSweepPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CM {:.2} V → {:.1} % correct", self.vcm_v, self.accuracy * 100.0)
+        write!(
+            f,
+            "CM {:.2} V → {:.1} % correct",
+            self.vcm_v,
+            self.accuracy * 100.0
+        )
     }
 }
 
@@ -58,7 +63,11 @@ pub fn sweep_common_mode(
         let mut correct = 0usize;
         for t in 0..trials {
             let positive = t % 2 == 0;
-            let half = if positive { vdiff_v / 2.0 } else { -vdiff_v / 2.0 };
+            let half = if positive {
+                vdiff_v / 2.0
+            } else {
+                -vdiff_v / 2.0
+            };
             let decision = cmp.sample(vcm + half, vcm - half, &mut rng);
             if decision == positive {
                 correct += 1;

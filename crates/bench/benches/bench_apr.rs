@@ -1,75 +1,50 @@
-//! Criterion bench: layout-synthesis throughput — netlist generation,
-//! floorplan + place + route of the full ADC.
+//! Micro-bench: layout-synthesis throughput — netlist generation,
+//! floorplan + place + route of the full ADC, and signoff.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tdsigma_bench::harness::BenchRunner;
 use tdsigma_core::{netgen, spec::AdcSpec};
-use tdsigma_layout::{synthesize, AprOptions};
-use tdsigma_netlist::PowerPlan;
+use tdsigma_layout::{analyze_timing, synthesize, AprOptions};
+use tdsigma_netlist::{GateSimulator, PowerPlan};
 
-fn bench_netgen(c: &mut Criterion) {
+fn main() {
+    let runner = BenchRunner::from_args();
+
     let spec = AdcSpec::paper_40nm().expect("spec");
-    c.bench_function("netgen_full_adc", |b| {
-        b.iter(|| black_box(netgen::generate(&spec).expect("netlist")));
+    runner.bench("netgen_full_adc", || {
+        black_box(netgen::generate(&spec).expect("netlist"))
     });
     let design = netgen::generate(&spec).expect("netlist");
-    c.bench_function("flatten_full_adc", |b| {
-        b.iter(|| black_box(design.flatten()));
-    });
-}
+    runner.bench("flatten_full_adc", || black_box(design.flatten()));
 
-fn bench_apr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apr");
-    group.sample_size(10);
     for (label, spec) in [
         ("40nm", AdcSpec::paper_40nm().expect("spec")),
         ("180nm", AdcSpec::paper_180nm().expect("spec")),
     ] {
         let flat = netgen::generate(&spec).expect("netlist").flatten();
         let plan = PowerPlan::infer(&flat).expect("plan");
-        group.bench_function(BenchmarkId::new("synthesize", label), |b| {
-            b.iter(|| {
-                black_box(
-                    synthesize(&flat, &plan, &spec.tech, &AprOptions::default())
-                        .expect("APR clean"),
-                )
-            });
+        runner.bench(&format!("apr_synthesize_{label}"), || {
+            black_box(
+                synthesize(&flat, &plan, &spec.tech, &AprOptions::default()).expect("APR clean"),
+            )
         });
     }
-    group.finish();
-}
 
-fn bench_signoff(c: &mut Criterion) {
-    use tdsigma_layout::analyze_timing;
-    use tdsigma_netlist::GateSimulator;
-
-    let spec = AdcSpec::paper_40nm().expect("spec");
     let flat = netgen::generate(&spec).expect("netlist").flatten();
     let plan = PowerPlan::infer(&flat).expect("plan");
     let layout = synthesize(&flat, &plan, &spec.tech, &AprOptions::default()).expect("APR");
 
-    c.bench_function("sta_full_adc", |b| {
-        b.iter(|| {
-            black_box(
-                analyze_timing(&flat, &layout.parasitics, &spec.tech, spec.fs_hz)
-                    .expect("STA"),
-            )
-        });
+    runner.bench("sta_full_adc", || {
+        black_box(analyze_timing(&flat, &layout.parasitics, &spec.tech, spec.fs_hz).expect("STA"))
     });
-
-    c.bench_function("gatesim_build_full_adc", |b| {
-        b.iter(|| black_box(GateSimulator::new(&flat).expect("gate sim")));
+    runner.bench("gatesim_build_full_adc", || {
+        black_box(GateSimulator::new(&flat).expect("gate sim"))
     });
 
     let mut sim = GateSimulator::new(&flat).expect("gate sim");
-    c.bench_function("gatesim_clock_cycle", |b| {
-        b.iter(|| {
-            sim.drive("CLK", true);
-            sim.drive("CLK", false);
-            black_box(sim.last_settle_steps())
-        });
+    runner.bench("gatesim_clock_cycle", || {
+        sim.drive("CLK", true);
+        sim.drive("CLK", false);
+        black_box(sim.last_settle_steps())
     });
 }
-
-criterion_group!(benches, bench_netgen, bench_apr, bench_signoff);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench: the in-house FFT and spectral metrology.
+//! Micro-bench: the in-house FFT and spectral metrology.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tdsigma_bench::harness::BenchRunner;
 use tdsigma_dsp::fft::fft_real;
 use tdsigma_dsp::metrics::ToneAnalysis;
 use tdsigma_dsp::spectrum::Spectrum;
@@ -13,26 +13,16 @@ fn tone(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn main() {
+    let runner = BenchRunner::from_args();
     for n in [1 << 10, 1 << 13, 1 << 16] {
         let samples = tone(n);
-        group.bench_with_input(BenchmarkId::new("fft_real", n), &samples, |b, s| {
-            b.iter(|| black_box(fft_real(s)));
-        });
+        runner.bench(&format!("fft_real_{n}"), || black_box(fft_real(&samples)));
     }
-    group.finish();
-}
 
-fn bench_metrics(c: &mut Criterion) {
     let samples = tone(1 << 14);
-    c.bench_function("spectrum_and_sndr_16k", |b| {
-        b.iter(|| {
-            let spec = Spectrum::from_samples(&samples, 750e6, Window::Hann);
-            black_box(ToneAnalysis::of(&spec, Some(5e6)))
-        });
+    runner.bench("spectrum_and_sndr_16k", || {
+        let spec = Spectrum::from_samples(&samples, 750e6, Window::Hann);
+        black_box(ToneAnalysis::of(&spec, Some(5e6)))
     });
 }
-
-criterion_group!(benches, bench_fft, bench_metrics);
-criterion_main!(benches);

@@ -1,43 +1,30 @@
-//! Criterion bench: behavioral ADC simulation throughput (clock cycles
-//! simulated per second) at both paper nodes.
+//! Micro-bench: behavioral ADC simulation throughput at both paper
+//! nodes, and its sensitivity to the substep count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use tdsigma_bench::harness::BenchRunner;
 use tdsigma_core::sim::AdcSimulator;
 use tdsigma_core::spec::AdcSpec;
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adc_sim");
+fn main() {
+    let runner = BenchRunner::from_args();
     let cycles = 2_048usize;
-    group.throughput(Throughput::Elements(cycles as u64));
     for (label, spec) in [
         ("40nm", AdcSpec::paper_40nm().expect("spec")),
         ("180nm", AdcSpec::paper_180nm().expect("spec")),
     ] {
-        group.bench_with_input(BenchmarkId::new("run_tone", label), &spec, |b, spec| {
-            b.iter(|| {
-                let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
-                black_box(sim.run_tone(1e6, 0.1, cycles))
-            });
+        runner.bench(&format!("adc_sim_run_tone_{label}_{cycles}cyc"), || {
+            let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
+            black_box(sim.run_tone(1e6, 0.1, cycles))
         });
     }
-    group.finish();
-}
 
-fn bench_sim_vs_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adc_sim_substeps");
     for steps in [8usize, 16, 32] {
         let mut spec = AdcSpec::paper_40nm().expect("spec");
         spec.steps_per_cycle = steps;
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &spec, |b, spec| {
-            b.iter(|| {
-                let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
-                black_box(sim.run_tone(1e6, 0.1, 512))
-            });
+        runner.bench(&format!("adc_sim_substeps_{steps}"), || {
+            let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
+            black_box(sim.run_tone(1e6, 0.1, 512))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim, bench_sim_vs_steps);
-criterion_main!(benches);

@@ -1,55 +1,38 @@
-//! Criterion bench: one group per paper table/figure, timing a reduced
+//! Micro-bench: one case per paper table/figure, timing a reduced
 //! regeneration of each experiment (the full-resolution versions live in
-//! `src/bin/`). Each bench also sanity-asserts the experiment's headline
+//! `src/bin/`). Each case also sanity-asserts the experiment's headline
 //! property so a regression cannot silently pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tdsigma_baselines::prior::PriorAdc;
+use tdsigma_bench::harness::BenchRunner;
 use tdsigma_core::sim::AdcSimulator;
 use tdsigma_core::spec::AdcSpec;
 use tdsigma_tech::ScalingTrend;
 
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig1_trend_extraction", |b| {
-        b.iter(|| {
-            let fo4 = ScalingTrend::Fo4Delay.series();
-            assert_eq!(fo4.len(), 11);
-            black_box(fo4)
-        });
-    });
-}
+fn main() {
+    let runner = BenchRunner::from_args();
 
-fn bench_table3_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
+    runner.bench("fig1_trend_extraction", || {
+        let fo4 = ScalingTrend::Fo4Delay.series();
+        assert_eq!(fo4.len(), 11);
+        black_box(fo4)
+    });
+
     let spec = AdcSpec::paper_40nm().expect("spec");
-    group.bench_function("sndr_point_2048", |b| {
-        b.iter(|| {
-            let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
-            let cap = sim.run_tone(1e6, 0.79 * spec.full_scale_v(), 2_048);
-            let sndr = cap.analyze(spec.bw_hz).sndr_db;
-            assert!(sndr > 40.0, "short capture still resolves the tone: {sndr}");
-            black_box(sndr)
-        });
+    runner.bench("table3_sndr_point_2048", || {
+        let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
+        let cap = sim.run_tone(1e6, 0.79 * spec.full_scale_v(), 2_048);
+        let sndr = cap.analyze(spec.bw_hz).sndr_db;
+        assert!(sndr > 40.0, "short capture still resolves the tone: {sndr}");
+        black_box(sndr)
     });
-    group.finish();
-}
 
-fn bench_table4_prior(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4");
-    group.sample_size(10);
     for adc in PriorAdc::table4_entries() {
         let name = adc.label.replace([' ', '[', ']'], "_");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let a = adc.simulate(2_048, 1);
-                black_box(a.sndr_db)
-            });
+        runner.bench(&format!("table4_{name}"), || {
+            let a = adc.simulate(2_048, 1);
+            black_box(a.sndr_db)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig1, bench_table3_point, bench_table4_prior);
-criterion_main!(benches);

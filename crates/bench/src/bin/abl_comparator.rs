@@ -12,7 +12,10 @@ fn main() {
     let vdd = spec.tech.vdd().value();
 
     println!("standalone common-mode sweep (decision accuracy on a ±20 mV input):");
-    println!("{:>8} {:>16} {:>16} {:>16}", "CM [V]", "NOR3 (prop.)", "strongARM", "NAND3 [16]");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "CM [V]", "NOR3 (prop.)", "strongARM", "NAND3 [16]"
+    );
     let flavors = [
         ComparatorFlavor::Nor3,
         ComparatorFlavor::StrongArm,
@@ -22,11 +25,11 @@ fn main() {
         .iter()
         .map(|&f| sweep_common_mode(f, vdd, 0.02, 12, 3_000, 7))
         .collect();
-    for i in 0..sweeps[0].len() {
+    for (i, point) in sweeps[0].iter().enumerate() {
         println!(
             "{:>8.2} {:>15.1}% {:>15.1}% {:>15.1}%",
-            sweeps[0][i].vcm_v,
-            100.0 * sweeps[0][i].accuracy,
+            point.vcm_v,
+            100.0 * point.accuracy,
             100.0 * sweeps[1][i].accuracy,
             100.0 * sweeps[2][i].accuracy
         );
@@ -42,10 +45,13 @@ fn main() {
     let fin = (spec.bw_hz / 5.0 * n as f64 / spec.fs_hz).round() * spec.fs_hz / n as f64;
     let amp = 0.79 * spec.full_scale_v();
     for flavor in flavors {
-        let mut sim =
-            AdcSimulator::with_comparator(spec.clone(), flavor).expect("simulator");
+        let mut sim = AdcSimulator::with_comparator(spec.clone(), flavor).expect("simulator");
         let sndr = sim.run_tone(fin, amp, n).analyze(spec.bw_hz).sndr_db;
-        let friendly = if flavor.is_synthesis_friendly() { "std-cell" } else { "CUSTOM AMS" };
+        let friendly = if flavor.is_synthesis_friendly() {
+            "std-cell"
+        } else {
+            "CUSTOM AMS"
+        };
         println!("  {flavor:<22} SNDR {sndr:>6.1} dB   [{friendly}]");
     }
     println!("\nconclusion: NOR3 ≈ strongARM in performance, but NOR3 is a standard cell;");

@@ -10,7 +10,10 @@ use tdsigma_tech::Corner;
 
 fn main() {
     println!("=== corner sign-off: SS / TT / FF ===\n");
-    for base in [AdcSpec::paper_40nm().expect("spec"), AdcSpec::paper_180nm().expect("spec")] {
+    for base in [
+        AdcSpec::paper_40nm().expect("spec"),
+        AdcSpec::paper_180nm().expect("spec"),
+    ] {
         println!("--- {} @ {:.0} MHz ---", base.tech, base.fs_hz / 1e6);
         println!(
             "{:>4} {:>12} {:>12} {:>12} {:>10}",
@@ -19,15 +22,14 @@ fn main() {
         for corner in Corner::ALL {
             let tech = base.tech.at_corner(corner);
             // Re-derive the analog operating points at the corner supply.
-            let mut spec = AdcSpec::for_technology(tech, base.fs_hz, base.bw_hz)
-                .expect("corner spec valid");
+            let mut spec =
+                AdcSpec::for_technology(tech, base.fs_hz, base.bw_hz).expect("corner spec valid");
             spec.steps_per_cycle = 8;
             let flat = netgen::generate(&spec).expect("netlist").flatten();
             let plan = PowerPlan::infer(&flat).expect("plan");
-            let layout =
-                synthesize(&flat, &plan, &spec.tech, &AprOptions::default()).expect("APR");
-            let timing = analyze_timing(&flat, &layout.parasitics, &spec.tech, spec.fs_hz)
-                .expect("STA");
+            let layout = synthesize(&flat, &plan, &spec.tech, &AprOptions::default()).expect("APR");
+            let timing =
+                analyze_timing(&flat, &layout.parasitics, &spec.tech, spec.fs_hz).expect("STA");
             let n = 8192;
             let fin = (spec.bw_hz / 5.0 * n as f64 / spec.fs_hz).round() * spec.fs_hz / n as f64;
             let mut sim =

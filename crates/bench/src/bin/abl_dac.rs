@@ -17,8 +17,16 @@ fn main() {
             arch.to_string(),
             mc.mean_inl_lsb,
             mc.p99_inl_lsb,
-            if arch.is_synthesis_friendly() { "yes" } else { "NO" },
-            if arch.needs_bias_network() { "NEEDED" } else { "none" }
+            if arch.is_synthesis_friendly() {
+                "yes"
+            } else {
+                "NO"
+            },
+            if arch.needs_bias_network() {
+                "NEEDED"
+            } else {
+                "none"
+            }
         );
     }
     println!();

@@ -14,11 +14,19 @@ fn main() {
     let plan = PowerPlan::infer(&flat).expect("power plan");
     let options = AprOptions::default();
 
-    println!("netlist: {} cells across {} supply nets\n", flat.len(), plan.domain_count());
+    println!(
+        "netlist: {} cells across {} supply nets\n",
+        flat.len(),
+        plan.domain_count()
+    );
 
     let naive = synthesize_naive(&flat, &spec.tech, &options).expect("naive APR");
     println!("--- conventional flow (one placement region, like [15]-[19]) ---");
-    println!("  area {:.4} mm², HPWL {:.1} µm", naive.area_mm2, naive.placement.hpwl_nm as f64 / 1e3);
+    println!(
+        "  area {:.4} mm², HPWL {:.1} µm",
+        naive.area_mm2,
+        naive.placement.hpwl_nm as f64 / 1e3
+    );
     println!(
         "  sign-off: {} violations, of which {} are P/G RAIL SHORTS",
         naive.checks.violations.len(),
@@ -43,9 +51,7 @@ fn main() {
     );
     println!();
     let overhead = proposed.area_mm2 / naive.area_mm2;
-    println!(
-        "area cost of the MSV discipline: {overhead:.2}x the (broken) naive layout — the",
-    );
+    println!("area cost of the MSV discipline: {overhead:.2}x the (broken) naive layout — the",);
     println!("price of regions that cannot mix supplies. This is the gap in previous");
     println!("synthesis-friendly flows that §3 exists to close: their circuits only had");
     println!("one supply, this ADC powers its VCOs from the integrating control nodes.");

@@ -30,7 +30,11 @@ fn main() {
         }
     }
     let p1 = write_artifact("adc_behavioral.vcd", &vcd.finish());
-    println!("behavioral waves: {} ({} cycles)", p1.display(), cap.output.len());
+    println!(
+        "behavioral waves: {} ({} cycles)",
+        p1.display(),
+        cap.output.len()
+    );
 
     // Gate-level waves: the Table-1 comparator through 8 clock cycles.
     let design = Design::new(netgen::comparator_module()).expect("design");

@@ -43,7 +43,11 @@ fn main() {
             }
             svg.push_str("</svg>\n");
             let path = write_artifact(
-                &format!("fig11_{}_{}.svg", name.to_lowercase(), node.gate_length().value()),
+                &format!(
+                    "fig11_{}_{}.svg",
+                    name.to_lowercase(),
+                    node.gate_length().value()
+                ),
                 &svg,
             );
             println!("    wrote {}", path.display());

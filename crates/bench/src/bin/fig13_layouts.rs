@@ -37,7 +37,11 @@ fn main() {
         println!("  routing: {}", result.routing);
         println!(
             "  checks: {} (rail conflicts: {})",
-            if result.checks.is_clean() { "CLEAN" } else { "VIOLATIONS" },
+            if result.checks.is_clean() {
+                "CLEAN"
+            } else {
+                "VIOLATIONS"
+            },
             result.checks.rail_conflicts()
         );
         let ascii = render::to_ascii(&result.floorplan, &result.placement, 48);
@@ -45,7 +49,8 @@ fn main() {
 
         let svg = render::to_svg(&result.floorplan, &result.placement);
         let p1 = write_artifact(&format!("fig13_layout_{node}.svg").replace(' ', ""), &svg);
-        let svg_routed = render::to_svg_with_routes(&result.floorplan, &result.placement, &result.routing);
+        let svg_routed =
+            render::to_svg_with_routes(&result.floorplan, &result.placement, &result.routing);
         let p1r = write_artifact(
             &format!("fig13_layout_{node}_routed.svg").replace(' ', ""),
             &svg_routed,
@@ -53,7 +58,10 @@ fn main() {
         println!("  routed view: {}", p1r.display());
         let lib = PhysicalLibrary::for_technology(&spec.tech);
         let gds_text = gds::to_gds_text(&result.placement, &lib, "adc_top");
-        let p2 = write_artifact(&format!("fig13_layout_{node}.gds.txt").replace(' ', ""), &gds_text);
+        let p2 = write_artifact(
+            &format!("fig13_layout_{node}.gds.txt").replace(' ', ""),
+            &gds_text,
+        );
         println!("  wrote {} and {}\n", p1.display(), p2.display());
     }
     println!("Paper reference: 40 nm area 0.012 mm², 180 nm area 0.151 mm² (12.6x).");

@@ -12,7 +12,10 @@ fn main() {
         (AdcSpec::paper_40nm().expect("spec"), reference[0]),
         (AdcSpec::paper_180nm().expect("spec"), reference[1]),
     ] {
-        let outcome = DesignFlow::new(spec).with_samples(8192).run().expect("flow");
+        let outcome = DesignFlow::new(spec)
+            .with_samples(8192)
+            .run()
+            .expect("flow");
         let p = &outcome.power;
         let digital_pct = 100.0 * p.digital_fraction();
         println!("--- {label} ---");
@@ -35,7 +38,10 @@ fn main() {
             p.resistor_network_w * 1e3,
             p.buffer_bias_w * 1e3
         );
-        println!("{}", compare_line("digital share [%]", paper_digital, digital_pct, "%"));
+        println!(
+            "{}",
+            compare_line("digital share [%]", paper_digital, digital_pct, "%")
+        );
         println!();
         measured.push(digital_pct);
     }

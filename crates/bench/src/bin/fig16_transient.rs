@@ -19,9 +19,15 @@ fn main() {
             .run()
             .expect("flow");
         let cap = &outcome.capture;
-        println!("--- {label}, fin = {:.3} MHz ---", outcome.analysis.fundamental_hz / 1e6);
+        println!(
+            "--- {label}, fin = {:.3} MHz ---",
+            outcome.analysis.fundamental_hz / 1e6
+        );
         println!("raw modulator words d[n] (first 96 samples):");
-        println!("{}", ascii_waveform(&cap.output[..96.min(cap.output.len())], 12, 96));
+        println!(
+            "{}",
+            ascii_waveform(&cap.output[..96.min(cap.output.len())], 12, 96)
+        );
         // Decimated view: the sine is visible after the decimation filter.
         let osr = (cap.fs_hz / (2.0 * outcome.analysis.bandwidth_hz)).round() as usize;
         let ratio = (osr / 4).max(2);
@@ -30,14 +36,19 @@ fn main() {
         println!("after CIC^3 ÷{ratio} decimation (one input period):");
         let period_samples =
             (cap.fs_hz / ratio as f64 / outcome.analysis.fundamental_hz).round() as usize;
-        let shown = period_samples.clamp(32, 96).min(filtered.len().saturating_sub(8));
+        let shown = period_samples
+            .clamp(32, 96)
+            .min(filtered.len().saturating_sub(8));
         println!("{}", ascii_waveform(&filtered[8..8 + shown], 14, shown));
         let mut csv = String::from("n,d\n");
         for (i, v) in cap.output.iter().take(2048).enumerate() {
             csv.push_str(&format!("{i},{v}\n"));
         }
         let path = write_artifact(
-            &format!("fig16_transient_{}.csv", label.split(' ').next().unwrap_or("node")),
+            &format!(
+                "fig16_transient_{}.csv",
+                label.split(' ').next().unwrap_or("node")
+            ),
             &csv,
         );
         println!("wrote {}\n", path.display());

@@ -22,7 +22,10 @@ fn main() {
         matched.comparator_offset_sigma_v = 0.0;
         matched.dac_mismatch_sigma = 0.0;
 
-        let outcome = DesignFlow::new(spec).with_samples(32_768).run().expect("flow");
+        let outcome = DesignFlow::new(spec)
+            .with_samples(32_768)
+            .run()
+            .expect("flow");
         let spectrum = outcome.capture.spectrum(Window::Hann);
         println!("--- {label} ---");
         println!("{}", ascii_spectrum(&spectrum, 18, 100, bw));
@@ -53,7 +56,10 @@ fn main() {
             ));
         }
         let path = write_artifact(
-            &format!("fig17_spectrum_{}.csv", label.split(' ').next().unwrap_or("node")),
+            &format!(
+                "fig17_spectrum_{}.csv",
+                label.split(' ').next().unwrap_or("node")
+            ),
             &csv,
         );
         println!("  wrote {}\n", path.display());

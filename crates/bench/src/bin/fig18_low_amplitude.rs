@@ -33,6 +33,10 @@ fn main() {
     println!("time-domain output (first 96 samples):");
     println!(
         "{}",
-        ascii_waveform(&outcome.capture.output[..96.min(outcome.capture.output.len())], 12, 96)
+        ascii_waveform(
+            &outcome.capture.output[..96.min(outcome.capture.output.len())],
+            12,
+            96
+        )
     );
 }

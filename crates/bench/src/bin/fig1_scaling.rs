@@ -18,15 +18,15 @@ fn main() {
     );
     let series: Vec<_> = trends.iter().map(|t| t.series()).collect();
     let mut csv = String::from("node_nm,intrinsic_gain,vdd_v,ft_ghz,fo4_ps\n");
-    for i in 0..series[0].len() {
-        let node = series[0][i].gate_length_nm;
+    for (i, gain) in series[0].iter().enumerate() {
+        let node = gain.gate_length_nm;
         println!(
             "{:>10} {:>16.1} {:>14.2} {:>10.0} {:>10.1}",
-            node, series[0][i].value, series[1][i].value, series[2][i].value, series[3][i].value
+            node, gain.value, series[1][i].value, series[2][i].value, series[3][i].value
         );
         csv.push_str(&format!(
             "{},{},{},{},{}\n",
-            node, series[0][i].value, series[1][i].value, series[2][i].value, series[3][i].value
+            node, gain.value, series[1][i].value, series[2][i].value, series[3][i].value
         ));
     }
     println!();

@@ -24,16 +24,16 @@ fn main() {
         (2.0 * f1 - f2) / 1e6,
         (2.0 * f2 - f1) / 1e6
     );
-    println!("\n{:>16} {:>12} {:>12}", "level [dBFS/tone]", "tone [dBFS]", "IMD3 [dBc]");
+    println!(
+        "\n{:>16} {:>12} {:>12}",
+        "level [dBFS/tone]", "tone [dBFS]", "IMD3 [dBc]"
+    );
     let fsv = spec.full_scale_v();
     for rel in [0.1f64, 0.2, 0.35] {
         let w1 = 2.0 * std::f64::consts::PI * f1;
         let w2 = 2.0 * std::f64::consts::PI * f2;
         let mut sim = AdcSimulator::new(spec.clone()).expect("sim");
-        let cap = sim.run(
-            |t| rel * fsv * ((w1 * t).sin() + (w2 * t).sin()),
-            n,
-        );
+        let cap = sim.run(|t| rel * fsv * ((w1 * t).sin() + (w2 * t).sin()), n);
         let spectrum = cap.spectrum(Window::Hann);
         let tt = TwoToneAnalysis::of(&spectrum, f1, f2);
         println!(

@@ -21,7 +21,10 @@ fn main() {
     let slice_start = full.find("module ADC_slice").expect("slice module present");
     let slice_end = full[slice_start..].find("endmodule").expect("endmodule") + slice_start;
     println!("{}", &full[slice_start..slice_end + "endmodule".len()]);
-    println!("\n[... {} total lines of generated Verilog ...]", full.lines().count());
+    println!(
+        "\n[... {} total lines of generated Verilog ...]",
+        full.lines().count()
+    );
 
     // Round-trip proof (the HDL is a loss-free interchange format).
     let reparsed = verilog::read_design(&full).expect("reparse");
@@ -30,7 +33,10 @@ fn main() {
         design.flatten().len(),
         "round-trip must preserve the netlist"
     );
-    println!("round-trip check: {} leaf cells preserved ✓", design.flatten().len());
+    println!(
+        "round-trip check: {} leaf cells preserved ✓",
+        design.flatten().len()
+    );
 
     let path = write_artifact("tab2_adc_top.v", &full);
     println!("wrote {}", path.display());

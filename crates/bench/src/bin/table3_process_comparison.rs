@@ -1,10 +1,15 @@
 //! **TAB3** — reproduces Table 3: the same ADC design synthesised and
 //! simulated (post-layout) at 40 nm and 180 nm, with the automatic design
 //! migration between nodes.
+//!
+//! Both full flows go through the parallel job engine as `FullFlow`
+//! jobs, so the two nodes synthesize concurrently and the post-layout
+//! results are cached under `results/cache/`.
 
 use tdsigma_bench::compare_line;
-use tdsigma_core::{flow::DesignFlow, spec::AdcSpec, AdcReport};
-use tdsigma_tech::{MigrationReport, Technology};
+use tdsigma_core::AdcReport;
+use tdsigma_jobs::{Engine, EngineConfig, Job};
+use tdsigma_tech::{MigrationReport, NodeId, Technology};
 
 struct PaperRow {
     sndr_db: f64,
@@ -15,40 +20,76 @@ struct PaperRow {
 
 fn main() {
     println!("=== Table 3: performance comparison, 40 nm vs 180 nm ===\n");
-    let specs = [
-        AdcSpec::paper_40nm().expect("spec"),
-        AdcSpec::paper_180nm().expect("spec"),
-    ];
+    // The two paper design points (Table 3): identical netlist, node-
+    // appropriate clock and bandwidth.
+    let jobs = [Job::flow(40.0, 750e6, 5e6), Job::flow(180.0, 250e6, 1.4e6)];
     let paper = [
-        PaperRow { sndr_db: 69.5, power_mw: 1.37, area_mm2: 0.012, fom_fj: 56.2 },
-        PaperRow { sndr_db: 69.5, power_mw: 5.45, area_mm2: 0.151, fom_fj: 798.0 },
+        PaperRow {
+            sndr_db: 69.5,
+            power_mw: 1.37,
+            area_mm2: 0.012,
+            fom_fj: 56.2,
+        },
+        PaperRow {
+            sndr_db: 69.5,
+            power_mw: 5.45,
+            area_mm2: 0.151,
+            fom_fj: 798.0,
+        },
     ];
 
     // Design migration: identical netlist, closest-size cells (§4).
+    let tech40 = Technology::for_node(NodeId::N40).expect("node");
+    let tech180 = Technology::for_node(NodeId::N180).expect("node");
     let migration = MigrationReport::for_cells(
-        specs[0].tech.catalog().iter().map(|c| c.name().to_string()).collect::<Vec<_>>()
-            .iter().map(String::as_str),
-        &specs[0].tech,
-        &Technology::for_node(specs[1].tech.id()).expect("node"),
+        tech40
+            .catalog()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str),
+        &tech40,
+        &tech180,
     )
     .expect("migration");
     println!("design migration 40 nm → 180 nm: {migration}\n");
 
+    let engine = Engine::new(EngineConfig {
+        cache_dir: Some("results/cache".into()),
+        ..EngineConfig::default()
+    })
+    .expect("engine");
+    let batch = engine.run_batch(&jobs);
+
     let mut reports: Vec<AdcReport> = Vec::new();
     println!("{}", AdcReport::table_header());
-    for spec in specs {
-        let outcome = DesignFlow::new(spec).with_samples(16_384).run().expect("flow");
-        println!("{}", outcome.report.table_row());
-        reports.push(outcome.report);
+    for result in &batch.results {
+        let report = result
+            .as_ref()
+            .expect("flow succeeds")
+            .to_adc_report()
+            .expect("full-flow jobs carry the Table-3 columns");
+        println!("{}", report.table_row());
+        reports.push(report);
     }
 
     println!("\npaper values for reference:");
     for (r, p) in reports.iter().zip(&paper) {
         println!("--- {} ---", r.node);
         println!("{}", compare_line("SNDR [dB]", p.sndr_db, r.sndr_db, "dB"));
-        println!("{}", compare_line("Power [mW]", p.power_mw, r.power_mw, "mW"));
-        println!("{}", compare_line("Area [mm2]", p.area_mm2, r.area_mm2, "mm2"));
-        println!("{}", compare_line("FOM [fJ/conv]", p.fom_fj, r.fom_fj, "fJ"));
+        println!(
+            "{}",
+            compare_line("Power [mW]", p.power_mw, r.power_mw, "mW")
+        );
+        println!(
+            "{}",
+            compare_line("Area [mm2]", p.area_mm2, r.area_mm2, "mm2")
+        );
+        println!(
+            "{}",
+            compare_line("FOM [fJ/conv]", p.fom_fj, r.fom_fj, "fJ")
+        );
     }
 
     let power_ratio = reports[1].power_mw / reports[0].power_mw;
@@ -58,8 +99,11 @@ fn main() {
     println!("  power ratio    measured {power_ratio:.1}x   paper 4.0x");
     println!("  area ratio     measured {area_ratio:.1}x   paper 12.6x");
     println!("  FOM ratio      measured {fom_ratio:.1}x   paper 14.2x");
-    println!("  SNDR           measured {:.1} / {:.1} dB   paper 69.5 / 69.5 dB",
-        reports[0].sndr_db, reports[1].sndr_db);
+    println!(
+        "  SNDR           measured {:.1} / {:.1} dB   paper 69.5 / 69.5 dB",
+        reports[0].sndr_db, reports[1].sndr_db
+    );
     println!("\nconclusion: moving to the newer node buys power, area AND efficiency —");
     println!("the scaling-compatibility claim of the paper.");
+    println!("\n{}", batch.metrics);
 }

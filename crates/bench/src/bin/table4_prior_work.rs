@@ -10,7 +10,10 @@ fn main() {
     println!("=== Table 4: comparison with previous synthesizable ADCs ===\n");
     let spec = AdcSpec::paper_40nm().expect("spec");
     let supply = spec.tech.vdd().value();
-    let outcome = DesignFlow::new(spec).with_samples(16_384).run().expect("flow");
+    let outcome = DesignFlow::new(spec)
+        .with_samples(16_384)
+        .run()
+        .expect("flow");
     let this_work = Table4Row {
         label: "This work (sim)".to_string(),
         supply_v: supply,

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -100,7 +102,10 @@ pub fn ascii_waveform(samples: &[f64], height: usize, width: usize) -> String {
     let height = height.max(5);
     let n = samples.len().min(width.max(10));
     let lo = samples[..n].iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = samples[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let hi = samples[..n]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-12);
     let mut grid = vec![vec![' '; n]; height];
     for (x, &v) in samples[..n].iter().enumerate() {
@@ -119,9 +124,7 @@ pub fn ascii_waveform(samples: &[f64], height: usize, width: usize) -> String {
 /// Formats a two-column comparison (paper value vs measured) used by the
 /// experiment binaries' summaries.
 pub fn compare_line(metric: &str, paper: f64, measured: f64, unit: &str) -> String {
-    format!(
-        "  {metric:<28} paper {paper:>10.3} {unit:<8} measured {measured:>10.3} {unit}",
-    )
+    format!("  {metric:<28} paper {paper:>10.3} {unit:<8} measured {measured:>10.3} {unit}",)
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@ impl MismatchModel {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0"
+        );
         MismatchModel { sigma }
     }
 

@@ -56,7 +56,10 @@ impl SummingNode {
     ///
     /// Panics if `cap_f` is negative or not finite.
     pub fn new(cap_f: f64, initial_v: f64) -> Self {
-        assert!(cap_f.is_finite() && cap_f >= 0.0, "capacitance must be >= 0");
+        assert!(
+            cap_f.is_finite() && cap_f >= 0.0,
+            "capacitance must be >= 0"
+        );
         SummingNode {
             branches: Vec::new(),
             cap_f,
@@ -151,9 +154,9 @@ impl SummingNode {
         self.v = target + (self.v - target) * a;
         if self.thermal_noise {
             // Discretised Ornstein-Uhlenbeck: stationary variance kT/C.
-            let kt_over_c =
-                tdsigma_tech::units::BOLTZMANN * tdsigma_tech::units::NOMINAL_TEMPERATURE_K
-                    / self.cap_f;
+            let kt_over_c = tdsigma_tech::units::BOLTZMANN
+                * tdsigma_tech::units::NOMINAL_TEMPERATURE_K
+                / self.cap_f;
             let sigma = (kt_over_c * (1.0 - a * a)).sqrt();
             self.v += rng.gaussian(sigma);
         }
@@ -285,8 +288,7 @@ mod tests {
             values.push(node.voltage());
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / values.len() as f64;
+        let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / values.len() as f64;
         let expected = tdsigma_tech::units::BOLTZMANN * 300.0 / cap;
         assert!(
             (var / expected - 1.0).abs() < 0.1,

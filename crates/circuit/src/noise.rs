@@ -1,15 +1,14 @@
 //! Reproducible stochastic plumbing: a seeded RNG with the Gaussian and
 //! band-limited samplers the behavioral models need.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 use std::fmt;
+use tdsigma_tech::rng::Rng64;
 
-/// The simulation RNG. A thin wrapper over a seeded [`StdRng`] that adds
-/// Gaussian sampling (Box–Muller with caching) so simulations are exactly
-/// reproducible from a `u64` seed.
+/// The simulation RNG. A thin wrapper over a seeded [`Rng64`]
+/// (xoshiro256\*\*) that adds Gaussian sampling (Box–Muller with caching)
+/// so simulations are exactly reproducible from a `u64` seed.
 pub struct SimRng {
-    inner: StdRng,
+    inner: Rng64,
     cached_gaussian: Option<f64>,
     seed: u64,
 }
@@ -19,7 +18,7 @@ impl SimRng {
     /// simulation.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Rng64::seed_from_u64(seed),
             cached_gaussian: None,
             seed,
         }
@@ -32,7 +31,7 @@ impl SimRng {
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.gen_f64()
     }
 
     /// Standard-normal sample (mean 0, σ 1) via Box–Muller.
@@ -42,12 +41,12 @@ impl SimRng {
         }
         // Box–Muller: two uniforms → two independent normals.
         let u1: f64 = loop {
-            let u = self.inner.gen::<f64>();
+            let u = self.inner.gen_f64();
             if u > f64::MIN_POSITIVE {
                 break u;
             }
         };
-        let u2: f64 = self.inner.gen();
+        let u2: f64 = self.inner.gen_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.cached_gaussian = Some(r * theta.sin());

@@ -117,7 +117,9 @@ impl DesignFlow {
     pub fn input_frequency_hz(&self) -> f64 {
         let target = self.fin_hz.unwrap_or(self.spec.bw_hz / 5.0);
         // Snap to a non-zero FFT bin of the capture.
-        let bin = (target * self.sim_samples as f64 / self.spec.fs_hz).round().max(1.0);
+        let bin = (target * self.sim_samples as f64 / self.spec.fs_hz)
+            .round()
+            .max(1.0);
         bin * self.spec.fs_hz / self.sim_samples as f64
     }
 
@@ -214,7 +216,11 @@ mod tests {
         );
         // Timing closes at the paper's clock.
         assert!(outcome.timing.met(), "{}", outcome.timing);
-        assert!(outcome.timing.endpoints > 50, "latches analysed: {}", outcome.timing.endpoints);
+        assert!(
+            outcome.timing.endpoints > 50,
+            "latches analysed: {}",
+            outcome.timing.endpoints
+        );
         assert!(outcome.timing.loops_cut > 0, "SR latches produce cut loops");
         // Report numbers are self-consistent.
         assert!((outcome.report.power_mw / 1e3 - outcome.power.total_w()).abs() < 1e-9);

@@ -47,13 +47,27 @@ pub fn comparator_module() -> Module {
     m.add_leaf(
         "I0",
         "NOR3X4",
-        [("Y", outp), ("VDD", vdd), ("VSS", vss), ("A", outm), ("B", inp), ("C", clk)],
+        [
+            ("Y", outp),
+            ("VDD", vdd),
+            ("VSS", vss),
+            ("A", outm),
+            ("B", inp),
+            ("C", clk),
+        ],
     )
     .expect("static construction");
     m.add_leaf(
         "I1",
         "NOR3X4",
-        [("Y", outm), ("VDD", vdd), ("VSS", vss), ("A", outp), ("B", inm), ("C", clk)],
+        [
+            ("Y", outm),
+            ("VDD", vdd),
+            ("VSS", vss),
+            ("A", outp),
+            ("B", inm),
+            ("C", clk),
+        ],
     )
     .expect("static construction");
     m.add_leaf(
@@ -88,8 +102,12 @@ pub fn vco_stage_module() -> Module {
         ("XC1", on, op),
     ];
     for (name, a, y) in pairs {
-        m.add_leaf(name, "INVX1", [("A", a), ("Y", y), ("VDD", vctrl), ("VSS", vss)])
-            .expect("static construction");
+        m.add_leaf(
+            name,
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vctrl), ("VSS", vss)],
+        )
+        .expect("static construction");
     }
     m
 }
@@ -112,8 +130,12 @@ pub fn buffer_module() -> Module {
         ("XC1", bon, bop),
     ];
     for (name, a, y) in pairs {
-        m.add_leaf(name, "INVX2", [("A", a), ("Y", y), ("VDD", vctrl), ("VSS", vss)])
-            .expect("static construction");
+        m.add_leaf(
+            name,
+            "INVX2",
+            [("A", a), ("Y", y), ("VDD", vctrl), ("VSS", vss)],
+        )
+        .expect("static construction");
     }
     m
 }
@@ -129,8 +151,12 @@ pub fn pd_vdd_module(stages: usize) -> Module {
     let vdd = m.add_port("VDD", PortDirection::Inout);
     let vss = m.add_port("VSS", PortDirection::Inout);
     let clkb = m.add_net("CLKB");
-    m.add_leaf("CKI0", "INVX1", [("A", clk), ("Y", clkb), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
+    m.add_leaf(
+        "CKI0",
+        "INVX1",
+        [("A", clk), ("Y", clkb), ("VDD", vdd), ("VSS", vss)],
+    )
+    .expect("static construction");
     for t in 0..stages {
         let bop = m.add_port(format!("BOP{t}"), PortDirection::Input);
         let bon = m.add_port(format!("BON{t}"), PortDirection::Input);
@@ -147,13 +173,29 @@ pub fn pd_vdd_module(stages: usize) -> Module {
         m.add_submodule(
             format!("CMP_P{t}"),
             "comparator",
-            [("Q", qp), ("QB", qpb), ("VDD", vdd), ("VSS", vss), ("CLK", clk), ("INM", bon), ("INP", bop)],
+            [
+                ("Q", qp),
+                ("QB", qpb),
+                ("VDD", vdd),
+                ("VSS", vss),
+                ("CLK", clk),
+                ("INM", bon),
+                ("INP", bop),
+            ],
         )
         .expect("static construction");
         m.add_submodule(
             format!("CMP_N{t}"),
             "comparator",
-            [("Q", qm), ("QB", qmb), ("VDD", vdd), ("VSS", vss), ("CLK", clk), ("INM", bon2), ("INP", bop2)],
+            [
+                ("Q", qm),
+                ("QB", qmb),
+                ("VDD", vdd),
+                ("VSS", vss),
+                ("CLK", clk),
+                ("INM", bon2),
+                ("INP", bop2),
+            ],
         )
         .expect("static construction");
         m.add_leaf(
@@ -167,7 +209,13 @@ pub fn pd_vdd_module(stages: usize) -> Module {
         m.add_leaf(
             format!("RETA{t}"),
             "LATCHX1",
-            [("D", x), ("EN", clkb), ("Q", xr), ("VDD", vdd), ("VSS", vss)],
+            [
+                ("D", x),
+                ("EN", clkb),
+                ("Q", xr),
+                ("VDD", vdd),
+                ("VSS", vss),
+            ],
         )
         .expect("static construction");
         m.add_leaf(
@@ -245,7 +293,6 @@ pub fn resistor_module(name: &str, fragment: &str) -> Module {
     m
 }
 
-
 /// Builds a full adder from standard cells: `SUM = A ⊕ B ⊕ CIN`,
 /// `COUT = AB + CIN·(A ⊕ B)` — two XOR2 and three NAND2 gates.
 pub fn full_adder_module() -> Module {
@@ -260,16 +307,54 @@ pub fn full_adder_module() -> Module {
     let axb = m.add_net("AXB");
     let n1 = m.add_net("N1");
     let n2 = m.add_net("N2");
-    m.add_leaf("X0", "XOR2X1", [("A", a), ("B", b), ("Y", axb), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
-    m.add_leaf("X1", "XOR2X1", [("A", axb), ("B", cin), ("Y", sum), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
-    m.add_leaf("D0", "NAND2X1", [("A", a), ("B", b), ("Y", n1), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
-    m.add_leaf("D1", "NAND2X1", [("A", axb), ("B", cin), ("Y", n2), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
-    m.add_leaf("D2", "NAND2X1", [("A", n1), ("B", n2), ("Y", cout), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
+    m.add_leaf(
+        "X0",
+        "XOR2X1",
+        [("A", a), ("B", b), ("Y", axb), ("VDD", vdd), ("VSS", vss)],
+    )
+    .expect("static construction");
+    m.add_leaf(
+        "X1",
+        "XOR2X1",
+        [
+            ("A", axb),
+            ("B", cin),
+            ("Y", sum),
+            ("VDD", vdd),
+            ("VSS", vss),
+        ],
+    )
+    .expect("static construction");
+    m.add_leaf(
+        "D0",
+        "NAND2X1",
+        [("A", a), ("B", b), ("Y", n1), ("VDD", vdd), ("VSS", vss)],
+    )
+    .expect("static construction");
+    m.add_leaf(
+        "D1",
+        "NAND2X1",
+        [
+            ("A", axb),
+            ("B", cin),
+            ("Y", n2),
+            ("VDD", vdd),
+            ("VSS", vss),
+        ],
+    )
+    .expect("static construction");
+    m.add_leaf(
+        "D2",
+        "NAND2X1",
+        [
+            ("A", n1),
+            ("B", n2),
+            ("Y", cout),
+            ("VDD", vdd),
+            ("VSS", vss),
+        ],
+    )
+    .expect("static construction");
     m
 }
 
@@ -283,12 +368,24 @@ pub fn half_adder_module() -> Module {
     let vdd = m.add_port("VDD", PortDirection::Inout);
     let vss = m.add_port("VSS", PortDirection::Inout);
     let nn = m.add_net("NN");
-    m.add_leaf("X0", "XOR2X1", [("A", a), ("B", b), ("Y", sum), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
-    m.add_leaf("D0", "NAND2X1", [("A", a), ("B", b), ("Y", nn), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
-    m.add_leaf("I0", "INVX1", [("A", nn), ("Y", cout), ("VDD", vdd), ("VSS", vss)])
-        .expect("static construction");
+    m.add_leaf(
+        "X0",
+        "XOR2X1",
+        [("A", a), ("B", b), ("Y", sum), ("VDD", vdd), ("VSS", vss)],
+    )
+    .expect("static construction");
+    m.add_leaf(
+        "D0",
+        "NAND2X1",
+        [("A", a), ("B", b), ("Y", nn), ("VDD", vdd), ("VSS", vss)],
+    )
+    .expect("static construction");
+    m.add_leaf(
+        "I0",
+        "INVX1",
+        [("A", nn), ("Y", cout), ("VDD", vdd), ("VSS", vss)],
+    )
+    .expect("static construction");
     m
 }
 
@@ -335,7 +432,15 @@ pub fn ones_counter_module(n: usize) -> Module {
                 m.add_submodule(
                     format!("FA{uid}"),
                     "full_adder",
-                    [("A", chunk[0]), ("B", chunk[1]), ("CIN", chunk[2]), ("SUM", sum), ("COUT", cout), ("VDD", vdd), ("VSS", vss)],
+                    [
+                        ("A", chunk[0]),
+                        ("B", chunk[1]),
+                        ("CIN", chunk[2]),
+                        ("SUM", sum),
+                        ("COUT", cout),
+                        ("VDD", vdd),
+                        ("VSS", vss),
+                    ],
                 )
                 .expect("static construction");
                 next.push(sum);
@@ -349,7 +454,14 @@ pub fn ones_counter_module(n: usize) -> Module {
                     m.add_submodule(
                         format!("HA{uid}"),
                         "half_adder",
-                        [("A", *a), ("B", *b), ("SUM", sum), ("COUT", cout), ("VDD", vdd), ("VSS", vss)],
+                        [
+                            ("A", *a),
+                            ("B", *b),
+                            ("SUM", sum),
+                            ("COUT", cout),
+                            ("VDD", vdd),
+                            ("VSS", vss),
+                        ],
                     )
                     .expect("static construction");
                     next.push(sum);
@@ -432,7 +544,14 @@ pub fn slice_module(spec: &AdcSpec) -> Module {
             m.add_submodule(
                 format!("{ring}S{sx}"),
                 "VCO_cell",
-                [("ON", on), ("OP", op), ("VCTRL", vctrl), ("VSS", vss), ("IN", inn), ("IP", ip)],
+                [
+                    ("ON", on),
+                    ("OP", op),
+                    ("VCTRL", vctrl),
+                    ("VSS", vss),
+                    ("IN", inn),
+                    ("IP", ip),
+                ],
             )
             .expect("static construction");
         }
@@ -455,13 +574,27 @@ pub fn slice_module(spec: &AdcSpec) -> Module {
         m.add_submodule(
             format!("BP{t}"),
             "buf_cell",
-            [("BIN", p_on), ("BIP", p_op), ("BON", bon), ("BOP", bop), ("VCTRL", vbuf), ("VSS", vss)],
+            [
+                ("BIN", p_on),
+                ("BIP", p_op),
+                ("BON", bon),
+                ("BOP", bop),
+                ("VCTRL", vbuf),
+                ("VSS", vss),
+            ],
         )
         .expect("static construction");
         m.add_submodule(
             format!("BN{t}"),
             "buf_cell",
-            [("BIN", n_on), ("BIP", n_op), ("BON", bon2), ("BOP", bop2), ("VCTRL", vbuf), ("VSS", vss)],
+            [
+                ("BIN", n_on),
+                ("BIP", n_op),
+                ("BON", bon2),
+                ("BOP", bop2),
+                ("VCTRL", vbuf),
+                ("VSS", vss),
+            ],
         )
         .expect("static construction");
         dig_conns.push((format!("BOP{t}"), bop));
@@ -470,30 +603,44 @@ pub fn slice_module(spec: &AdcSpec) -> Module {
         dig_conns.push((format!("BON2_{t}"), bon2));
         dig_conns.push((format!("T{t}"), d_ports[t]));
     }
-    let mut dac_conns: Vec<(String, NetId)> = vec![
-        ("VREFP".to_string(), vrefp),
-        ("VREFN".to_string(), vss),
-    ];
-    for t in 0..stages {
+    let mut dac_conns: Vec<(String, NetId)> =
+        vec![("VREFP".to_string(), vrefp), ("VREFN".to_string(), vss)];
+    for (t, &d_port) in d_ports.iter().enumerate() {
         let db = m.add_net(format!("TB{t}"));
         dig_conns.push((format!("TB{t}"), db));
         let dac_out = m.add_net(format!("DAC_OUT{t}"));
         let dac_out_b = m.add_net(format!("DAC_OUT_B{t}"));
-        dac_conns.push((format!("T{t}"), d_ports[t]));
+        dac_conns.push((format!("T{t}"), d_port));
         dac_conns.push((format!("TB{t}"), db));
         dac_conns.push((format!("DAC_OUT{t}"), dac_out));
         dac_conns.push((format!("DAC_OUT_B{t}"), dac_out_b));
         // Two 11 kΩ resistor cells in series per branch: 22 kΩ.
         let mid_p = m.add_net(format!("RDM_P{t}"));
         let mid_n = m.add_net(format!("RDM_N{t}"));
-        m.add_submodule(format!("RD_P{t}A"), "res_dac", [("T1", dac_out), ("T2", mid_p)])
-            .expect("static construction");
-        m.add_submodule(format!("RD_P{t}B"), "res_dac", [("T1", mid_p), ("T2", vctrlp)])
-            .expect("static construction");
-        m.add_submodule(format!("RD_N{t}A"), "res_dac", [("T1", dac_out_b), ("T2", mid_n)])
-            .expect("static construction");
-        m.add_submodule(format!("RD_N{t}B"), "res_dac", [("T1", mid_n), ("T2", vctrln)])
-            .expect("static construction");
+        m.add_submodule(
+            format!("RD_P{t}A"),
+            "res_dac",
+            [("T1", dac_out), ("T2", mid_p)],
+        )
+        .expect("static construction");
+        m.add_submodule(
+            format!("RD_P{t}B"),
+            "res_dac",
+            [("T1", mid_p), ("T2", vctrlp)],
+        )
+        .expect("static construction");
+        m.add_submodule(
+            format!("RD_N{t}A"),
+            "res_dac",
+            [("T1", dac_out_b), ("T2", mid_n)],
+        )
+        .expect("static construction");
+        m.add_submodule(
+            format!("RD_N{t}B"),
+            "res_dac",
+            [("T1", mid_n), ("T2", vctrln)],
+        )
+        .expect("static construction");
     }
     m.add_submodule(
         "DIG0",
@@ -573,10 +720,8 @@ pub fn generate(spec: &AdcSpec) -> Result<Design, CoreError> {
     if spec.include_output_adder {
         let n_bits = spec.n_slices * spec.vco_stages;
         let width = ones_counter_width(n_bits);
-        let mut conns: Vec<(String, NetId)> = vec![
-            ("VDD".to_string(), vdd),
-            ("VSS".to_string(), vss),
-        ];
+        let mut conns: Vec<(String, NetId)> =
+            vec![("VDD".to_string(), vdd), ("VSS".to_string(), vss)];
         for (i, d_slice) in d_ports.iter().enumerate() {
             for (t, &d) in d_slice.iter().enumerate() {
                 conns.push((format!("IN{}", i * spec.vco_stages + t), d));
@@ -598,7 +743,13 @@ pub fn generate(spec: &AdcSpec) -> Result<Design, CoreError> {
             top.add_leaf(
                 format!("OREG{w}"),
                 "DFFX1",
-                [("D", raw), ("CK", clk_net), ("Q", q), ("VDD", vdd), ("VSS", vss)],
+                [
+                    ("D", raw),
+                    ("CK", clk_net),
+                    ("Q", q),
+                    ("VDD", vdd),
+                    ("VSS", vss),
+                ],
             )?;
         }
     }
@@ -678,7 +829,11 @@ mod tests {
         // fragments = 64; input resistors = 8 → 193. Top: 3 clock buffers
         // plus the ones counter and its 6 output registers.
         let adder_cells = Design::with_modules(
-            [full_adder_module(), half_adder_module(), ones_counter_module(32)],
+            [
+                full_adder_module(),
+                half_adder_module(),
+                ones_counter_module(32),
+            ],
             "ones_counter",
         )
         .unwrap()
@@ -687,7 +842,10 @@ mod tests {
         let expected = 8 * 193 + 3 + adder_cells + 6;
         assert_eq!(flat.len(), expected, "got {}", flat.len());
         // The compressor tree itself: 32 inputs cost ~5 gates per FA.
-        assert!(adder_cells > 100, "adder tree is substantial: {adder_cells}");
+        assert!(
+            adder_cells > 100,
+            "adder tree is substantial: {adder_cells}"
+        );
     }
 
     #[test]
@@ -719,7 +877,13 @@ mod tests {
         // Fig. 12's decomposition, with per-slice control-node domains
         // (the paper notes a PD "may be further partitioned into smaller
         // PDs"; conversely our per-slice nets are the finest partition).
-        for expected in ["PD_VDD", "PD_VREFP", "PD_VBUF", "GROUP_RESLO", "GROUP_RESHI"] {
+        for expected in [
+            "PD_VDD",
+            "PD_VREFP",
+            "PD_VBUF",
+            "GROUP_RESLO",
+            "GROUP_RESHI",
+        ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");
         }
         assert!(names.contains(&"PD_S0_VCTRLP"), "{names:?}");
@@ -752,7 +916,11 @@ mod tests {
         // Slices add 193 cells each plus the growth of the ones counter.
         let adder = |slices: usize| {
             Design::with_modules(
-                [full_adder_module(), half_adder_module(), ones_counter_module(slices * 4)],
+                [
+                    full_adder_module(),
+                    half_adder_module(),
+                    ones_counter_module(slices * 4),
+                ],
                 "ones_counter",
             )
             .unwrap()
@@ -767,7 +935,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn full_adder_truth_table_at_gate_level() {
         use tdsigma_netlist::GateSimulator;
@@ -779,8 +946,16 @@ mod tests {
             sim.drive("B", b);
             sim.drive("CIN", c);
             let total = a as u8 + b as u8 + c as u8;
-            assert_eq!(sim.value("SUM").to_bool(), Some(total & 1 != 0), "sum of {bits:03b}");
-            assert_eq!(sim.value("COUT").to_bool(), Some(total >= 2), "carry of {bits:03b}");
+            assert_eq!(
+                sim.value("SUM").to_bool(),
+                Some(total & 1 != 0),
+                "sum of {bits:03b}"
+            );
+            assert_eq!(
+                sim.value("COUT").to_bool(),
+                Some(total >= 2),
+                "carry of {bits:03b}"
+            );
         }
     }
 
@@ -789,7 +964,11 @@ mod tests {
         use tdsigma_netlist::{Design, GateSimulator};
         for n in [2usize, 3, 5, 8] {
             let design = Design::with_modules(
-                [full_adder_module(), half_adder_module(), ones_counter_module(n)],
+                [
+                    full_adder_module(),
+                    half_adder_module(),
+                    ones_counter_module(n),
+                ],
                 "ones_counter",
             )
             .unwrap();

@@ -158,8 +158,7 @@ pub fn estimate(
     let clock_w = activity.clk_cycles as f64 * 2.0 * clk_loads_per_cycle / t;
 
     // DAC inverters swing the full reference.
-    let dac_w =
-        activity.dac_toggles as f64 * 2.0 * e_inv2 * (spec.vrefp_v / vdd).powi(2) / t;
+    let dac_w = activity.dac_toggles as f64 * 2.0 * e_inv2 * (spec.vrefp_v / vdd).powi(2) / t;
 
     // Wire capacitance switches at a blended activity: clock nets at fs,
     // VCO nets at f0, data at bit-toggle rate. Use a 0.15 activity factor
@@ -234,7 +233,10 @@ mod tests {
 
     #[test]
     fn digital_dominates_at_both_nodes() {
-        for spec in [AdcSpec::paper_40nm().unwrap(), AdcSpec::paper_180nm().unwrap()] {
+        for spec in [
+            AdcSpec::paper_40nm().unwrap(),
+            AdcSpec::paper_180nm().unwrap(),
+        ] {
             let p = estimate(&spec, &activity_for(&spec), 0.0, 500.0);
             let frac = p.digital_fraction();
             assert!(

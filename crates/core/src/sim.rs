@@ -407,9 +407,8 @@ impl AdcSimulator {
                 slice.node_n.set_drive(slice.in_n, drive_n);
                 slice.node_p.advance(dt, &mut self.rng);
                 slice.node_n.advance(dt, &mut self.rng);
-                resistor_energy += (slice.node_p.dissipated_power_w()
-                    + slice.node_n.dissipated_power_w())
-                    * dt;
+                resistor_energy +=
+                    (slice.node_p.dissipated_power_w() + slice.node_n.dissipated_power_w()) * dt;
                 let vp = slice.node_p.voltage();
                 let vn = slice.node_n.voltage();
                 slice.vco_p.advance(dt, vp, &mut self.rng);
@@ -436,15 +435,19 @@ impl AdcSimulator {
                         // the per-tap XORs are summed — the slice code
                         // resolves the phase difference to π/stages.
                         let mut code = 0u8;
-                        let jp = 2.0 * PI * slice.vco_p.frequency_hz(slice.node_p.voltage()) * jitter_s;
-                        let jn = 2.0 * PI * slice.vco_n.frequency_hz(slice.node_n.voltage()) * jitter_s;
+                        let jp =
+                            2.0 * PI * slice.vco_p.frequency_hz(slice.node_p.voltage()) * jitter_s;
+                        let jn =
+                            2.0 * PI * slice.vco_n.frequency_hz(slice.node_n.voltage()) * jitter_s;
                         for tap in 0..stages {
                             let offset = PI * tap as f64 / stages as f64;
                             // Buffer output: soft-clipped sine around the
                             // low common mode (the VCO slews through its
                             // transitions, where offset and noise act).
-                            let sp = ((slice.vco_p.phase() + jp + offset).sin() * 3.0).clamp(-1.0, 1.0);
-                            let sn = ((slice.vco_n.phase() + jn + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let sp =
+                                ((slice.vco_p.phase() + jp + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let sn =
+                                ((slice.vco_n.phase() + jn + offset).sin() * 3.0).clamp(-1.0, 1.0);
                             let q1 = slice.cmp_p[tap].sample(
                                 self.buf_cm_v + half * sp,
                                 self.buf_cm_v - half * sp,
@@ -475,8 +478,7 @@ impl AdcSimulator {
                     for slice in &mut self.slices {
                         slice.retimed_code = slice.code;
                         if slice.retimed_code != slice.dac_code {
-                            slice.dac_toggles +=
-                                slice.retimed_code.abs_diff(slice.dac_code) as u64;
+                            slice.dac_toggles += slice.retimed_code.abs_diff(slice.dac_code) as u64;
                             slice.dac_code = slice.retimed_code;
                             // code high → pull VCTRLP down, VCTRLN up
                             // (negative feedback through the inverters);
@@ -504,7 +506,11 @@ impl AdcSimulator {
                 .slices
                 .iter()
                 .map(|s| {
-                    s.cmp_p.iter().chain(&s.cmp_n).map(|c| c.decision_count()).sum::<u64>()
+                    s.cmp_p
+                        .iter()
+                        .chain(&s.cmp_n)
+                        .map(|c| c.decision_count())
+                        .sum::<u64>()
                 })
                 .sum(),
             resistor_energy_j: resistor_energy,
@@ -615,7 +621,11 @@ mod tests {
             narrow.sndr_db,
             wide.sndr_db
         );
-        assert!(narrow.sndr_db > 45.0, "in-band SNDR too low: {}", narrow.sndr_db);
+        assert!(
+            narrow.sndr_db > 45.0,
+            "in-band SNDR too low: {}",
+            narrow.sndr_db
+        );
     }
 
     #[test]
@@ -645,8 +655,7 @@ mod tests {
         let n = 2048;
         let fin = 5.0 * spec.fs_hz / n as f64;
         let mut a = AdcSimulator::with_comparator(spec.clone(), ComparatorFlavor::Nor3).unwrap();
-        let mut b =
-            AdcSimulator::with_comparator(spec, ComparatorFlavor::StrongArm).unwrap();
+        let mut b = AdcSimulator::with_comparator(spec, ComparatorFlavor::StrongArm).unwrap();
         let sndr_a = a.run_tone(fin, 0.5 * fsv, n).analyze(5e6).sndr_db;
         let sndr_b = b.run_tone(fin, 0.5 * fsv, n).analyze(5e6).sndr_db;
         assert!(

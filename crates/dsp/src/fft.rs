@@ -147,7 +147,10 @@ pub fn fft_real(samples: &[f64]) -> Vec<Complex> {
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {

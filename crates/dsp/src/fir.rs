@@ -37,7 +37,10 @@ impl FirFilter {
     /// Panics if `cutoff` is out of range or `n_taps` is even or < 3.
     pub fn low_pass(cutoff: f64, n_taps: usize, window: Window) -> Self {
         assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5)");
-        assert!(n_taps >= 3 && n_taps % 2 == 1, "n_taps must be odd and >= 3");
+        assert!(
+            n_taps >= 3 && n_taps % 2 == 1,
+            "n_taps must be odd and >= 3"
+        );
         let m = (n_taps - 1) as f64 / 2.0;
         let w = window.symmetric_coefficients(n_taps);
         let mut taps: Vec<f64> = (0..n_taps)
@@ -70,7 +73,10 @@ impl FirFilter {
     pub fn cic_compensator(order: usize, ratio: usize, passband: f64, n_taps: usize) -> Self {
         assert!(order > 0 && ratio >= 2, "bad CIC parameters");
         assert!(passband > 0.0 && passband < 0.5, "passband in (0, 0.5)");
-        assert!(n_taps >= 3 && n_taps % 2 == 1, "n_taps must be odd and >= 3");
+        assert!(
+            n_taps >= 3 && n_taps % 2 == 1,
+            "n_taps must be odd and >= 3"
+        );
         // Frequency-sampled design: target |H| = 1 / |CIC(f)| in the
         // passband, tapering to 0 beyond.
         let grid = 8 * n_taps;
@@ -240,6 +246,9 @@ mod tests {
 
     #[test]
     fn display_reports_taps() {
-        assert_eq!(FirFilter::low_pass(0.1, 21, Window::Hann).to_string(), "FIR(21 taps)");
+        assert_eq!(
+            FirFilter::low_pass(0.1, 21, Window::Hann).to_string(),
+            "FIR(21 taps)"
+        );
     }
 }

@@ -239,8 +239,14 @@ mod tests {
     fn too_few_points_panics() {
         let _ = transfer_inl(
             &[
-                TransferPoint { input: 0.0, output: 0.0 },
-                TransferPoint { input: 1.0, output: 1.0 },
+                TransferPoint {
+                    input: 0.0,
+                    output: 0.0,
+                },
+                TransferPoint {
+                    input: 1.0,
+                    output: 1.0,
+                },
             ],
             1.0,
         );
@@ -249,7 +255,10 @@ mod tests {
     #[test]
     fn displays() {
         let points: Vec<TransferPoint> = (0..5)
-            .map(|i| TransferPoint { input: i as f64, output: i as f64 })
+            .map(|i| TransferPoint {
+                input: i as f64,
+                output: i as f64,
+            })
             .collect();
         assert!(transfer_inl(&points, 1.0).to_string().contains("INL"));
     }

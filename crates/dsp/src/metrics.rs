@@ -230,7 +230,10 @@ pub fn walden_fom_fj(power_w: f64, sndr_db: f64, bandwidth_hz: f64) -> f64 {
 ///
 /// Panics if `power_w` or `bandwidth_hz` is not positive.
 pub fn schreier_fom_db(power_w: f64, sndr_db: f64, bandwidth_hz: f64) -> f64 {
-    assert!(power_w > 0.0 && bandwidth_hz > 0.0, "power and bandwidth must be positive");
+    assert!(
+        power_w > 0.0 && bandwidth_hz > 0.0,
+        "power and bandwidth must be positive"
+    );
     sndr_db + 10.0 * (bandwidth_hz / power_w).log10()
 }
 
@@ -284,10 +287,7 @@ mod tests {
         // Noise spread to Nyquist; restricting to 1/16 of the band drops
         // in-band noise by ~12 dB.
         let samples = capture(8192, 100.0, 1.0, 0.01, 3);
-        let full = ToneAnalysis::of(
-            &Spectrum::from_samples(&samples, 1e6, Window::Hann),
-            None,
-        );
+        let full = ToneAnalysis::of(&Spectrum::from_samples(&samples, 1e6, Window::Hann), None);
         let narrow = ToneAnalysis::of(
             &Spectrum::from_samples(&samples, 1e6, Window::Hann),
             Some(1e6 / 32.0),

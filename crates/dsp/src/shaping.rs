@@ -109,7 +109,11 @@ impl fmt::Display for IdleToneReport {
             "worst in-band spur {:+.1} dB over median at {:.3} MHz → {}",
             self.worst_spur_over_median_db,
             self.worst_spur_hz / 1e6,
-            if self.clean { "no idle tones" } else { "IDLE TONES PRESENT" }
+            if self.clean {
+                "no idle tones"
+            } else {
+                "IDLE TONES PRESENT"
+            }
         )
     }
 }
@@ -210,7 +214,11 @@ mod tests {
         let samples = shaped_capture(1 << 14, 37, 40.0);
         let s = Spectrum::from_samples(&samples, 100e6, Window::Hann);
         let fit = fit_noise_slope(&s, 1e6, 40e6);
-        assert!(fit.slope_db_per_decade > 30.0, "got {}", fit.slope_db_per_decade);
+        assert!(
+            fit.slope_db_per_decade > 30.0,
+            "got {}",
+            fit.slope_db_per_decade
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Spectrum {
             .iter()
             .enumerate()
             .map(|(k, v)| {
-                let s = if k == 0 || k == n / 2 { scale / 2.0 } else { scale };
+                let s = if k == 0 || k == n / 2 {
+                    scale / 2.0
+                } else {
+                    scale
+                };
                 let amp = v.abs() * s;
                 amp * amp // store power (FS² units)
             })
@@ -140,7 +144,10 @@ impl Spectrum {
     ///
     /// Panics if the range is out of bounds or reversed.
     pub fn band_power(&self, lo_bin: usize, hi_bin: usize) -> f64 {
-        assert!(lo_bin <= hi_bin && hi_bin < self.bins.len(), "bad bin range");
+        assert!(
+            lo_bin <= hi_bin && hi_bin < self.bins.len(),
+            "bad bin range"
+        );
         self.bins[lo_bin..=hi_bin].iter().sum()
     }
 

@@ -115,7 +115,11 @@ pub fn welch_psd(
             .collect();
         let spec = fft_real(&windowed);
         for (k, a) in acc.iter_mut().enumerate() {
-            let scale = if k == 0 || k == segment_len / 2 { 1.0 } else { 2.0 };
+            let scale = if k == 0 || k == segment_len / 2 {
+                1.0
+            } else {
+                2.0
+            };
             *a += scale * spec[k].norm_sqr() / (u * segment_len as f64 * sample_rate_hz);
         }
         segments += 1;
@@ -168,7 +172,10 @@ mod tests {
         // Flatness: median of first and last quarter within 1.5x.
         let lo = psd.median_floor(fs * 0.02, fs * 0.12);
         let hi = psd.median_floor(fs * 0.35, fs * 0.48);
-        assert!((lo / hi).abs() < 1.5 && (hi / lo).abs() < 1.5, "{lo} vs {hi}");
+        assert!(
+            (lo / hi).abs() < 1.5 && (hi / lo).abs() < 1.5,
+            "{lo} vs {hi}"
+        );
     }
 
     #[test]
@@ -193,7 +200,8 @@ mod tests {
             psd.frequency_hz(peak)
         );
         // Tone power ≈ A²/2 = 0.5.
-        let tone_power = psd.band_power(f0 - 5.0 * psd.bin_width_hz(), f0 + 5.0 * psd.bin_width_hz());
+        let tone_power =
+            psd.band_power(f0 - 5.0 * psd.bin_width_hz(), f0 + 5.0 * psd.bin_width_hz());
         assert!((tone_power - 0.5).abs() < 0.05, "tone power {tone_power}");
     }
 

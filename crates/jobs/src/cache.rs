@@ -1,0 +1,195 @@
+//! Content-addressed result cache: in-memory map + on-disk JSON store.
+//!
+//! A report is filed under [`crate::Job::key`] — a stable hash of the
+//! canonicalized job parameters — so any job that was ever executed with
+//! the same parameters is answered without running a flow. The disk tier
+//! (one `<key>.json` artifact per result, conventionally under
+//! `results/cache/`) survives process restarts, which is what makes
+//! re-running a whole sweep near-free.
+
+use crate::error::JobError;
+use crate::report::JobReport;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A two-tier (memory + optional disk) result cache. All methods take
+/// `&self`; the cache is safe to share across worker and server threads.
+#[derive(Debug)]
+pub struct ResultCache {
+    mem: Mutex<HashMap<String, JobReport>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache (dies with the process).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+        }
+    }
+
+    /// A cache backed by a directory of `<key>.json` artifacts; the
+    /// directory is created if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Io`] if the directory cannot be created.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Result<Self, JobError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: Some(dir),
+        })
+    }
+
+    /// The disk directory, if this cache has one.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks up a result by job key: memory first, then disk (a disk hit
+    /// is promoted into memory).
+    pub fn get(&self, key: &str) -> Option<JobReport> {
+        if let Some(hit) = self.mem.lock().expect("cache lock").get(key) {
+            return Some(hit.clone());
+        }
+        let path = self.artifact_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let report = JobReport::from_text(&text).ok()?;
+        // Never serve an artifact filed under the wrong key (e.g. a
+        // hand-renamed file): the report embeds its own address.
+        if report.key != key {
+            return None;
+        }
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), report.clone());
+        Some(report)
+    }
+
+    /// Stores a result under its own key, in memory and (if configured)
+    /// on disk. The disk write is atomic (temp file + rename) so a
+    /// concurrent reader never observes a torn artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Io`] if the disk write fails; the in-memory
+    /// tier is updated regardless.
+    pub fn put(&self, report: &JobReport) -> Result<(), JobError> {
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .insert(report.key.clone(), report.clone());
+        if let Some(path) = self.artifact_path(&report.key) {
+            let tmp = path.with_extension("json.tmp");
+            fs::write(&tmp, report.to_text() + "\n")?;
+            fs::rename(&tmp, &path)?;
+        }
+        Ok(())
+    }
+
+    /// Number of results in the in-memory tier.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock").len()
+    }
+
+    /// True if the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn artifact_path(&self, key: &str) -> Option<PathBuf> {
+        // Keys are hex strings produced by `Job::key`; refuse anything
+        // else so a hostile serve request cannot traverse paths.
+        if !key.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn report_for(job: &Job) -> JobReport {
+        JobReport {
+            key: job.key(),
+            job: job.clone(),
+            fin_hz: 1e6,
+            sndr_db: 68.5,
+            enob: 11.1,
+            power_mw: None,
+            digital_fraction: None,
+            area_mm2: None,
+            fom_fj: None,
+            timing_slack_ps: None,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tdsigma_cache_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let cache = ResultCache::in_memory();
+        let job = Job::sim(40.0, 750e6, 5e6);
+        assert!(cache.get(&job.key()).is_none());
+        cache.put(&report_for(&job)).unwrap();
+        assert_eq!(cache.get(&job.key()).unwrap().sndr_db, 68.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_survives_cache_instance() {
+        let dir = temp_dir("persist");
+        let job = Job::sim(40.0, 750e6, 5e6);
+        {
+            let cache = ResultCache::with_disk(&dir).unwrap();
+            cache.put(&report_for(&job)).unwrap();
+        }
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(fresh.len(), 0, "memory tier starts cold");
+        let hit = fresh.get(&job.key()).expect("disk hit");
+        assert_eq!(hit.key, job.key());
+        assert_eq!(fresh.len(), 1, "disk hit promoted to memory");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_artifact_is_ignored() {
+        let dir = temp_dir("mismatch");
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        let job = Job::sim(40.0, 750e6, 5e6);
+        cache.put(&report_for(&job)).unwrap();
+        // File the artifact under a different (valid-hex) key.
+        let other_key = "deadbeef".repeat(4);
+        fs::copy(
+            dir.join(format!("{}.json", job.key())),
+            dir.join(format!("{other_key}.json")),
+        )
+        .unwrap();
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.get(&other_key).is_none(), "key mismatch must miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_keys_never_touch_disk() {
+        let dir = temp_dir("hostile");
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        assert!(cache.get("../../etc/passwd").is_none());
+        assert!(cache.get("a/b").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

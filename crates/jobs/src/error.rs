@@ -1,0 +1,55 @@
+//! Error type for job submission and execution.
+
+use std::fmt;
+
+/// Everything that can go wrong between submitting a job and getting a
+/// report back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job parameters are invalid (spec validation, unknown node,
+    /// malformed request). Not retryable: the same input always fails.
+    Invalid(String),
+    /// The flow errored or panicked on every allowed attempt.
+    Failed {
+        /// Number of attempts made (1 = no retries were allowed/needed).
+        attempts: u32,
+        /// Message of the final failure.
+        message: String,
+    },
+    /// The batch was cancelled before this job ran.
+    Canceled,
+    /// The worker pool is shut down.
+    PoolClosed,
+    /// Cache or network I/O failure.
+    Io(String),
+}
+
+impl JobError {
+    /// Whether re-running the job could plausibly succeed (panics and
+    /// transient failures — not validation errors).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, JobError::Failed { .. } | JobError::Io(_))
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Invalid(m) => write!(f, "invalid job: {m}"),
+            JobError::Failed { attempts, message } => {
+                write!(f, "job failed after {attempts} attempt(s): {message}")
+            }
+            JobError::Canceled => f.write_str("job canceled"),
+            JobError::PoolClosed => f.write_str("worker pool is closed"),
+            JobError::Io(m) => write!(f, "job I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<std::io::Error> for JobError {
+    fn from(e: std::io::Error) -> Self {
+        JobError::Io(e.to_string())
+    }
+}

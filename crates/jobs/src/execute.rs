@@ -1,0 +1,164 @@
+//! The default job runner: turns a [`Job`] into a [`JobReport`] by
+//! driving the core simulator or the full design flow.
+//!
+//! Runners are deliberately plain functions `&Job → Result<(report,
+//! stage times)>` so the pool can be tested with injected runners
+//! (panicking, flaky, slow) without touching the real flow.
+
+use crate::error::JobError;
+use crate::job::{Job, JobKind};
+use crate::metrics::StageTimes;
+use crate::report::JobReport;
+use std::time::Instant;
+use tdsigma_core::flow::DesignFlow;
+use tdsigma_core::sim::AdcSimulator;
+use tdsigma_dsp::metrics::enob_from_sndr;
+
+/// Executes one job to completion on the calling thread.
+///
+/// Deterministic: the result depends only on the job parameters (every
+/// stochastic input is drawn from the job's seed), never on scheduling.
+///
+/// # Errors
+///
+/// [`JobError::Invalid`] for unsupported parameters, [`JobError::Failed`]
+/// for flow errors.
+pub fn execute(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
+    match job.kind {
+        JobKind::SimTone => execute_sim(job),
+        JobKind::FullFlow => execute_flow(job),
+    }
+}
+
+fn execute_sim(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
+    let mut stages = StageTimes::default();
+    let t = Instant::now();
+    let spec = job.to_spec()?;
+    let mut sim = AdcSimulator::new(spec.clone()).map_err(failed)?;
+    stages.build_ms = ms_since(t);
+
+    let t = Instant::now();
+    let fin = job.input_frequency_hz();
+    let amplitude = job.amplitude_rel * spec.full_scale_v();
+    let capture = sim.run_tone(fin, amplitude, job.samples);
+    stages.execute_ms = ms_since(t);
+
+    let t = Instant::now();
+    let analysis = capture.analyze(spec.bw_hz);
+    let report = JobReport {
+        key: job.key(),
+        job: job.clone(),
+        fin_hz: fin,
+        sndr_db: analysis.sndr_db,
+        enob: enob_from_sndr(analysis.sndr_db),
+        power_mw: None,
+        digital_fraction: None,
+        area_mm2: None,
+        fom_fj: None,
+        timing_slack_ps: None,
+    };
+    stages.analyze_ms = ms_since(t);
+    Ok((report, stages))
+}
+
+fn execute_flow(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
+    let mut stages = StageTimes::default();
+    let t = Instant::now();
+    let spec = job.to_spec()?;
+    let mut flow = DesignFlow::new(spec)
+        .with_samples(job.samples)
+        .with_amplitude(job.amplitude_rel);
+    if let Some(fin) = job.fin_hz {
+        flow = flow.with_input_frequency(fin);
+    }
+    let fin = flow.input_frequency_hz();
+    stages.build_ms = ms_since(t);
+
+    let t = Instant::now();
+    let outcome = flow.run().map_err(failed)?;
+    stages.execute_ms = ms_since(t);
+
+    let t = Instant::now();
+    let r = &outcome.report;
+    let report = JobReport {
+        key: job.key(),
+        job: job.clone(),
+        fin_hz: fin,
+        sndr_db: r.sndr_db,
+        enob: r.enob,
+        power_mw: Some(r.power_mw),
+        digital_fraction: Some(r.digital_fraction),
+        area_mm2: Some(r.area_mm2),
+        fom_fj: Some(r.fom_fj),
+        timing_slack_ps: Some(outcome.timing.slack_ps()),
+    };
+    stages.analyze_ms = ms_since(t);
+    Ok((report, stages))
+}
+
+fn failed(e: impl std::fmt::Display) -> JobError {
+    JobError::Failed {
+        attempts: 1,
+        message: e.to_string(),
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_sim_job() -> Job {
+        let mut job = Job::sim(40.0, 750e6, 5e6);
+        job.slices = 2;
+        // 2048 cycles keeps the test fast while leaving enough in-band
+        // FFT bins for the SNDR analysis (bw·N/fs ≈ 13 bins).
+        job.samples = 2048;
+        job.steps_per_cycle = 4;
+        job
+    }
+
+    #[test]
+    fn sim_job_executes_deterministically() {
+        let job = quick_sim_job();
+        let (a, _) = execute(&job).unwrap();
+        let (b, _) = execute(&job).unwrap();
+        assert_eq!(a.to_text(), b.to_text(), "same job, same bits");
+        assert!(a.sndr_db.is_finite());
+        assert_eq!(a.power_mw, None);
+        assert_eq!(a.key, job.key());
+    }
+
+    #[test]
+    fn different_seed_different_result() {
+        let job = quick_sim_job();
+        let mut other = job.clone();
+        other.seed = 31_337;
+        let (a, _) = execute(&job).unwrap();
+        let (b, _) = execute(&other).unwrap();
+        assert_ne!(
+            a.sndr_db, b.sndr_db,
+            "a different die must measure differently"
+        );
+    }
+
+    #[test]
+    fn invalid_job_reports_invalid() {
+        let mut job = quick_sim_job();
+        job.slices = 0;
+        match execute(&job) {
+            Err(JobError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_times_are_recorded() {
+        let (_, stages) = execute(&quick_sim_job()).unwrap();
+        assert!(stages.execute_ms > 0.0);
+        assert!(stages.total_ms() >= stages.execute_ms);
+    }
+}

@@ -1,0 +1,315 @@
+//! The unit of work: a fully-parameterized, deterministic design job.
+//!
+//! A [`Job`] is a *value* — plain numbers, no handles — so that two jobs
+//! with the same parameters are interchangeable. That is what makes the
+//! engine's guarantees possible: the content-addressed cache keys on the
+//! canonicalized parameters ([`Job::key`]), results are bit-identical
+//! whether the batch ran on one worker or sixteen, and a request arriving
+//! over the `serve` line protocol is exactly as executable as one built
+//! in-process.
+
+use crate::error::JobError;
+use crate::json::Json;
+use tdsigma_core::spec::AdcSpec;
+use tdsigma_tech::{NodeId, Technology};
+
+/// What the job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Schematic-level behavioral simulation of one tone: fast, returns
+    /// SNDR/ENOB only. The workhorse of design-space sweeps.
+    SimTone,
+    /// The complete Fig.-9 flow (netlist → power plan → APR → extraction
+    /// → post-layout sim): slow, returns the full Table-3 row.
+    FullFlow,
+}
+
+impl JobKind {
+    /// Stable protocol name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::SimTone => "sim",
+            JobKind::FullFlow => "flow",
+        }
+    }
+
+    /// Parses a protocol name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] for anything but `"sim"` / `"flow"`.
+    pub fn parse(s: &str) -> Result<Self, JobError> {
+        match s {
+            "sim" => Ok(JobKind::SimTone),
+            "flow" => Ok(JobKind::FullFlow),
+            other => Err(JobError::Invalid(format!(
+                "unknown job kind {other:?} (expected \"sim\" or \"flow\")"
+            ))),
+        }
+    }
+}
+
+/// One design-flow invocation: a spec, flow options, and a deterministic
+/// RNG seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Simulation-only or full flow.
+    pub kind: JobKind,
+    /// Technology node gate length, nm (must name a supported node).
+    pub node_nm: f64,
+    /// Slice count.
+    pub slices: usize,
+    /// Sampling clock, Hz.
+    pub fs_hz: f64,
+    /// Signal bandwidth, Hz.
+    pub bw_hz: f64,
+    /// Captured clock cycles (power of two for coherent FFT).
+    pub samples: usize,
+    /// Input amplitude relative to full scale (0–1).
+    pub amplitude_rel: f64,
+    /// Input tone target frequency, Hz; `None` → coherent tone near BW/5
+    /// (the paper's operating point).
+    pub fin_hz: Option<f64>,
+    /// Simulation substeps per clock cycle; 0 → the spec default.
+    pub steps_per_cycle: usize,
+    /// Loop-gain multiplier (the paper's SQNR knob); 1.0 → nominal.
+    pub loop_gain: f64,
+    /// Ring-VCO stages per VCO; 0 → the spec default.
+    pub vco_stages: usize,
+    /// RNG seed for mismatch and noise draws (one seed = one die).
+    pub seed: u64,
+}
+
+impl Job {
+    /// A simulation job at the paper's default operating point for the
+    /// given node/clock/bandwidth.
+    pub fn sim(node_nm: f64, fs_hz: f64, bw_hz: f64) -> Self {
+        Job {
+            kind: JobKind::SimTone,
+            node_nm,
+            slices: 8,
+            fs_hz,
+            bw_hz,
+            samples: 8192,
+            amplitude_rel: 0.79,
+            fin_hz: None,
+            steps_per_cycle: 0,
+            loop_gain: 1.0,
+            vco_stages: 0,
+            seed: 2017,
+        }
+    }
+
+    /// A full-flow job at the paper's default operating point.
+    pub fn flow(node_nm: f64, fs_hz: f64, bw_hz: f64) -> Self {
+        Job {
+            kind: JobKind::FullFlow,
+            samples: 16_384,
+            ..Job::sim(node_nm, fs_hz, bw_hz)
+        }
+    }
+
+    /// The canonicalized parameter string this job is addressed by.
+    ///
+    /// Floats are rendered as their exact IEEE-754 bit patterns, so two
+    /// jobs share a canonical form iff every parameter is bit-equal —
+    /// no formatting or rounding ambiguity can alias distinct jobs.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v1;kind={};node={:016x};slices={};fs={:016x};bw={:016x};samples={};amp={:016x};\
+             fin={};steps={};gain={:016x};stages={};seed={}",
+            self.kind.as_str(),
+            self.node_nm.to_bits(),
+            self.slices,
+            self.fs_hz.to_bits(),
+            self.bw_hz.to_bits(),
+            self.samples,
+            self.amplitude_rel.to_bits(),
+            self.fin_hz
+                .map_or("none".to_string(), |f| format!("{:016x}", f.to_bits())),
+            self.steps_per_cycle,
+            self.loop_gain.to_bits(),
+            self.vco_stages,
+            self.seed,
+        )
+    }
+
+    /// The 128-bit content-address of this job (32 hex chars): two
+    /// independent FNV-1a passes over [`Job::canonical`]. Keys both the
+    /// in-memory map and the on-disk artifact store.
+    pub fn key(&self) -> String {
+        let canon = self.canonical();
+        let a = fnv1a(canon.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a(canon.as_bytes(), 0x9ae1_6a3b_2f90_404f);
+        format!("{a:016x}{b:016x}")
+    }
+
+    /// Materializes the validated [`AdcSpec`] this job describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] if the node is unsupported or the
+    /// derived spec fails validation.
+    pub fn to_spec(&self) -> Result<AdcSpec, JobError> {
+        let invalid = |e: &dyn std::fmt::Display| JobError::Invalid(e.to_string());
+        let node = NodeId::from_gate_length(self.node_nm).map_err(|e| invalid(&e))?;
+        let tech = Technology::for_node(node).map_err(|e| invalid(&e))?;
+        let mut spec = AdcSpec::for_technology(tech, self.fs_hz, self.bw_hz)
+            .map_err(|e| invalid(&e))?
+            .with_slices(self.slices)
+            .map_err(|e| invalid(&e))?;
+        if self.vco_stages != 0 {
+            spec.vco_stages = self.vco_stages;
+        }
+        if self.loop_gain != 1.0 {
+            spec.kvco_hz_per_v *= self.loop_gain;
+        }
+        if self.steps_per_cycle != 0 {
+            spec.steps_per_cycle = self.steps_per_cycle;
+        }
+        spec.seed = self.seed;
+        spec.validated().map_err(|e| invalid(&e))
+    }
+
+    /// The coherent input frequency the job will actually simulate: the
+    /// target (or BW/5) snapped to a non-zero FFT bin of the capture —
+    /// the same snap rule as `DesignFlow::input_frequency_hz`.
+    pub fn input_frequency_hz(&self) -> f64 {
+        let target = self.fin_hz.unwrap_or(self.bw_hz / 5.0);
+        let bin = (target * self.samples as f64 / self.fs_hz).round().max(1.0);
+        bin * self.fs_hz / self.samples as f64
+    }
+
+    /// This job as a canonical JSON object (Hz units, every field).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str(self.kind.as_str().into())),
+            ("node_nm".into(), Json::Num(self.node_nm)),
+            ("slices".into(), Json::Num(self.slices as f64)),
+            ("fs_hz".into(), Json::Num(self.fs_hz)),
+            ("bw_hz".into(), Json::Num(self.bw_hz)),
+            ("samples".into(), Json::Num(self.samples as f64)),
+            ("amplitude_rel".into(), Json::Num(self.amplitude_rel)),
+            ("fin_hz".into(), self.fin_hz.map_or(Json::Null, Json::Num)),
+            (
+                "steps_per_cycle".into(),
+                Json::Num(self.steps_per_cycle as f64),
+            ),
+            ("loop_gain".into(), Json::Num(self.loop_gain)),
+            ("vco_stages".into(), Json::Num(self.vco_stages as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+        ])
+    }
+
+    /// Parses the canonical JSON form written by [`Job::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self, JobError> {
+        let missing = |k: &str| JobError::Invalid(format!("job field {k:?} missing or mistyped"));
+        let num = |k: &str| v.get(k).and_then(Json::as_f64).ok_or_else(|| missing(k));
+        let int = |k: &str| v.get(k).and_then(Json::as_u64).ok_or_else(|| missing(k));
+        Ok(Job {
+            kind: JobKind::parse(
+                v.get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("kind"))?,
+            )?,
+            node_nm: num("node_nm")?,
+            slices: int("slices")? as usize,
+            fs_hz: num("fs_hz")?,
+            bw_hz: num("bw_hz")?,
+            samples: int("samples")? as usize,
+            amplitude_rel: num("amplitude_rel")?,
+            fin_hz: match v.get("fin_hz") {
+                Some(Json::Null) | None => None,
+                Some(x) => Some(x.as_f64().ok_or_else(|| missing("fin_hz"))?),
+            },
+            steps_per_cycle: int("steps_per_cycle")? as usize,
+            loop_gain: num("loop_gain")?,
+            vco_stages: int("vco_stages")? as usize,
+            seed: int("seed")?,
+        })
+    }
+}
+
+fn fnv1a(data: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_stable_and_parameter_sensitive() {
+        let job = Job::sim(40.0, 750e6, 5e6);
+        let k1 = job.key();
+        assert_eq!(k1.len(), 32);
+        assert_eq!(k1, job.clone().key(), "key must be deterministic");
+
+        let mut other = job.clone();
+        other.seed += 1;
+        assert_ne!(k1, other.key(), "seed must change the address");
+        let mut other = job.clone();
+        other.amplitude_rel = 0.790000001;
+        assert_ne!(k1, other.key(), "any bit change must change the address");
+        let mut other = job.clone();
+        other.kind = JobKind::FullFlow;
+        assert_ne!(k1, other.key(), "kind must change the address");
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut job = Job::flow(180.0, 250e6, 1.4e6);
+        job.fin_hz = Some(1.23e6);
+        job.seed = 424_242;
+        let text = job.to_json().to_text();
+        let back = Job::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(job, back);
+        assert_eq!(job.key(), back.key());
+
+        let job2 = Job::sim(40.0, 750e6, 5e6);
+        let back2 = Job::from_json(&Json::parse(&job2.to_json().to_text()).unwrap()).unwrap();
+        assert_eq!(job2, back2);
+    }
+
+    #[test]
+    fn to_spec_applies_knobs() {
+        let mut job = Job::sim(40.0, 750e6, 5e6);
+        job.slices = 4;
+        job.loop_gain = 1.5;
+        job.steps_per_cycle = 8;
+        job.seed = 99;
+        let spec = job.to_spec().unwrap();
+        assert_eq!(spec.n_slices, 4);
+        assert_eq!(spec.steps_per_cycle, 8);
+        assert_eq!(spec.seed, 99);
+        let base = Job::sim(40.0, 750e6, 5e6).to_spec().unwrap();
+        assert!((spec.kvco_hz_per_v / base.kvco_hz_per_v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_node_is_invalid_not_failed() {
+        let job = Job::sim(41.0, 750e6, 5e6);
+        match job.to_spec() {
+            Err(JobError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_frequency_snaps_to_bin() {
+        let job = Job::sim(40.0, 750e6, 5e6);
+        let fin = job.input_frequency_hz();
+        let bin = fin * job.samples as f64 / job.fs_hz;
+        assert!((bin - bin.round()).abs() < 1e-9);
+        assert!((fin - 1e6).abs() < 200e3, "near BW/5: {fin}");
+    }
+}

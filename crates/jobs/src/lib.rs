@@ -1,0 +1,51 @@
+//! `tdsigma-jobs` — a std-only parallel job-execution subsystem for the
+//! tdsigma design flows.
+//!
+//! The crate turns "run this grid of ADC configurations" from a serial
+//! loop into a first-class engine with four pieces:
+//!
+//! * **[`Job`]** — the unit of work: a fully-parameterized, deterministic
+//!   description (spec knobs + flow options + RNG seed) with a stable
+//!   content address ([`Job::key`]).
+//! * **[`WorkerPool`]** — a `std::thread` + channel scheduler with
+//!   per-job panic isolation (`catch_unwind`), bounded retries and
+//!   cooperative cancellation.
+//! * **[`ResultCache`]** — a content-addressed result store (in-memory
+//!   map + on-disk JSON artifacts, conventionally under `results/cache/`)
+//!   so repeated sweeps are answered without re-running flows.
+//! * **[`Engine`]** — pool + cache + [`BatchMetrics`] accounting behind
+//!   one API: [`Engine::run_batch`] for sweeps, [`Engine::submit_one`]
+//!   for the [`Server`] line protocol.
+//!
+//! The load-bearing guarantee is **determinism**: a [`JobReport`] is a
+//! pure function of its [`Job`] — no wall-clock, host name or scheduling
+//! artifact ever enters it — so a sweep produces bit-identical reports
+//! whether it ran on one worker or sixteen, serially or from a warm
+//! cache. Timing lives in [`StageTimes`] / [`BatchMetrics`], which travel
+//! next to the reports, never inside them.
+//!
+//! Everything here is dependency-free `std`: threads from `std::thread`,
+//! channels from `std::sync::mpsc`, sockets from `std::net`, JSON from
+//! the in-crate [`json`] writer/parser.
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod execute;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod report;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use engine::{BatchReport, Engine, EngineConfig, EngineTotals};
+pub use error::JobError;
+pub use execute::execute;
+pub use job::{Job, JobKind};
+pub use json::Json;
+pub use metrics::{BatchMetrics, StageTimes};
+pub use pool::{default_workers, JobOutcome, PoolConfig, Runner, WorkerPool};
+pub use report::JobReport;
+pub use server::Server;

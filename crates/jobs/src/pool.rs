@@ -1,0 +1,414 @@
+//! The worker pool: `std::thread` workers draining a shared channel,
+//! with per-job panic isolation, bounded retries, and cooperative
+//! cancellation.
+//!
+//! Design notes:
+//!
+//! * One `mpsc` task channel feeds all workers (receiver behind a mutex —
+//!   the lock is held only for the dequeue, never during execution).
+//! * Every task carries its own reply channel, so completions never
+//!   contend and callers can await jobs in any order.
+//! * A panicking job is contained by `catch_unwind`: the worker thread
+//!   survives, the panic becomes a [`JobError::Failed`] for that job
+//!   only, and the rest of the batch is untouched.
+//! * Retries happen in the worker, bounded by [`PoolConfig::retries`];
+//!   validation errors are never retried (same input, same failure).
+//! * Cancellation is cooperative: a shared flag checked before each
+//!   attempt. In-flight flows finish; queued jobs drain as `Canceled`.
+
+use crate::error::JobError;
+use crate::job::Job;
+use crate::metrics::StageTimes;
+use crate::report::JobReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A job runner: everything the pool knows about executing work. The
+/// engine installs [`crate::execute::execute`]; tests inject hostile
+/// runners (panicking, flaky, slow) to exercise the scheduler itself.
+pub type Runner = dyn Fn(&Job) -> Result<(JobReport, StageTimes), JobError> + Send + Sync;
+
+/// Pool sizing and retry policy.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads. Clamped to at least 1.
+    pub workers: usize,
+    /// Extra attempts after a retryable failure (0 = fail fast).
+    pub retries: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: default_workers(),
+            retries: 1,
+        }
+    }
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// What the pool sends back for one submitted job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The report, or why there is none.
+    pub result: Result<JobReport, JobError>,
+    /// Attempts made (0 if the job never started).
+    pub attempts: u32,
+    /// Wall time spent executing this job (all attempts), ms.
+    pub exec_ms: f64,
+    /// Per-stage wall time of the successful attempt.
+    pub stages: StageTimes,
+}
+
+struct Task {
+    job: Job,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+/// A fixed set of worker threads executing submitted jobs.
+pub struct WorkerPool {
+    tx: Mutex<Option<mpsc::Sender<Task>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    cancel: Arc<AtomicBool>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns the workers.
+    pub fn new(config: PoolConfig, runner: Arc<Runner>) -> Self {
+        let workers = config.workers.max(1);
+        let (tx, rx) = mpsc::channel::<Task>();
+        let rx = Arc::new(Mutex::new(rx));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cancel = Arc::clone(&cancel);
+                let runner = Arc::clone(&runner);
+                let retries = config.retries;
+                std::thread::Builder::new()
+                    .name(format!("tdsigma-job-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &cancel, &runner, retries))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            cancel,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submits a job; the returned receiver yields exactly one
+    /// [`JobOutcome`] (immediately, if the pool is already closed).
+    pub fn submit(&self, job: Job) -> mpsc::Receiver<JobOutcome> {
+        let (reply, rx) = mpsc::channel();
+        let closed_outcome = || JobOutcome {
+            result: Err(JobError::PoolClosed),
+            attempts: 0,
+            exec_ms: 0.0,
+            stages: StageTimes::default(),
+        };
+        match &*self.tx.lock().expect("pool lock") {
+            Some(tx) => {
+                if let Err(mpsc::SendError(task)) = tx.send(Task { job, reply }) {
+                    let _ = task.reply.send(closed_outcome());
+                }
+            }
+            None => {
+                let _ = reply.send(closed_outcome());
+            }
+        }
+        rx
+    }
+
+    /// Requests cooperative cancellation: queued jobs resolve as
+    /// [`JobError::Canceled`]; in-flight jobs run to completion.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_canceled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Closes the queue and joins every worker. Idempotent.
+    pub fn shutdown(&self) {
+        self.tx.lock().expect("pool lock").take();
+        let handles: Vec<_> = self.handles.lock().expect("pool lock").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("canceled", &self.is_canceled())
+            .finish()
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<Task>>,
+    cancel: &AtomicBool,
+    runner: &Arc<Runner>,
+    retries: u32,
+) {
+    loop {
+        // Hold the lock only for the dequeue.
+        let task = match rx.lock().expect("task queue lock").recv() {
+            Ok(task) => task,
+            Err(_) => break, // queue closed: pool is shutting down
+        };
+        if cancel.load(Ordering::SeqCst) {
+            let _ = task.reply.send(JobOutcome {
+                result: Err(JobError::Canceled),
+                attempts: 0,
+                exec_ms: 0.0,
+                stages: StageTimes::default(),
+            });
+            continue;
+        }
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            let attempt = catch_unwind(AssertUnwindSafe(|| runner(&task.job)));
+            let may_retry = attempts <= retries && !cancel.load(Ordering::SeqCst);
+            match attempt {
+                Ok(Ok((report, stages))) => {
+                    break JobOutcome {
+                        result: Ok(report),
+                        attempts,
+                        exec_ms: started.elapsed().as_secs_f64() * 1e3,
+                        stages,
+                    }
+                }
+                Ok(Err(e)) if e.is_retryable() && may_retry => continue,
+                Ok(Err(e)) => {
+                    let result = match e {
+                        JobError::Invalid(m) => Err(JobError::Invalid(m)),
+                        JobError::Failed { message, .. } => {
+                            Err(JobError::Failed { attempts, message })
+                        }
+                        other => Err(JobError::Failed {
+                            attempts,
+                            message: other.to_string(),
+                        }),
+                    };
+                    break JobOutcome {
+                        result,
+                        attempts,
+                        exec_ms: started.elapsed().as_secs_f64() * 1e3,
+                        stages: StageTimes::default(),
+                    };
+                }
+                Err(panic) => {
+                    if may_retry {
+                        continue;
+                    }
+                    break JobOutcome {
+                        result: Err(JobError::Failed {
+                            attempts,
+                            message: format!("panic: {}", panic_message(&*panic)),
+                        }),
+                        attempts,
+                        exec_ms: started.elapsed().as_secs_f64() * 1e3,
+                        stages: StageTimes::default(),
+                    };
+                }
+            }
+        };
+        // A dropped receiver just means the caller stopped waiting.
+        let _ = task.reply.send(outcome);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn dummy_report(job: &Job) -> JobReport {
+        JobReport {
+            key: job.key(),
+            job: job.clone(),
+            fin_hz: 1e6,
+            sndr_db: 60.0,
+            enob: 9.7,
+            power_mw: None,
+            digital_fraction: None,
+            area_mm2: None,
+            fom_fj: None,
+            timing_slack_ps: None,
+        }
+    }
+
+    fn job_with_seed(seed: u64) -> Job {
+        let mut job = Job::sim(40.0, 750e6, 5e6);
+        job.seed = seed;
+        job
+    }
+
+    #[test]
+    fn executes_and_replies() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 2,
+                retries: 0,
+            },
+            Arc::new(|job: &Job| Ok((dummy_report(job), StageTimes::default()))),
+        );
+        let outcome = pool.submit(job_with_seed(1)).recv().unwrap();
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.result.unwrap().sndr_db, 60.0);
+    }
+
+    #[test]
+    fn panic_is_isolated_to_the_job() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 2,
+                retries: 0,
+            },
+            Arc::new(|job: &Job| {
+                if job.seed == 13 {
+                    panic!("injected fault on die 13");
+                }
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let bad = pool.submit(job_with_seed(13));
+        let good: Vec<_> = (0..4).map(|s| pool.submit(job_with_seed(s))).collect();
+        match bad.recv().unwrap().result {
+            Err(JobError::Failed { message, .. }) => {
+                assert!(message.contains("injected fault"), "message: {message}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        for rx in good {
+            assert!(
+                rx.recv().unwrap().result.is_ok(),
+                "pool must survive the panic"
+            );
+        }
+    }
+
+    #[test]
+    fn retries_recover_flaky_jobs_and_are_counted() {
+        let failures = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&failures);
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 2,
+            },
+            Arc::new(move |job: &Job| {
+                if f.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky");
+                }
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let outcome = pool.submit(job_with_seed(7)).recv().unwrap();
+        assert_eq!(outcome.attempts, 3);
+        assert!(outcome.result.is_ok());
+    }
+
+    #[test]
+    fn invalid_errors_are_not_retried() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 5,
+            },
+            Arc::new(move |_: &Job| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Err(JobError::Invalid("bad spec".into()))
+            }),
+        );
+        let outcome = pool.submit(job_with_seed(1)).recv().unwrap();
+        assert!(matches!(outcome.result, Err(JobError::Invalid(_))));
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "validation failures never retry"
+        );
+    }
+
+    #[test]
+    fn cancellation_drains_queued_jobs() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 0,
+            },
+            Arc::new(|job: &Job| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let receivers: Vec<_> = (0..6).map(|s| pool.submit(job_with_seed(s))).collect();
+        pool.cancel();
+        let outcomes: Vec<_> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        let canceled = outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(JobError::Canceled)))
+            .count();
+        assert!(
+            canceled >= 4,
+            "queued jobs must drain as canceled, got {canceled}"
+        );
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_closed() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 0,
+            },
+            Arc::new(|job: &Job| Ok((dummy_report(job), StageTimes::default()))),
+        );
+        pool.shutdown();
+        let outcome = pool.submit(job_with_seed(1)).recv().unwrap();
+        assert!(matches!(outcome.result, Err(JobError::PoolClosed)));
+    }
+}

@@ -1,0 +1,412 @@
+//! `tdsigma serve`: a line-protocol TCP front end over an [`Engine`].
+//!
+//! Protocol: one JSON request per line in, one JSON response per line
+//! out. A request is either a command object —
+//!
+//! ```text
+//! {"cmd":"ping"}      → {"ok":true,"pong":true}
+//! {"cmd":"stats"}     → {"ok":true,"stats":{…}}
+//! {"cmd":"shutdown"}  → {"ok":true,"bye":true}   (then the server stops)
+//! ```
+//!
+//! — or a job request in operator-friendly units (MHz, not Hz):
+//!
+//! ```text
+//! {"kind":"sim","node":40,"fs_mhz":750,"bw_mhz":5,"seed":7}
+//!   → {"ok":true,"report":{…}}
+//! ```
+//!
+//! Only `node`, `fs_mhz` and `bw_mhz` are required; everything else
+//! defaults to the paper's operating point (see [`Job::sim`]). Malformed
+//! requests get `{"ok":false,"error":"…"}` and the connection stays open.
+//! Results are cached exactly like sweep results: asking the same
+//! question twice executes one flow.
+
+use crate::engine::Engine;
+use crate::error::JobError;
+use crate::job::{Job, JobKind};
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A running line-protocol server. One thread per connection; all
+/// connections share the engine (and therefore its cache and pool).
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 to let the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (needed when binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` command arrives. Joins every connection
+    /// thread before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener errors; per-connection I/O errors only end
+    /// that connection.
+    pub fn run(&self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            handles.push(thread::spawn(move || {
+                let _ = serve_connection(stream, &engine, &stop, addr);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(line.trim(), engine);
+        writer.write_all(response.to_text().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in `incoming()`; a throwaway
+            // connection wakes it so it can observe the stop flag.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handles one request line; returns the response and whether the server
+/// should shut down afterwards.
+fn handle_line(line: &str, engine: &Engine) -> (Json, bool) {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response(&format!("malformed JSON: {e}")), false),
+    };
+    if let Some(cmd) = request.get("cmd") {
+        return match cmd.as_str() {
+            Some("ping") => (ok_response(vec![("pong".into(), Json::Bool(true))]), false),
+            Some("stats") => (stats_response(engine), false),
+            Some("shutdown") => (ok_response(vec![("bye".into(), Json::Bool(true))]), true),
+            _ => (
+                error_response("unknown command (expected \"ping\", \"stats\" or \"shutdown\")"),
+                false,
+            ),
+        };
+    }
+    let job = match job_from_request(&request) {
+        Ok(job) => job,
+        Err(e) => return (error_response(&e.to_string()), false),
+    };
+    match engine.submit_one(&job) {
+        Ok(report) => (
+            ok_response(vec![("report".into(), report.to_json())]),
+            false,
+        ),
+        Err(e) => (error_response(&e.to_string()), false),
+    }
+}
+
+fn ok_response(mut fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![("ok".to_string(), Json::Bool(true))];
+    obj.append(&mut fields);
+    Json::Obj(obj)
+}
+
+fn error_response(message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(message.into())),
+    ])
+}
+
+fn stats_response(engine: &Engine) -> Json {
+    let totals = engine.totals();
+    ok_response(vec![(
+        "stats".into(),
+        Json::Obj(vec![
+            ("workers".into(), Json::Num(engine.workers() as f64)),
+            ("jobs".into(), Json::Num(totals.jobs as f64)),
+            ("cache_hits".into(), Json::Num(totals.cache_hits as f64)),
+            ("executed".into(), Json::Num(totals.executed as f64)),
+            ("failed".into(), Json::Num(totals.failed as f64)),
+            (
+                "cached_results".into(),
+                Json::Num(engine.cache().len() as f64),
+            ),
+        ]),
+    )])
+}
+
+/// Builds a [`Job`] from a friendly-units request object. Unknown fields
+/// are rejected so a typo cannot silently fall back to a default.
+fn job_from_request(v: &Json) -> Result<Job, JobError> {
+    const KNOWN: [&str; 12] = [
+        "kind",
+        "node",
+        "slices",
+        "fs_mhz",
+        "bw_mhz",
+        "samples",
+        "amplitude",
+        "fin_mhz",
+        "steps",
+        "loop_gain",
+        "vco_stages",
+        "seed",
+    ];
+    let Json::Obj(fields) = v else {
+        return Err(JobError::Invalid("request must be a JSON object".into()));
+    };
+    if let Some((k, _)) = fields.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+        return Err(JobError::Invalid(format!(
+            "unknown request field {k:?} (known: {})",
+            KNOWN.join(", ")
+        )));
+    }
+    let num = |k: &str| -> Result<Option<f64>, JobError> {
+        match v.get(k) {
+            None | Some(Json::Null) => Ok(None),
+            Some(x) => x
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| JobError::Invalid(format!("field {k:?} must be a number"))),
+        }
+    };
+    let int = |k: &str| -> Result<Option<u64>, JobError> {
+        match v.get(k) {
+            None | Some(Json::Null) => Ok(None),
+            Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+                JobError::Invalid(format!("field {k:?} must be a non-negative integer"))
+            }),
+        }
+    };
+    let require = |k: &str, x: Option<f64>| -> Result<f64, JobError> {
+        x.ok_or_else(|| JobError::Invalid(format!("field {k:?} is required")))
+    };
+
+    let kind = match v.get("kind") {
+        None => JobKind::SimTone,
+        Some(k) => JobKind::parse(
+            k.as_str()
+                .ok_or_else(|| JobError::Invalid("field \"kind\" must be a string".into()))?,
+        )?,
+    };
+    let node_nm = require("node", num("node")?)?;
+    let fs_hz = require("fs_mhz", num("fs_mhz")?)? * 1e6;
+    let bw_hz = require("bw_mhz", num("bw_mhz")?)? * 1e6;
+    let mut job = match kind {
+        JobKind::SimTone => Job::sim(node_nm, fs_hz, bw_hz),
+        JobKind::FullFlow => Job::flow(node_nm, fs_hz, bw_hz),
+    };
+    if let Some(x) = int("slices")? {
+        job.slices = x as usize;
+    }
+    if let Some(x) = int("samples")? {
+        job.samples = x as usize;
+    }
+    if let Some(x) = num("amplitude")? {
+        job.amplitude_rel = x;
+    }
+    if let Some(x) = num("fin_mhz")? {
+        job.fin_hz = Some(x * 1e6);
+    }
+    if let Some(x) = int("steps")? {
+        job.steps_per_cycle = x as usize;
+    }
+    if let Some(x) = num("loop_gain")? {
+        job.loop_gain = x;
+    }
+    if let Some(x) = int("vco_stages")? {
+        job.vco_stages = x as usize;
+    }
+    if let Some(x) = int("seed")? {
+        job.seed = x;
+    }
+    Ok(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::metrics::StageTimes;
+    use crate::pool::{PoolConfig, Runner};
+    use crate::report::JobReport;
+
+    fn test_engine() -> Arc<Engine> {
+        let runner: Arc<Runner> = Arc::new(|job: &Job| {
+            if job.node_nm == 13.0 {
+                return Err(JobError::Invalid("unsupported node".into()));
+            }
+            Ok((
+                JobReport {
+                    key: job.key(),
+                    job: job.clone(),
+                    fin_hz: job.input_frequency_hz(),
+                    sndr_db: 60.0 + job.seed as f64,
+                    enob: 9.7,
+                    power_mw: None,
+                    digital_fraction: None,
+                    area_mm2: None,
+                    fom_fj: None,
+                    timing_slack_ps: None,
+                },
+                StageTimes::default(),
+            ))
+        });
+        Arc::new(
+            Engine::with_runner(
+                EngineConfig {
+                    pool: PoolConfig {
+                        workers: 2,
+                        retries: 0,
+                    },
+                    cache_dir: None,
+                },
+                runner,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn request_parsing_applies_defaults_and_overrides() {
+        let v = Json::parse(r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":7,"slices":4}"#).unwrap();
+        let job = job_from_request(&v).unwrap();
+        assert_eq!(job.kind, JobKind::SimTone);
+        assert_eq!(job.fs_hz, 750e6);
+        assert_eq!(job.slices, 4);
+        assert_eq!(job.seed, 7);
+        assert_eq!(job.samples, 8192, "sim default");
+
+        let v = Json::parse(r#"{"kind":"flow","node":180,"fs_mhz":250,"bw_mhz":1.4}"#).unwrap();
+        let job = job_from_request(&v).unwrap();
+        assert_eq!(job.kind, JobKind::FullFlow);
+        assert_eq!(job.samples, 16_384, "flow default");
+    }
+
+    #[test]
+    fn request_parsing_rejects_typos_and_missing_fields() {
+        let v = Json::parse(r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"slcies":4}"#).unwrap();
+        assert!(job_from_request(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("slcies"));
+        let v = Json::parse(r#"{"node":40,"bw_mhz":5}"#).unwrap();
+        assert!(job_from_request(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("fs_mhz"));
+        let v = Json::parse("[1,2]").unwrap();
+        assert!(job_from_request(&v).is_err());
+    }
+
+    #[test]
+    fn handle_line_answers_commands_jobs_and_garbage() {
+        let engine = test_engine();
+        let (r, stop) = handle_line(r#"{"cmd":"ping"}"#, &engine);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(!stop);
+
+        let (r, _) = handle_line(r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":2}"#, &engine);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let sndr = r
+            .get("report")
+            .and_then(|x| x.get("sndr_db"))
+            .and_then(Json::as_f64);
+        assert_eq!(sndr, Some(62.0));
+
+        let (r, _) = handle_line("this is not json", &engine);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(r.get("error").and_then(Json::as_str).is_some());
+
+        let (r, stop) = handle_line(r#"{"cmd":"shutdown"}"#, &engine);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(stop);
+    }
+
+    #[test]
+    fn server_round_trips_over_tcp() {
+        let engine = test_engine();
+        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.run().unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut ask = |line: &str| -> Json {
+            writeln!(stream, "{line}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            Json::parse(response.trim()).unwrap()
+        };
+
+        let pong = ask(r#"{"cmd":"ping"}"#);
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+        let report = ask(r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":4}"#);
+        assert_eq!(
+            report
+                .get("report")
+                .and_then(|r| r.get("sndr_db"))
+                .and_then(Json::as_f64),
+            Some(64.0)
+        );
+        let err = ask("{broken");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        let stats = ask(r#"{"cmd":"stats"}"#);
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("jobs"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let bye = ask(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
+    }
+}

@@ -63,7 +63,11 @@ impl fmt::Display for LayoutResult {
             self.area_mm2,
             self.placement.len(),
             self.routing.total_wirelength_nm as f64 / 1e3,
-            if self.checks.is_clean() { "clean" } else { "VIOLATIONS" }
+            if self.checks.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            }
         )
     }
 }
@@ -182,11 +186,17 @@ mod tests {
             m.add_leaf(
                 format!("I{i}"),
                 "INVX1",
-                [("A", nets[i]), ("Y", nets[i + 1]), ("VDD", supply), ("VSS", vss)],
+                [
+                    ("A", nets[i]),
+                    ("Y", nets[i + 1]),
+                    ("VDD", supply),
+                    ("VSS", vss),
+                ],
             )
             .unwrap();
         }
-        m.add_leaf("R0", "RESLO", [("T1", nets[0]), ("T2", vctrlp)]).unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", nets[0]), ("T2", vctrlp)])
+            .unwrap();
         Design::new(m).unwrap().flatten()
     }
 

@@ -182,11 +182,20 @@ mod tests {
         let a = m.add_net("a");
         let b = m.add_net("b");
         let c = m.add_net("c");
-        m.add_leaf("VCO0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrlp), ("VSS", vss)])
+        m.add_leaf(
+            "VCO0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vctrlp), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "LOG0",
+            "INVX1",
+            [("A", b), ("Y", c), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", c), ("T2", vctrlp)])
             .unwrap();
-        m.add_leaf("LOG0", "INVX1", [("A", b), ("Y", c), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("R0", "RESLO", [("T1", c), ("T2", vctrlp)]).unwrap();
         Design::new(m).unwrap().flatten()
     }
 

@@ -111,8 +111,21 @@ mod tests {
                 ["INVX1", "NOR3X4", "DFFX1"][i % 3],
                 match i % 3 {
                     0 => vec![("A", prev), ("Y", next), ("VDD", vdd), ("VSS", vss)],
-                    1 => vec![("A", prev), ("B", prev), ("C", prev), ("Y", next), ("VDD", vdd), ("VSS", vss)],
-                    _ => vec![("D", prev), ("CK", prev), ("Q", next), ("VDD", vdd), ("VSS", vss)],
+                    1 => vec![
+                        ("A", prev),
+                        ("B", prev),
+                        ("C", prev),
+                        ("Y", next),
+                        ("VDD", vdd),
+                        ("VSS", vss),
+                    ],
+                    _ => vec![
+                        ("D", prev),
+                        ("CK", prev),
+                        ("Q", next),
+                        ("VDD", vdd),
+                        ("VSS", vss),
+                    ],
                 },
             )
             .unwrap();
@@ -125,7 +138,12 @@ mod tests {
         let assignments: BTreeMap<String, String> = flat
             .cells
             .iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).unwrap().name.clone(),
+                )
+            })
             .collect();
         let p = place(&flat, &assignments, &fp, &lib, 1).unwrap();
         (fp, p)

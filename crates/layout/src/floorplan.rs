@@ -145,7 +145,12 @@ impl Floorplan {
                     sites: width_sites,
                 })
                 .collect();
-            let rect = Rect::new(0, y, width_sites as i64 * site, y + rows_needed as i64 * row_h);
+            let rect = Rect::new(
+                0,
+                y,
+                width_sites as i64 * site,
+                y + rows_needed as i64 * row_h,
+            );
             y = rect.y1;
             regions.push(RegionPlan {
                 name: name.clone(),
@@ -301,7 +306,12 @@ mod tests {
             m.add_leaf(
                 format!("VCO{i}"),
                 "INVX1",
-                [("A", nets[i]), ("Y", nets[i + 1]), ("VDD", vctrlp), ("VSS", vss)],
+                [
+                    ("A", nets[i]),
+                    ("Y", nets[i + 1]),
+                    ("VDD", vctrlp),
+                    ("VSS", vss),
+                ],
             )
             .unwrap();
         }
@@ -309,11 +319,18 @@ mod tests {
             m.add_leaf(
                 format!("LOG{i}"),
                 "NOR2X1",
-                [("A", nets[i]), ("B", nets[i + 1]), ("Y", nets[i + 4]), ("VDD", vdd), ("VSS", vss)],
+                [
+                    ("A", nets[i]),
+                    ("B", nets[i + 1]),
+                    ("Y", nets[i + 4]),
+                    ("VDD", vdd),
+                    ("VSS", vss),
+                ],
             )
             .unwrap();
         }
-        m.add_leaf("R0", "RESLO", [("T1", nets[0]), ("T2", vctrlp)]).unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", nets[0]), ("T2", vctrlp)])
+            .unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let plan = PowerPlan::infer(&flat).unwrap();
         let lib = PhysicalLibrary::for_technology(&Technology::for_node(NodeId::N40).unwrap());
@@ -341,7 +358,9 @@ mod tests {
             let demand: usize = flat
                 .cells
                 .iter()
-                .filter(|c| plan.region_of(&c.path).map(|r| r.name.as_str()) == Some(region.name.as_str()))
+                .filter(|c| {
+                    plan.region_of(&c.path).map(|r| r.name.as_str()) == Some(region.name.as_str())
+                })
                 .map(|c| lib.cell(&c.cell).unwrap().width_sites)
                 .sum();
             assert!(

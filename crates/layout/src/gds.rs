@@ -49,12 +49,12 @@ pub fn to_gds_text(placement: &Placement, lib: &PhysicalLibrary, top_name: &str)
     // Top structure with one SREF per placed cell.
     let _ = writeln!(out, "BGNSTR {top_name}");
     for cell in &placement.cells {
+        let _ = writeln!(out, "SREF {} XY {},{}", cell.cell, cell.x_nm, cell.y_nm);
         let _ = writeln!(
             out,
-            "SREF {} XY {},{}",
-            cell.cell, cell.x_nm, cell.y_nm
+            "TEXT LAYER 10 XY {},{} STRING {}",
+            cell.x_nm, cell.y_nm, cell.path
         );
-        let _ = writeln!(out, "TEXT LAYER 10 XY {},{} STRING {}", cell.x_nm, cell.y_nm, cell.path);
     }
     let _ = writeln!(out, "ENDSTR");
     let _ = writeln!(out, "ENDLIB");
@@ -76,8 +76,12 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let a = m.add_net("a");
         let b = m.add_net("b");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         m.add_leaf("R0", "RESHI", [("T1", a), ("T2", b)]).unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let plan = PowerPlan::infer(&flat).unwrap();
@@ -86,7 +90,12 @@ mod tests {
         let assignments: BTreeMap<String, String> = flat
             .cells
             .iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).unwrap().name.clone(),
+                )
+            })
             .collect();
         (place(&flat, &assignments, &fp, &lib, 1).unwrap(), lib)
     }

@@ -107,8 +107,12 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let a = m.add_net("a");
         let b = m.add_net("b");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         m.add_leaf("R0", "RESLO", [("T1", a), ("T2", b)]).unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let plan = PowerPlan::infer(&flat).unwrap();
@@ -117,7 +121,12 @@ mod tests {
         let assignments: BTreeMap<String, String> = flat
             .cells
             .iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).unwrap().name.clone(),
+                )
+            })
             .collect();
         let p = place(&flat, &assignments, &fp, &lib, 1).unwrap();
         (lib, p, fp)
@@ -148,7 +157,11 @@ mod tests {
         let (lib, _, _) = small();
         let lef = to_lef(&lib);
         let inv = lib.cell("INVX1").unwrap();
-        let expect = format!("SIZE {:.3} BY {:.3} ;", inv.width_nm as f64 / 1000.0, inv.height_nm as f64 / 1000.0);
+        let expect = format!(
+            "SIZE {:.3} BY {:.3} ;",
+            inv.width_nm as f64 / 1000.0,
+            inv.height_nm as f64 / 1000.0
+        );
         let section = &lef[lef.find("MACRO INVX1").unwrap()..];
         assert!(section[..200].contains(&expect), "expected {expect}");
     }

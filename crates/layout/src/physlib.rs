@@ -82,9 +82,11 @@ impl PhysicalLibrary {
     ///
     /// Returns [`LayoutError::UnknownCell`] when absent.
     pub fn cell(&self, name: &str) -> Result<&PhysicalCell, LayoutError> {
-        self.cells.get(name).ok_or_else(|| LayoutError::UnknownCell {
-            name: name.to_string(),
-        })
+        self.cells
+            .get(name)
+            .ok_or_else(|| LayoutError::UnknownCell {
+                name: name.to_string(),
+            })
     }
 
     /// Placement site width, nm.
@@ -172,7 +174,10 @@ mod tests {
         let l180 = lib(NodeId::N180);
         let w40 = l40.cell("DFFX1").unwrap().width_nm;
         let w180 = l180.cell("DFFX1").unwrap().width_nm;
-        assert!(w40 * 2 < w180, "40 nm DFF ({w40}) much narrower than 180 nm ({w180})");
+        assert!(
+            w40 * 2 < w180,
+            "40 nm DFF ({w40}) much narrower than 180 nm ({w180})"
+        );
     }
 
     #[test]

@@ -7,11 +7,10 @@ use crate::error::LayoutError;
 use crate::floorplan::Floorplan;
 use crate::geom::{half_perimeter, Point};
 use crate::physlib::PhysicalLibrary;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
 use tdsigma_netlist::FlatNetlist;
+use tdsigma_tech::rng::Rng64;
 
 /// A placed leaf cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,7 +34,10 @@ pub struct PlacedCell {
 impl PlacedCell {
     /// Centre point of the cell.
     pub fn center(&self) -> Point {
-        Point::new(self.x_nm + self.width_nm / 2, self.y_nm + self.height_nm / 2)
+        Point::new(
+            self.x_nm + self.width_nm / 2,
+            self.y_nm + self.height_nm / 2,
+        )
     }
 }
 
@@ -139,14 +141,13 @@ pub fn place(
     let mut cells: Vec<CellState> = Vec::with_capacity(flat.cells.len());
     for cell in &flat.cells {
         let phys = lib.cell(&cell.cell)?;
-        let region_name =
-            assignments
-                .get(&cell.path)
-                .ok_or_else(|| LayoutError::DoesNotFit {
-                    region: format!("<unassigned cell {}>", cell.path),
-                    required_sites: phys.width_sites,
-                    available_sites: 0,
-                })?;
+        let region_name = assignments
+            .get(&cell.path)
+            .ok_or_else(|| LayoutError::DoesNotFit {
+                region: format!("<unassigned cell {}>", cell.path),
+                required_sites: phys.width_sites,
+                available_sites: 0,
+            })?;
         let region_idx = floorplan
             .regions
             .iter()
@@ -210,14 +211,14 @@ pub fn place(
         for &other in row.cells.iter().take(c.order_in_row) {
             x += cells[other].width_sites as i64 * site;
         }
-        Point::new(
-            x + c.width_sites as i64 * site / 2,
-            row.y_nm + row_h / 2,
-        )
+        Point::new(x + c.width_sites as i64 * site / 2, row.y_nm + row_h / 2)
     };
 
     let net_hpwl = |cells: &[CellState], rows: &[RowState], members: &[usize]| -> i64 {
-        let pts: Vec<Point> = members.iter().map(|&ci| position(cells, rows, ci)).collect();
+        let pts: Vec<Point> = members
+            .iter()
+            .map(|&ci| position(cells, rows, ci))
+            .collect();
         half_perimeter(&pts)
     };
 
@@ -228,15 +229,15 @@ pub fn place(
     let total: i64 = net_costs.iter().sum();
 
     // Simulated annealing: swap two cells of the same region.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n = cells.len();
     if n >= 2 {
         let iterations = (n * 60).clamp(200, 60_000);
         let mut temperature = (total as f64 / net_costs.len().max(1) as f64).max(1.0);
         let cooling = (0.01f64 / temperature.max(1.0)).powf(1.0 / iterations as f64);
         for _ in 0..iterations {
-            let a = rng.gen_range(0..n);
-            let b = rng.gen_range(0..n);
+            let a = rng.gen_range(n);
+            let b = rng.gen_range(n);
             if a == b || cells[a].region_idx != cells[b].region_idx {
                 temperature *= cooling;
                 continue;
@@ -273,7 +274,7 @@ pub fn place(
                 .map(|&ni| net_hpwl(&cells, &rows, &net_cells[ni]))
                 .sum();
             let delta = after - before;
-            let accept = delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temperature).exp();
+            let accept = delta <= 0 || rng.gen_f64() < (-(delta as f64) / temperature).exp();
             if accept {
                 for &ni in &affected {
                     net_costs[ni] = net_hpwl(&cells, &rows, &net_cells[ni]);
@@ -360,7 +361,14 @@ mod tests {
         Design::new(m).unwrap().flatten()
     }
 
-    fn setup(n: usize) -> (FlatNetlist, BTreeMap<String, String>, Floorplan, PhysicalLibrary) {
+    fn setup(
+        n: usize,
+    ) -> (
+        FlatNetlist,
+        BTreeMap<String, String>,
+        Floorplan,
+        PhysicalLibrary,
+    ) {
         let flat = chain(n);
         let plan = PowerPlan::infer(&flat).unwrap();
         let lib = PhysicalLibrary::for_technology(&Technology::for_node(NodeId::N40).unwrap());
@@ -368,7 +376,12 @@ mod tests {
         let assignments: BTreeMap<String, String> = flat
             .cells
             .iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).unwrap().name.clone(),
+                )
+            })
             .collect();
         (flat, assignments, fp, lib)
     }
@@ -387,7 +400,11 @@ mod tests {
                 cell.x_nm + cell.width_nm,
                 cell.y_nm + cell.height_nm,
             );
-            assert!(region.rect.contains_rect(&r), "{} outside its region", cell.path);
+            assert!(
+                region.rect.contains_rect(&r),
+                "{} outside its region",
+                cell.path
+            );
         }
     }
 
@@ -396,10 +413,15 @@ mod tests {
         let (flat, assignments, fp, lib) = setup(40);
         let p = place(&flat, &assignments, &fp, &lib, 2).unwrap();
         for (i, a) in p.cells.iter().enumerate() {
-            let ra = crate::geom::Rect::new(a.x_nm, a.y_nm, a.x_nm + a.width_nm, a.y_nm + a.height_nm);
+            let ra =
+                crate::geom::Rect::new(a.x_nm, a.y_nm, a.x_nm + a.width_nm, a.y_nm + a.height_nm);
             for b in p.cells.iter().skip(i + 1) {
-                let rb =
-                    crate::geom::Rect::new(b.x_nm, b.y_nm, b.x_nm + b.width_nm, b.y_nm + b.height_nm);
+                let rb = crate::geom::Rect::new(
+                    b.x_nm,
+                    b.y_nm,
+                    b.x_nm + b.width_nm,
+                    b.y_nm + b.height_nm,
+                );
                 assert!(!ra.overlaps(&rb), "{} overlaps {}", a.path, b.path);
             }
         }
@@ -422,7 +444,7 @@ mod tests {
         // net count.
         let (flat, assignments, fp, lib) = setup(32);
         let p = place(&flat, &assignments, &fp, &lib, 4).unwrap();
-        let per_net_worst = (fp.die.width() + fp.die.height()) as i64;
+        let per_net_worst = fp.die.width() + fp.die.height();
         // 31 internal 2-pin nets (plus IN/OUT single-pin contributions = 0).
         assert!(p.hpwl_nm < 33 * per_net_worst);
         assert!(p.hpwl_nm > 0);

@@ -126,8 +126,8 @@ pub fn to_ascii(floorplan: &Floorplan, placement: &Placement, width_chars: usize
             .sum();
         let capacity: usize = region.rows.iter().map(|r| r.sites).sum();
         let used = ((fill_sites as f64 / capacity.max(1) as f64) * width_chars as f64) as usize;
-        let bar: String = "#".repeat(used.min(width_chars))
-            + &".".repeat(width_chars - used.min(width_chars));
+        let bar: String =
+            "#".repeat(used.min(width_chars)) + &".".repeat(width_chars - used.min(width_chars));
         let _ = writeln!(
             out,
             "{bar} {:<14} {} rows, {:>5.1}% util",
@@ -158,11 +158,20 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let a = m.add_net("a");
         let b = m.add_net("b");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)])
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "V0",
+            "INVX1",
+            [("A", b), ("Y", a), ("VDD", vctrlp), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", a), ("T2", vctrlp)])
             .unwrap();
-        m.add_leaf("V0", "INVX1", [("A", b), ("Y", a), ("VDD", vctrlp), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("R0", "RESLO", [("T1", a), ("T2", vctrlp)]).unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let plan = PowerPlan::infer(&flat).unwrap();
         let lib = PhysicalLibrary::for_technology(&Technology::for_node(NodeId::N40).unwrap());
@@ -170,7 +179,12 @@ mod tests {
         let assignments: BTreeMap<String, String> = flat
             .cells
             .iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).unwrap().name.clone(),
+                )
+            })
             .collect();
         let p = place(&flat, &assignments, &fp, &lib, 1).unwrap();
         (fp, p)
@@ -200,11 +214,20 @@ mod tests {
         let vss = m.add_port("VSS", tdsigma_netlist::PortDirection::Inout);
         let a = m.add_net("a");
         let b = m.add_net("b");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)])
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "V0",
+            "INVX1",
+            [("A", b), ("Y", a), ("VDD", vctrlp), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", a), ("T2", vctrlp)])
             .unwrap();
-        m.add_leaf("V0", "INVX1", [("A", b), ("Y", a), ("VDD", vctrlp), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("R0", "RESLO", [("T1", a), ("T2", vctrlp)]).unwrap();
         let flat = tdsigma_netlist::Design::new(m).unwrap().flatten();
         // One-row gcells so the two regions land in different gcells and
         // the inter-region nets produce real segments.

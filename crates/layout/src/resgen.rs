@@ -75,7 +75,12 @@ impl fmt::Display for ResistorCellLayout {
         write!(
             f,
             "{}: {:.0} Ω ({:.1} sq of {:.0} Ω/sq, {} legs, {} sites)",
-            self.cell_name, self.resistance_ohm, self.squares, self.sheet_ohm, self.legs, self.width_sites
+            self.cell_name,
+            self.resistance_ohm,
+            self.squares,
+            self.sheet_ohm,
+            self.legs,
+            self.width_sites
         )
     }
 }

@@ -293,10 +293,16 @@ fn astar_route(
             neighbours.push((u - 1, grid.edge_cost(grid.h_use[grid.h_idx(uc - 1, ur)])));
         }
         if ur + 1 < grid.rows {
-            neighbours.push((u + grid.cols, grid.edge_cost(grid.v_use[grid.v_idx(uc, ur)])));
+            neighbours.push((
+                u + grid.cols,
+                grid.edge_cost(grid.v_use[grid.v_idx(uc, ur)]),
+            ));
         }
         if ur > 0 {
-            neighbours.push((u - grid.cols, grid.edge_cost(grid.v_use[grid.v_idx(uc, ur - 1)])));
+            neighbours.push((
+                u - grid.cols,
+                grid.edge_cost(grid.v_use[grid.v_idx(uc, ur - 1)]),
+            ));
         }
         for (v, cost) in neighbours {
             let nd = dist[u] + cost;
@@ -375,7 +381,12 @@ mod tests {
         let assignments: BTreeMap<String, String> = flat
             .cells
             .iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).unwrap().name.clone()))
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).unwrap().name.clone(),
+                )
+            })
             .collect();
         let p = place(&flat, &assignments, &fp, &lib, 1).unwrap();
         (flat, p, fp)
@@ -383,7 +394,15 @@ mod tests {
 
     fn route_chain(n: usize) -> (FlatNetlist, Routing) {
         let (flat, p, fp) = placed_chain(n);
-        let r = route(&flat, &p, fp.die.width(), fp.die.height(), fp.row_height_nm(), 4).unwrap();
+        let r = route(
+            &flat,
+            &p,
+            fp.die.width(),
+            fp.die.height(),
+            fp.row_height_nm(),
+            4,
+        )
+        .unwrap();
         (flat, r)
     }
 
@@ -432,8 +451,24 @@ mod tests {
     #[test]
     fn routing_is_deterministic() {
         let (flat, p, fp) = placed_chain(15);
-        let r1 = route(&flat, &p, fp.die.width(), fp.die.height(), fp.row_height_nm(), 4).unwrap();
-        let r2 = route(&flat, &p, fp.die.width(), fp.die.height(), fp.row_height_nm(), 4).unwrap();
+        let r1 = route(
+            &flat,
+            &p,
+            fp.die.width(),
+            fp.die.height(),
+            fp.row_height_nm(),
+            4,
+        )
+        .unwrap();
+        let r2 = route(
+            &flat,
+            &p,
+            fp.die.width(),
+            fp.die.height(),
+            fp.row_height_nm(),
+            4,
+        )
+        .unwrap();
         assert_eq!(r1, r2);
     }
 

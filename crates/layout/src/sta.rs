@@ -320,8 +320,12 @@ mod tests {
         let clk = m.add_port("CLK", PortDirection::Input);
         let d = m.add_port("D", PortDirection::Input);
         let q0 = m.add_net("q0");
-        m.add_leaf("L0", "LATCHX1", [("D", d), ("EN", clk), ("Q", q0), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "L0",
+            "LATCHX1",
+            [("D", d), ("EN", clk), ("Q", q0), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut prev = q0;
         for i in 0..k {
             let next = m.add_net(format!("n{i}"));
@@ -334,8 +338,18 @@ mod tests {
             prev = next;
         }
         let q1 = m.add_port("Q", PortDirection::Output);
-        m.add_leaf("L1", "LATCHX1", [("D", prev), ("EN", clk), ("Q", q1), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "L1",
+            "LATCHX1",
+            [
+                ("D", prev),
+                ("EN", clk),
+                ("Q", q1),
+                ("VDD", vdd),
+                ("VSS", vss),
+            ],
+        )
+        .unwrap();
         Design::new(m).unwrap().flatten()
     }
 
@@ -354,11 +368,20 @@ mod tests {
     fn timing_scales_with_node() {
         let p = Parasitics::default();
         let flat = pipeline(8);
-        let t40 = analyze_timing(&flat, &p, &Technology::for_node(NodeId::N40).unwrap(), 750e6)
-            .unwrap();
-        let t180 =
-            analyze_timing(&flat, &p, &Technology::for_node(NodeId::N180).unwrap(), 250e6)
-                .unwrap();
+        let t40 = analyze_timing(
+            &flat,
+            &p,
+            &Technology::for_node(NodeId::N40).unwrap(),
+            750e6,
+        )
+        .unwrap();
+        let t180 = analyze_timing(
+            &flat,
+            &p,
+            &Technology::for_node(NodeId::N180).unwrap(),
+            250e6,
+        )
+        .unwrap();
         assert!(
             t180.critical_delay_ps > 3.0 * t40.critical_delay_ps,
             "180 nm gates are much slower: {} vs {}",
@@ -371,8 +394,7 @@ mod tests {
     #[test]
     fn violation_detected_at_absurd_clock() {
         let tech = Technology::for_node(NodeId::N180).unwrap();
-        let report =
-            analyze_timing(&pipeline(30), &Parasitics::default(), &tech, 20e9).unwrap();
+        let report = analyze_timing(&pipeline(30), &Parasitics::default(), &tech, 20e9).unwrap();
         assert!(!report.met(), "30 gates cannot run at 20 GHz in 180 nm");
         assert!(report.slack_ps() < 0.0);
         assert!(report.to_string().contains("VIOLATED"));
@@ -389,13 +411,31 @@ mod tests {
         let r = m.add_port("R", PortDirection::Input);
         let q = m.add_net("q");
         let qb = m.add_net("qb");
-        m.add_leaf("N0", "NOR2X1", [("A", r), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("N1", "NOR2X1", [("A", s), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "N0",
+            "NOR2X1",
+            [("A", r), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "N1",
+            "NOR2X1",
+            [("A", s), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let out = m.add_port("OUT", PortDirection::Output);
-        m.add_leaf("L0", "LATCHX1", [("D", q), ("EN", clk), ("Q", out), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "L0",
+            "LATCHX1",
+            [
+                ("D", q),
+                ("EN", clk),
+                ("Q", out),
+                ("VDD", vdd),
+                ("VSS", vss),
+            ],
+        )
+        .unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let tech = Technology::for_node(NodeId::N40).unwrap();
         let report = analyze_timing(&flat, &Parasitics::default(), &tech, 750e6).unwrap();
@@ -413,21 +453,36 @@ mod tests {
         let clk = m.add_port("CLK", PortDirection::Input);
         let a = m.add_net("a");
         let b = m.add_net("b");
-        m.add_leaf("V0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrl), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("V1", "INVX1", [("A", b), ("Y", a), ("VDD", vctrl), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "V0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vctrl), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "V1",
+            "INVX1",
+            [("A", b), ("Y", a), ("VDD", vctrl), ("VSS", vss)],
+        )
+        .unwrap();
         let d = m.add_port("D", PortDirection::Input);
         let q = m.add_port("Q", PortDirection::Output);
-        m.add_leaf("L0", "LATCHX1", [("D", d), ("EN", clk), ("Q", q), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "L0",
+            "LATCHX1",
+            [("D", d), ("EN", clk), ("Q", q), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let tech = Technology::for_node(NodeId::N40).unwrap();
         let report = analyze_timing(&flat, &Parasitics::default(), &tech, 750e6).unwrap();
-        assert!(report
-            .critical_path
-            .iter()
-            .all(|s| !s.cell.starts_with('V')), "{report}");
+        assert!(
+            report
+                .critical_path
+                .iter()
+                .all(|s| !s.cell.starts_with('V')),
+            "{report}"
+        );
         assert_eq!(report.loops_cut, 0, "analog loop not even traversed");
     }
 }

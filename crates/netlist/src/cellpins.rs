@@ -53,17 +53,15 @@ impl LeafPins {
     ///
     /// Returns [`NetlistError::UnknownCell`] for unsupported names.
     pub fn for_cell(cell: &str) -> Result<Self, NetlistError> {
-        let pg: [(&'static str, PinRole); 2] =
-            [("VDD", PinRole::Power), ("VSS", PinRole::Ground)];
-        let pins: Vec<(&'static str, PinRole)> = if cell.starts_with("INV") {
+        let pg: [(&'static str, PinRole); 2] = [("VDD", PinRole::Power), ("VSS", PinRole::Ground)];
+        let pins: Vec<(&'static str, PinRole)> = if cell.starts_with("INV")
+            || cell.starts_with("BUF")
+        {
             let mut v = vec![("A", PinRole::Input), ("Y", PinRole::Output)];
             v.extend(pg);
             v
-        } else if cell.starts_with("BUF") {
-            let mut v = vec![("A", PinRole::Input), ("Y", PinRole::Output)];
-            v.extend(pg);
-            v
-        } else if cell.starts_with("NAND2") || cell.starts_with("NOR2") || cell.starts_with("XOR2") {
+        } else if cell.starts_with("NAND2") || cell.starts_with("NOR2") || cell.starts_with("XOR2")
+        {
             let mut v = vec![
                 ("A", PinRole::Input),
                 ("B", PinRole::Input),
@@ -193,8 +191,8 @@ mod tests {
     #[test]
     fn all_families_resolve() {
         for cell in [
-            "INVX1", "INVX2", "INVX4", "BUFX2", "NAND2X1", "NAND3X1", "NOR2X1", "NOR3X4",
-            "XOR2X1", "LATCHX1", "DFFX1", "RESLO", "RESHI", "TIEX1",
+            "INVX1", "INVX2", "INVX4", "BUFX2", "NAND2X1", "NAND3X1", "NOR2X1", "NOR3X4", "XOR2X1",
+            "LATCHX1", "DFFX1", "RESLO", "RESHI", "TIEX1",
         ] {
             assert!(LeafPins::for_cell(cell).is_ok(), "{cell} must resolve");
         }

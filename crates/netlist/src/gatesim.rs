@@ -71,7 +71,7 @@ impl fmt::Display for Logic {
 }
 
 fn nor(inputs: &[Logic]) -> Logic {
-    if inputs.iter().any(|&v| v == Logic::One) {
+    if inputs.contains(&Logic::One) {
         return Logic::Zero;
     }
     if inputs.iter().all(|&v| v == Logic::Zero) {
@@ -81,7 +81,7 @@ fn nor(inputs: &[Logic]) -> Logic {
 }
 
 fn nand(inputs: &[Logic]) -> Logic {
-    if inputs.iter().any(|&v| v == Logic::Zero) {
+    if inputs.contains(&Logic::Zero) {
         return Logic::One;
     }
     if inputs.iter().all(|&v| v == Logic::One) {
@@ -171,7 +171,9 @@ impl GateSimulator {
                 || base.starts_with("VBUF")
             {
                 sim.values.insert(net, Logic::One);
-            } else if base.starts_with("VSS") || base.starts_with("GND") || base.starts_with("VREFN")
+            } else if base.starts_with("VSS")
+                || base.starts_with("GND")
+                || base.starts_with("VREFN")
             {
                 sim.values.insert(net, Logic::Zero);
             }
@@ -195,7 +197,10 @@ impl GateSimulator {
     ///
     /// Panics if the net does not exist.
     pub fn value(&self, net: &str) -> Logic {
-        *self.values.get(net).unwrap_or_else(|| panic!("unknown net {net}"))
+        *self
+            .values
+            .get(net)
+            .unwrap_or_else(|| panic!("unknown net {net}"))
     }
 
     /// Number of gate evaluations in the last settle (diagnostics).
@@ -355,10 +360,18 @@ mod tests {
         let a = m.add_port("A", PortDirection::Input);
         let mid = m.add_net("mid");
         let y = m.add_port("Y", PortDirection::Output);
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("I1", "INVX2", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "I1",
+            "INVX2",
+            [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut sim = sim_of(m);
         sim.drive("A", true);
         assert_eq!(sim.value("mid"), Logic::Zero);
@@ -375,11 +388,19 @@ mod tests {
         let a = m.add_port("A", PortDirection::Input);
         let b = m.add_port("B", PortDirection::Input);
         let y = m.add_port("Y", PortDirection::Output);
-        m.add_leaf("X0", "XOR2X1", [("A", a), ("B", b), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "X0",
+            "XOR2X1",
+            [("A", a), ("B", b), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut sim = sim_of(m);
-        for (a_v, b_v, y_v) in [(false, false, Logic::Zero), (true, false, Logic::One),
-                                (false, true, Logic::One), (true, true, Logic::Zero)] {
+        for (a_v, b_v, y_v) in [
+            (false, false, Logic::Zero),
+            (true, false, Logic::One),
+            (false, true, Logic::One),
+            (true, true, Logic::Zero),
+        ] {
             sim.drive("A", a_v);
             sim.drive("B", b_v);
             assert_eq!(sim.value("Y"), y_v, "{a_v} ^ {b_v}");
@@ -396,10 +417,18 @@ mod tests {
         let r = m.add_port("R", PortDirection::Input);
         let q = m.add_port("Q", PortDirection::Output);
         let qb = m.add_port("QB", PortDirection::Output);
-        m.add_leaf("N0", "NOR2X1", [("A", r), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("N1", "NOR2X1", [("A", s), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "N0",
+            "NOR2X1",
+            [("A", r), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "N1",
+            "NOR2X1",
+            [("A", s), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut sim = sim_of(m);
         // Reset then release: Q = 0 held.
         sim.drive("S", false);
@@ -422,8 +451,12 @@ mod tests {
         let d = m.add_port("D", PortDirection::Input);
         let en = m.add_port("EN", PortDirection::Input);
         let q = m.add_port("Q", PortDirection::Output);
-        m.add_leaf("L0", "LATCHX1", [("D", d), ("EN", en), ("Q", q), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "L0",
+            "LATCHX1",
+            [("D", d), ("EN", en), ("Q", q), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut sim = sim_of(m);
         sim.drive("EN", true);
         sim.drive("D", true);
@@ -443,8 +476,12 @@ mod tests {
         let a = m.add_port("A", PortDirection::Input);
         let y = m.add_net("y");
         let out = m.add_net("out");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         m.add_leaf("R0", "RESHI", [("T1", y), ("T2", out)]).unwrap();
         let mut sim = sim_of(m);
         sim.drive("A", false);
@@ -458,8 +495,12 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let a = m.add_port("A", PortDirection::Input);
         let y = m.add_port("Y", PortDirection::Output);
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let sim = sim_of(m);
         assert_eq!(sim.value("Y"), Logic::X);
         assert_eq!(sim.value("A"), Logic::X);
@@ -474,8 +515,12 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let a = m.add_port("A", PortDirection::Input);
         let y = m.add_port("Y", PortDirection::Output);
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let sim = sim_of(m);
         assert_eq!(sim.value("VDD"), Logic::One);
         assert_eq!(sim.value("VSS"), Logic::Zero);
@@ -489,8 +534,12 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let a = m.add_port("A", PortDirection::Input);
         let y = m.add_port("Y", PortDirection::Output);
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut sim = sim_of(m);
         sim.drive("NOPE", true);
     }

@@ -55,7 +55,12 @@ impl fmt::Display for LintViolation {
                 write!(f, "floating input {cell}.{pin} on net {net}")
             }
             LintViolation::MultipleDrivers { net, drivers } => {
-                write!(f, "net {net} has {} drivers: {}", drivers.len(), drivers.join(", "))
+                write!(
+                    f,
+                    "net {net} has {} drivers: {}",
+                    drivers.len(),
+                    drivers.join(", ")
+                )
             }
             LintViolation::CrossCoupledDrivers { net, drivers } => {
                 write!(
@@ -188,9 +193,8 @@ pub fn lint_flat(
     // Floating inputs: an input net with no driver, no passive connection
     // (a resistor can legitimately define a node) and not external.
     for (net, sinks) in &readers {
-        let driven = drivers.contains_key(net)
-            || passive_nets.contains(net)
-            || external_nets.contains(*net);
+        let driven =
+            drivers.contains_key(net) || passive_nets.contains(net) || external_nets.contains(*net);
         if !driven {
             for (cell, pin) in sinks {
                 report.violations.push(LintViolation::FloatingInput {
@@ -230,9 +234,8 @@ pub fn lint_flat(
     }
     // Dangling outputs.
     for (net, d) in &drivers {
-        let read = readers.contains_key(net)
-            || passive_nets.contains(net)
-            || external_nets.contains(*net);
+        let read =
+            readers.contains_key(net) || passive_nets.contains(net) || external_nets.contains(*net);
         if !read {
             for cell in d {
                 report.violations.push(LintViolation::DanglingOutput {
@@ -262,10 +265,18 @@ mod tests {
         let vdd = m.add_port("VDD", PortDirection::Inout);
         let vss = m.add_port("VSS", PortDirection::Inout);
         let mid = m.add_net("mid");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("I1", "INVX1", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "I1",
+            "INVX1",
+            [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         Design::new(m).unwrap().flatten()
     }
 
@@ -297,10 +308,18 @@ mod tests {
         let y = m.add_port("Y", PortDirection::Output);
         let vdd = m.add_port("VDD", PortDirection::Inout);
         let vss = m.add_port("VSS", PortDirection::Inout);
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        m.add_leaf("I1", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "I1",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let report = lint_flat(&flat, &externals(&["A", "Y", "VDD", "VSS"])).unwrap();
         assert!(matches!(
@@ -316,8 +335,12 @@ mod tests {
         let vdd = m.add_port("VDD", PortDirection::Inout);
         let vss = m.add_port("VSS", PortDirection::Inout);
         let dead = m.add_net("dead");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", dead), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", dead), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let report = lint_flat(&flat, &externals(&["A", "VDD", "VSS"])).unwrap();
         assert!(matches!(
@@ -336,9 +359,14 @@ mod tests {
         let vss = m.add_port("VSS", PortDirection::Inout);
         let node = m.add_net("node");
         let y = m.add_port("Y", PortDirection::Output);
-        m.add_leaf("R0", "RESHI", [("T1", vin), ("T2", node)]).unwrap();
-        m.add_leaf("I0", "INVX1", [("A", node), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+        m.add_leaf("R0", "RESHI", [("T1", vin), ("T2", node)])
             .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", node), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let flat = Design::new(m).unwrap().flatten();
         let report = lint_flat(&flat, &externals(&["VIN", "Y", "VDD", "VSS"])).unwrap();
         assert!(report.is_clean(), "{report}");

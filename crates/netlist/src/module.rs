@@ -322,8 +322,12 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, NetlistError::UnconnectedPin { .. }));
         // Complete.
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         assert_eq!(m.instances().len(), 1);
         assert_eq!(m.instances()[0].leaf_cell(), Some("INVX1"));
     }

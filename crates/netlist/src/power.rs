@@ -102,12 +102,13 @@ impl PowerPlan {
         for cell in &flat.cells {
             let pins = LeafPins::for_cell(&cell.cell)?;
             let region_idx = if pins.has_power_pins() {
-                let supply = cell.connections.get("VDD").ok_or_else(|| {
-                    NetlistError::UnconnectedPin {
-                        instance: cell.path.clone(),
-                        pin: "VDD".to_string(),
-                    }
-                })?;
+                let supply =
+                    cell.connections
+                        .get("VDD")
+                        .ok_or_else(|| NetlistError::UnconnectedPin {
+                            instance: cell.path.clone(),
+                            pin: "VDD".to_string(),
+                        })?;
                 let name = format!("PD_{}", supply.replace('/', "_"));
                 plan.region_index_or_insert(Region {
                     name,
@@ -227,12 +228,22 @@ mod tests {
         let a = m.add_net("a");
         let b = m.add_net("b");
         let c = m.add_net("c");
-        m.add_leaf("VCO0", "INVX1", [("A", a), ("Y", b), ("VDD", vctrlp), ("VSS", vss)])
+        m.add_leaf(
+            "VCO0",
+            "INVX1",
+            [("A", a), ("Y", b), ("VDD", vctrlp), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "LOG0",
+            "INVX1",
+            [("A", b), ("Y", c), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        m.add_leaf("R0", "RESLO", [("T1", c), ("T2", vctrlp)])
             .unwrap();
-        m.add_leaf("LOG0", "INVX1", [("A", b), ("Y", c), ("VDD", vdd), ("VSS", vss)])
+        m.add_leaf("R1", "RESHI", [("T1", a), ("T2", vctrlp)])
             .unwrap();
-        m.add_leaf("R0", "RESLO", [("T1", c), ("T2", vctrlp)]).unwrap();
-        m.add_leaf("R1", "RESHI", [("T1", a), ("T2", vctrlp)]).unwrap();
         Design::new(m).unwrap().flatten()
     }
 

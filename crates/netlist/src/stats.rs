@@ -97,20 +97,36 @@ mod tests {
         let vdd = pair.add_port("VDD", PortDirection::Inout);
         let vss = pair.add_port("VSS", PortDirection::Inout);
         let mid = pair.add_net("mid");
-        pair.add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        pair.add_leaf("I1", "INVX2", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        pair.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        pair.add_leaf(
+            "I1",
+            "INVX2",
+            [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let mut top = Module::new("top");
         let tin = top.add_port("IN", PortDirection::Input);
         let tout = top.add_port("OUT", PortDirection::Output);
         let vdd = top.add_port("VDD", PortDirection::Inout);
         let vss = top.add_port("VSS", PortDirection::Inout);
         let x = top.add_net("x");
-        top.add_submodule("P0", "pair", [("A", tin), ("Y", x), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
-        top.add_submodule("P1", "pair", [("A", x), ("Y", tout), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        top.add_submodule(
+            "P0",
+            "pair",
+            [("A", tin), ("Y", x), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
+        top.add_submodule(
+            "P1",
+            "pair",
+            [("A", x), ("Y", tout), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         Design::with_modules([pair, top], "top").unwrap()
     }
 

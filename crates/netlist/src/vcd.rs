@@ -124,7 +124,11 @@ impl VcdWriter {
         let _ = writeln!(out, "$scope module {} $end", self.module);
         for (name, width) in &self.signals {
             let id = &self.ids[name];
-            let kind = if *width == 1 { "wire 1" } else { &format!("wire {width}")[..] };
+            let kind = if *width == 1 {
+                "wire 1"
+            } else {
+                &format!("wire {width}")[..]
+            };
             let _ = writeln!(out, "$var {kind} {id} {name} $end");
         }
         let _ = writeln!(out, "$upscope $end");
@@ -135,11 +139,8 @@ impl VcdWriter {
                 let _ = writeln!(out, "#{time}");
                 current = *time;
             }
-            if value.starts_with('b') {
-                let _ = writeln!(out, "{value}{id}");
-            } else {
-                let _ = writeln!(out, "{value}{id}");
-            }
+            // Vector values carry their own "b…01 " separator; scalars abut the id.
+            let _ = writeln!(out, "{value}{id}");
         }
         out
     }

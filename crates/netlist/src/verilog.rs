@@ -29,9 +29,7 @@ pub fn write_design(design: &Design) -> Result<String, NetlistError> {
 
 fn check_identifier(name: &str) -> Result<(), NetlistError> {
     let ok = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().expect("non-empty").is_ascii_digit();
     if ok {
         Ok(())
@@ -135,13 +133,16 @@ pub fn read_design(text: &str) -> Result<Design, NetlistError> {
     Design::with_modules(modules, &top)
 }
 
+/// One parsed instantiation: cell, instance name, (pin, net) connections.
+type RawInstance = (String, String, Vec<(String, String)>);
+
 struct RawModule {
     name: String,
     /// Header order of the port list.
     port_order: Vec<String>,
     ports: Vec<(String, PortDirection)>,
     wires: Vec<String>,
-    instances: Vec<(String, String, Vec<(String, String)>)>, // cell, name, (pin, net)
+    instances: Vec<RawInstance>,
 }
 
 impl RawModule {
@@ -246,7 +247,9 @@ where
             }
         } else {
             // Instance: CELL NAME (.PIN(NET), ...)
-            let open = line.find('(').ok_or_else(|| err(lineno, "expected instance ("))?;
+            let open = line
+                .find('(')
+                .ok_or_else(|| err(lineno, "expected instance ("))?;
             let head: Vec<&str> = line[..open].split_whitespace().collect();
             if head.len() != 2 {
                 return Err(err(lineno, "expected `CELL NAME (`"));
@@ -313,19 +316,41 @@ mod tests {
         m.add_leaf(
             "I0",
             "NOR3X4",
-            [("Y", outp), ("VDD", vdd), ("VSS", vss), ("A", outm), ("B", inp), ("C", clk)],
+            [
+                ("Y", outp),
+                ("VDD", vdd),
+                ("VSS", vss),
+                ("A", outm),
+                ("B", inp),
+                ("C", clk),
+            ],
         )
         .unwrap();
         m.add_leaf(
             "I1",
             "NOR3X4",
-            [("Y", outm), ("VDD", vdd), ("VSS", vss), ("A", outp), ("B", inm), ("C", clk)],
+            [
+                ("Y", outm),
+                ("VDD", vdd),
+                ("VSS", vss),
+                ("A", outp),
+                ("B", inm),
+                ("C", clk),
+            ],
         )
         .unwrap();
-        m.add_leaf("I2", "NOR2X1", [("Y", q), ("VDD", vdd), ("VSS", vss), ("A", outp), ("B", qb)])
-            .unwrap();
-        m.add_leaf("I3", "NOR2X1", [("Y", qb), ("VDD", vdd), ("VSS", vss), ("A", outm), ("B", q)])
-            .unwrap();
+        m.add_leaf(
+            "I2",
+            "NOR2X1",
+            [("Y", q), ("VDD", vdd), ("VSS", vss), ("A", outp), ("B", qb)],
+        )
+        .unwrap();
+        m.add_leaf(
+            "I3",
+            "NOR2X1",
+            [("Y", qb), ("VDD", vdd), ("VSS", vss), ("A", outm), ("B", q)],
+        )
+        .unwrap();
         m
     }
 
@@ -366,18 +391,30 @@ mod tests {
         let vss = inner.add_port("VSS", PortDirection::Inout);
         let mid = inner.add_net("mid");
         inner
-            .add_leaf("I0", "INVX1", [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)])
+            .add_leaf(
+                "I0",
+                "INVX1",
+                [("A", a), ("Y", mid), ("VDD", vdd), ("VSS", vss)],
+            )
             .unwrap();
         inner
-            .add_leaf("I1", "INVX2", [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)])
+            .add_leaf(
+                "I1",
+                "INVX2",
+                [("A", mid), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+            )
             .unwrap();
         let mut top = Module::new("chain");
         let tin = top.add_port("IN", PortDirection::Input);
         let tout = top.add_port("OUT", PortDirection::Output);
         let vdd = top.add_port("VDD", PortDirection::Inout);
         let vss = top.add_port("VSS", PortDirection::Inout);
-        top.add_submodule("P0", "cell_pair", [("A", tin), ("Y", tout), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        top.add_submodule(
+            "P0",
+            "cell_pair",
+            [("A", tin), ("Y", tout), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let design = Design::with_modules([inner, top], "chain").unwrap();
 
         let v = write_design(&design).unwrap();
@@ -417,8 +454,12 @@ mod tests {
         let y = m.add_net("y");
         let vdd = m.add_net("vdd");
         let vss = m.add_net("vss");
-        m.add_leaf("I0", "INVX1", [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)])
-            .unwrap();
+        m.add_leaf(
+            "I0",
+            "INVX1",
+            [("A", a), ("Y", y), ("VDD", vdd), ("VSS", vss)],
+        )
+        .unwrap();
         let design = Design::new(m).unwrap();
         assert!(write_design(&design).is_err());
     }

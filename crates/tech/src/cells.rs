@@ -321,9 +321,7 @@ impl CellCatalog {
                     r_inv_kohm / f
                 };
                 let fragment_res_ohm = match class {
-                    CellClass::ResFragLow => {
-                        RES_FRAG_LOW_OHM * record.res_sheet_low_ohm / 120.0
-                    }
+                    CellClass::ResFragLow => RES_FRAG_LOW_OHM * record.res_sheet_low_ohm / 120.0,
                     CellClass::ResFragHigh => {
                         RES_FRAG_HIGH_OHM * record.res_sheet_high_ohm / 1250.0
                     }

@@ -48,6 +48,7 @@ pub mod error;
 pub mod itrs;
 pub mod migrate;
 pub mod node;
+pub mod rng;
 pub mod scaling;
 pub mod units;
 
@@ -56,4 +57,5 @@ pub use corner::Corner;
 pub use error::TechError;
 pub use migrate::{migrate_cell, MigrationReport};
 pub use node::{NodeId, Technology};
+pub use rng::Rng64;
 pub use scaling::{ScalingTrend, TrendPoint};

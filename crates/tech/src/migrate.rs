@@ -132,7 +132,11 @@ mod tests {
         for cell in t40.catalog().iter() {
             let migrated = migrate_cell(cell, &t180).expect("migration succeeds");
             assert_eq!(migrated.class(), cell.class());
-            assert_eq!(migrated.name(), cell.name(), "catalogs are structurally identical");
+            assert_eq!(
+                migrated.name(),
+                cell.name(),
+                "catalogs are structurally identical"
+            );
         }
     }
 

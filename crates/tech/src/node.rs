@@ -104,7 +104,8 @@ impl Technology {
     /// tables).
     pub fn for_node(id: NodeId) -> Result<Self, TechError> {
         let gate_length_nm = id.gate_length().value();
-        let record = *record_for(gate_length_nm).ok_or(TechError::UnknownNode { gate_length_nm })?;
+        let record =
+            *record_for(gate_length_nm).ok_or(TechError::UnknownNode { gate_length_nm })?;
         let catalog = CellCatalog::for_record(&record);
         Ok(Technology {
             id,
@@ -136,7 +137,9 @@ impl Technology {
         // Find bracketing rows (table is sorted descending by gate length).
         let hi = NODE_TABLE
             .windows(2)
-            .find(|w| w[0].gate_length_nm >= gate_length_nm && gate_length_nm >= w[1].gate_length_nm)
+            .find(|w| {
+                w[0].gate_length_nm >= gate_length_nm && gate_length_nm >= w[1].gate_length_nm
+            })
             .expect("bracketing rows exist inside table range");
         let (a, b) = (&hi[0], &hi[1]);
         let t = (gate_length_nm.ln() - a.gate_length_nm.ln())
@@ -314,10 +317,7 @@ impl fmt::Display for Technology {
         write!(
             f,
             "{} CMOS (VDD {:.2} V, FO4 {:.1} ps, fT {:.0} GHz)",
-            self.id,
-            self.record.vdd_v,
-            self.record.fo4_ps,
-            self.record.ft_ghz
+            self.id, self.record.vdd_v, self.record.fo4_ps, self.record.ft_ghz
         )
     }
 }
@@ -361,7 +361,9 @@ mod tests {
 
     #[test]
     fn switch_energy_improves_with_scaling() {
-        let e40 = Technology::for_node(NodeId::N40).unwrap().inv_switch_energy_fj();
+        let e40 = Technology::for_node(NodeId::N40)
+            .unwrap()
+            .inv_switch_energy_fj();
         let e180 = Technology::for_node(NodeId::N180)
             .unwrap()
             .inv_switch_energy_fj();

@@ -32,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the digital timing margin stays constant; bandwidth follows.
     println!("{}", AdcReport::table_header());
     let mut reports: Vec<AdcReport> = Vec::new();
-    for node in [NodeId::N180, NodeId::N130, NodeId::N90, NodeId::N65, NodeId::N40] {
+    for node in [
+        NodeId::N180,
+        NodeId::N130,
+        NodeId::N90,
+        NodeId::N65,
+        NodeId::N40,
+    ] {
         let tech = Technology::for_node(node)?;
         // fs ∝ 1/FO4, anchored to the paper's 40 nm point (750 MHz @ 11 ps).
         let fs = (750e6 * 11.0 / tech.fo4_delay_ps() / 1e6).round() * 1e6;

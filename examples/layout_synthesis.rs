@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Lint before layout.
     let flat = design.flatten();
-    let externals = design.top().ports().iter().map(|p| p.name.clone()).collect();
+    let externals = design
+        .top()
+        .ports()
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
     let report = lint_flat(&flat, &externals)?;
     println!(
         "         lint: {} errors, {} warnings (cross-coupled VCO nets)",

@@ -3,6 +3,12 @@
 //! ```text
 //! tdsigma design [--node 40] [--fs-mhz 750] [--bw-mhz 5] [--slices 8]
 //!                [--samples 16384] [--out results]
+//! tdsigma sweep  [--nodes 40,180] [--slices 4,8] [--fs-mhz 750] [--amps 0.79]
+//!                [--bw-mhz 5] [--kind sim] [--samples 8192] [--seed 2017]
+//!                [--workers N] [--retries 1] [--cache-dir results/cache]
+//!                [--no-cache] [--out results]
+//! tdsigma serve  [--addr 127.0.0.1:4017] [--workers N] [--retries 1]
+//!                [--cache-dir results/cache] [--no-cache]
 //! tdsigma nodes
 //! tdsigma help
 //! ```
@@ -10,26 +16,41 @@
 //! `design` runs the complete Fig.-9 flow and writes every artifact
 //! (Verilog, LEF, DEF, .fp, GDS-text, layout SVG, spectrum CSV, JSON
 //! report) into the output directory.
+//!
+//! `sweep` runs a grid of configurations (node × slices × fs × amplitude)
+//! through the parallel job engine: results are cached under
+//! `results/cache/` and bit-identical regardless of `--workers`.
+//!
+//! `serve` exposes the same engine over TCP — one JSON job request per
+//! line in, one JSON report per line out (see `crates/jobs/src/server.rs`
+//! or README for the protocol).
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
+use tdsigma::jobs::{default_workers, Engine, EngineConfig, Job, JobKind, PoolConfig, Server};
 use tdsigma::layout::physlib::PhysicalLibrary;
 use tdsigma::layout::{gds, lef, render};
 use tdsigma::tech::{NodeId, Technology};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let dispatch = |args: &[String], known: &[&str], run: fn(&Flags) -> ExitCode| match parse_flags(
+        args, known,
+    ) {
+        Ok(flags) => run(&flags),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    };
     match args.first().map(String::as_str) {
-        Some("design") => match parse_flags(&args[1..]) {
-            Ok(flags) => run_design(&flags),
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        Some("design") => dispatch(&args[1..], DESIGN_FLAGS, run_design),
+        Some("sweep") => dispatch(&args[1..], SWEEP_FLAGS, run_sweep),
+        Some("serve") => dispatch(&args[1..], SERVE_FLAGS, run_serve),
         Some("nodes") => {
             println!("supported technology nodes:");
             for id in NodeId::ALL {
@@ -38,8 +59,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("help") | None => {
+        Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
+            ExitCode::SUCCESS
+        }
+        Some("version") | Some("--version") | Some("-V") => {
+            println!("tdsigma {}", env!("CARGO_PKG_VERSION"));
             ExitCode::SUCCESS
         }
         Some(other) => {
@@ -56,30 +81,126 @@ fn print_help() {
     println!("USAGE:");
     println!("  tdsigma design [--node N] [--fs-mhz F] [--bw-mhz B] [--slices S]");
     println!("                 [--samples K] [--out DIR]     run the full flow");
+    println!("  tdsigma sweep  [--nodes 40,180] [--slices 4,8] [--fs-mhz 750]");
+    println!("                 [--amps 0.79] [--bw-mhz B] [--kind sim|flow]");
+    println!("                 [--samples K] [--seed S] [--workers W] [--retries R]");
+    println!("                 [--cache-dir DIR] [--no-cache] [--out DIR]");
+    println!("                                                run a cached parallel grid");
+    println!("  tdsigma serve  [--addr HOST:PORT] [--workers W] [--retries R]");
+    println!("                 [--cache-dir DIR] [--no-cache]  JSON-lines job server");
     println!("  tdsigma nodes                                 list technology nodes");
-    println!("  tdsigma help                                  this message");
+    println!("  tdsigma help | --help | -h                    this message");
+    println!("  tdsigma version | --version | -V              print the version");
     println!();
     println!("DEFAULTS: --node 40 --fs-mhz 750 --bw-mhz 5 --slices 8 --samples 16384");
-    println!("          --out results");
+    println!("          --out results --cache-dir results/cache --addr 127.0.0.1:4017");
 }
 
-fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
-    let mut flags = BTreeMap::new();
+/// Parsed command line: `--key value` pairs plus bare `--switch` flags.
+struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: [&str; 1] = ["no-cache"];
+
+/// The flags each subcommand accepts (anything else is an error).
+const DESIGN_FLAGS: &[&str] = &["node", "fs-mhz", "bw-mhz", "slices", "samples", "out"];
+const SWEEP_FLAGS: &[&str] = &[
+    "nodes",
+    "slices",
+    "fs-mhz",
+    "amps",
+    "bw-mhz",
+    "kind",
+    "samples",
+    "seed",
+    "workers",
+    "retries",
+    "cache-dir",
+    "no-cache",
+    "out",
+];
+const SERVE_FLAGS: &[&str] = &["addr", "workers", "retries", "cache-dir", "no-cache"];
+
+fn parse_flags(args: &[String], known: &[&str]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        values: BTreeMap::new(),
+        switches: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+        if !known.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key} (supported: {})",
+                known
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        if SWITCHES.contains(&key) {
+            flags.switches.push(key.to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        flags.values.insert(key.to_string(), value.clone());
         i += 2;
     }
     Ok(flags)
 }
 
-fn run_design(flags: &BTreeMap<String, String>) -> ExitCode {
+impl Flags {
+    fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        self.values
+            .get(key)
+            .map(|v| v.parse::<f64>().map_err(|e| format!("--{key}: {e}")))
+            .unwrap_or(Ok(default))
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        self.values
+            .get(key)
+            .map(|v| v.parse::<usize>().map_err(|e| format!("--{key}: {e}")))
+            .unwrap_or(Ok(default))
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// A comma-separated list of numbers, e.g. `--nodes 40,180`.
+    fn f64_list(&self, key: &str, default: &[f64]) -> Result<Vec<f64>, String> {
+        match self.values.get(key) {
+            None => Ok(default.to_vec()),
+            Some(text) => text
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("--{key}: {s:?}: {e}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+fn run_design(flags: &Flags) -> ExitCode {
     match try_run_design(flags) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -89,21 +210,14 @@ fn run_design(flags: &BTreeMap<String, String>) -> ExitCode {
     }
 }
 
-fn try_run_design(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    let get_f64 = |key: &str, default: f64| -> Result<f64, String> {
-        flags
-            .get(key)
-            .map(|v| v.parse::<f64>().map_err(|e| format!("--{key}: {e}")))
-            .unwrap_or(Ok(default))
-    };
-    let node_nm = get_f64("node", 40.0)?;
-    let fs_hz = get_f64("fs-mhz", 750.0)? * 1e6;
-    let bw_hz = get_f64("bw-mhz", 5.0)? * 1e6;
-    let slices = get_f64("slices", 8.0)? as usize;
-    let samples = get_f64("samples", 16_384.0)? as usize;
-    let default_out = "results".to_string();
-    let out = flags.get("out").unwrap_or(&default_out);
-    let out = Path::new(out);
+fn try_run_design(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let node_nm = flags.f64("node", 40.0)?;
+    let fs_hz = flags.f64("fs-mhz", 750.0)? * 1e6;
+    let bw_hz = flags.f64("bw-mhz", 5.0)? * 1e6;
+    let slices = flags.usize("slices", 8)?;
+    let samples = flags.usize("samples", 16_384)?;
+    let out = flags.str("out", "results");
+    let out = Path::new(&out);
     fs::create_dir_all(out)?;
 
     let node = NodeId::from_gate_length(node_nm)?;
@@ -125,7 +239,10 @@ fn try_run_design(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn std::e
     fs::write(out.join("adc_top.v"), &outcome.verilog)?;
     let lib = PhysicalLibrary::for_technology(&spec.tech);
     fs::write(out.join("library.lef"), lef::to_lef(&lib))?;
-    fs::write(out.join("adc_top.fp"), outcome.layout.floorplan.to_fp_text())?;
+    fs::write(
+        out.join("adc_top.fp"),
+        outcome.layout.floorplan.to_fp_text(),
+    )?;
     fs::write(
         out.join("adc_top.def"),
         lef::to_def(
@@ -165,6 +282,145 @@ fn try_run_design(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn std::e
     Ok(())
 }
 
+fn engine_from_flags(flags: &Flags) -> Result<Engine, Box<dyn std::error::Error>> {
+    let workers = flags.usize("workers", default_workers())?;
+    let retries = flags.usize("retries", 1)? as u32;
+    let cache_dir = if flags.switch("no-cache") {
+        None
+    } else {
+        Some(flags.str("cache-dir", "results/cache").into())
+    };
+    Ok(Engine::new(EngineConfig {
+        pool: PoolConfig { workers, retries },
+        cache_dir,
+    })?)
+}
+
+fn run_sweep(flags: &Flags) -> ExitCode {
+    match try_run_sweep(flags) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
+    let nodes = flags.f64_list("nodes", &[40.0, 180.0])?;
+    let slices = flags.f64_list("slices", &[4.0, 8.0])?;
+    let fs_list = flags.f64_list("fs-mhz", &[750.0])?;
+    let amps = flags.f64_list("amps", &[0.79])?;
+    let bw_mhz = flags.f64("bw-mhz", 5.0)?;
+    let kind = match flags.str("kind", "sim").as_str() {
+        "sim" => JobKind::SimTone,
+        "flow" => JobKind::FullFlow,
+        other => return Err(format!("--kind must be sim or flow, got {other:?}").into()),
+    };
+    let samples = flags.usize("samples", 8_192)?;
+    let seed = flags.usize("seed", 2017)? as u64;
+    let out = flags.str("out", "results");
+
+    let mut jobs = Vec::new();
+    for &node in &nodes {
+        for &n_slices in &slices {
+            for &fs_mhz in &fs_list {
+                for &amp in &amps {
+                    let mut job = match kind {
+                        JobKind::SimTone => Job::sim(node, fs_mhz * 1e6, bw_mhz * 1e6),
+                        JobKind::FullFlow => Job::flow(node, fs_mhz * 1e6, bw_mhz * 1e6),
+                    };
+                    job.slices = n_slices as usize;
+                    job.amplitude_rel = amp;
+                    job.samples = samples;
+                    job.seed = seed;
+                    jobs.push(job);
+                }
+            }
+        }
+    }
+
+    let engine = engine_from_flags(flags)?;
+    println!(
+        "sweep: {} jobs ({} nodes × {} slices × {} clocks × {} amplitudes) on {} workers",
+        jobs.len(),
+        nodes.len(),
+        slices.len(),
+        fs_list.len(),
+        amps.len(),
+        engine.workers(),
+    );
+    let batch = engine.run_batch(&jobs);
+
+    println!("{}", tdsigma::jobs::JobReport::table_header());
+    let mut failed = 0usize;
+    let mut artifact = Vec::new();
+    for (job, result) in jobs.iter().zip(&batch.results) {
+        match result {
+            Ok(report) => {
+                println!("{}", report.table_row());
+                artifact.push(report.to_json());
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!(
+                    "  FAILED {:.0} nm / {} slices / {:.0} MHz: {e}",
+                    job.node_nm,
+                    job.slices,
+                    job.fs_hz / 1e6
+                );
+            }
+        }
+    }
+    println!("{}", batch.metrics);
+
+    let out = Path::new(&out);
+    fs::create_dir_all(out)?;
+    let path = out.join("sweep.json");
+    fs::write(&path, tdsigma::jobs::Json::Arr(artifact).to_text() + "\n")?;
+    println!(
+        "wrote {} reports → {}",
+        batch.results.len() - failed,
+        path.display()
+    );
+    Ok(failed)
+}
+
+fn run_serve(flags: &Flags) -> ExitCode {
+    match try_run_serve(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_run_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = flags.str("addr", "127.0.0.1:4017");
+    let engine = Arc::new(engine_from_flags(flags)?);
+    let server = Server::bind(addr.as_str(), Arc::clone(&engine))?;
+    println!(
+        "tdsigma serve: listening on {} ({} workers, cache: {})",
+        server.local_addr()?,
+        engine.workers(),
+        engine
+            .cache()
+            .disk_dir()
+            .map_or("memory only".to_string(), |d| d.display().to_string()),
+    );
+    println!("protocol: one JSON job request per line, one JSON report per line back");
+    println!(r#"example: {{"kind":"sim","node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}}"#);
+    server.run()?;
+    let totals = engine.totals();
+    println!(
+        "served {} jobs ({} cache hits, {} executed, {} failed)",
+        totals.jobs, totals.cache_hits, totals.executed, totals.failed
+    );
+    Ok(())
+}
+
 /// Hand-rolled JSON (flat object, numeric fields) — no serialization
 /// dependency needed for a report this small.
 fn report_json(outcome: &tdsigma::core::flow::FlowOutcome) -> String {
@@ -180,7 +436,10 @@ fn report_json(outcome: &tdsigma::core::flow::FlowOutcome) -> String {
         ("area_mm2", r.area_mm2),
         ("fom_fj_per_conv", r.fom_fj),
         ("timing_slack_ps", outcome.timing.slack_ps()),
-        ("wirelength_um", outcome.layout.routing.total_wirelength_nm as f64 / 1e3),
+        (
+            "wirelength_um",
+            outcome.layout.routing.total_wirelength_nm as f64 / 1e3,
+        ),
         ("cells", outcome.layout.placement.len() as f64),
     ];
     let body: Vec<String> = fields

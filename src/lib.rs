@@ -14,6 +14,7 @@ pub use tdsigma_baselines as baselines;
 pub use tdsigma_circuit as circuit;
 pub use tdsigma_core as core;
 pub use tdsigma_dsp as dsp;
+pub use tdsigma_jobs as jobs;
 pub use tdsigma_layout as layout;
 pub use tdsigma_netlist as netlist;
 pub use tdsigma_tech as tech;

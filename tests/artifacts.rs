@@ -54,7 +54,10 @@ fn gds_references_every_used_macro() {
     let gds_text = gds::to_gds_text(&layout.placement, &lib, "adc_top");
     let used: BTreeSet<&str> = flat.cells.iter().map(|c| c.cell.as_str()).collect();
     for cell in &used {
-        assert!(gds_text.contains(&format!("BGNSTR {cell}")), "GDS missing {cell}");
+        assert!(
+            gds_text.contains(&format!("BGNSTR {cell}")),
+            "GDS missing {cell}"
+        );
     }
     // One SREF per placed cell.
     assert_eq!(gds_text.matches("SREF ").count(), flat.len());
@@ -108,5 +111,8 @@ fn vcd_of_a_capture_is_wellformed() {
     let text = vcd.finish();
     assert!(text.contains("$enddefinitions $end"));
     assert!(text.contains("$var wire 6"));
-    assert!(text.matches('#').count() > 10, "multiple timestamps recorded");
+    assert!(
+        text.matches('#').count() > 10,
+        "multiple timestamps recorded"
+    );
 }

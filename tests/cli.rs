@@ -16,6 +16,81 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn help_flag_spellings_all_work() {
+    for flag in ["--help", "-h"] {
+        let out = Command::new(bin()).arg(flag).output().expect("runs");
+        assert!(out.status.success(), "{flag}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("USAGE"), "{flag}");
+        assert!(text.contains("sweep"), "{flag}");
+        assert!(text.contains("serve"), "{flag}");
+    }
+}
+
+#[test]
+fn version_flag_prints_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = Command::new(bin()).arg(flag).output().expect("runs");
+        assert!(out.status.success(), "{flag}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(env!("CARGO_PKG_VERSION")), "{flag}: {text}");
+    }
+}
+
+#[test]
+fn sweep_runs_grid_and_writes_artifact() {
+    let dir = std::env::temp_dir().join("tdsigma_cli_sweep_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(bin())
+        .args([
+            "sweep",
+            "--nodes",
+            "40",
+            "--slices",
+            "1,2",
+            "--samples",
+            "2048",
+            "--workers",
+            "2",
+            "--no-cache",
+            "--out",
+            dir.to_str().expect("utf8 temp path"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SNDR[dB]"), "table header missing: {text}");
+    assert!(text.contains("2 jobs"), "metrics missing: {text}");
+    let json = std::fs::read_to_string(dir.join("sweep.json")).expect("artifact");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.contains("\"sndr_db\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_the_supported_list() {
+    for (cmd, flag) in [
+        ("sweep", "--nodez"),
+        ("design", "--mode"),
+        ("serve", "--port"),
+    ] {
+        let out = Command::new(bin())
+            .args([cmd, flag, "40"])
+            .output()
+            .expect("runs");
+        assert!(!out.status.success(), "{cmd} {flag} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown flag"), "{cmd} {flag}: {err}");
+        assert!(err.contains(flag), "{cmd} {flag}: {err}");
+    }
+}
+
+#[test]
 fn nodes_lists_all_supported() {
     let out = Command::new(bin()).arg("nodes").output().expect("runs");
     assert!(out.status.success());
@@ -27,7 +102,10 @@ fn nodes_lists_all_supported() {
 
 #[test]
 fn unknown_command_fails() {
-    let out = Command::new(bin()).arg("frobnicate").output().expect("runs");
+    let out = Command::new(bin())
+        .arg("frobnicate")
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
 }
 

@@ -19,7 +19,15 @@ fn full_flow_end_to_end() {
         .expect("flow succeeds");
 
     // (1) HDL generation produced the paper's module set.
-    for module in ["comparator", "VCO_cell", "buf_cell", "pd_VDD", "pd_VREFP", "ADC_slice", "adc_top"] {
+    for module in [
+        "comparator",
+        "VCO_cell",
+        "buf_cell",
+        "pd_VDD",
+        "pd_VREFP",
+        "ADC_slice",
+        "adc_top",
+    ] {
         assert!(
             outcome.verilog.contains(&format!("module {module}")),
             "missing {module}"
@@ -59,7 +67,9 @@ fn post_layout_parasitics_degrade_gracefully() {
         .run()
         .expect("flow");
     let mut schematic = tdsigma::core::sim::AdcSimulator::new(spec.clone()).expect("sim");
-    let fin = DesignFlow::new(spec.clone()).with_samples(4096).input_frequency_hz();
+    let fin = DesignFlow::new(spec.clone())
+        .with_samples(4096)
+        .input_frequency_hz();
     let cap = schematic.run_tone(fin, 0.79 * spec.full_scale_v(), 4096);
     let schematic_sndr = cap.analyze(spec.bw_hz).sndr_db;
     assert!(
@@ -84,8 +94,14 @@ fn naive_apr_fails_where_msv_flow_succeeds() {
 
 #[test]
 fn flow_is_deterministic() {
-    let a = DesignFlow::new(quick_spec()).with_samples(1024).run().expect("flow");
-    let b = DesignFlow::new(quick_spec()).with_samples(1024).run().expect("flow");
+    let a = DesignFlow::new(quick_spec())
+        .with_samples(1024)
+        .run()
+        .expect("flow");
+    let b = DesignFlow::new(quick_spec())
+        .with_samples(1024)
+        .run()
+        .expect("flow");
     assert_eq!(a.capture.output, b.capture.output);
     assert_eq!(a.layout.area_mm2, b.layout.area_mm2);
     assert_eq!(a.verilog, b.verilog);

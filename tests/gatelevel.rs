@@ -82,13 +82,21 @@ fn pd_vdd_retiming_path_delays_by_half_cycle() {
     // Hold phase (CLK high): second latch opens → T0 updates.
     sim.drive("CLK", true);
     assert_eq!(sim.value("T0"), Logic::One, "retimed bit reaches the DAC");
-    assert_eq!(sim.value("TB0"), Logic::Zero, "complement for the N-side DAC");
+    assert_eq!(
+        sim.value("TB0"),
+        Logic::Zero,
+        "complement for the N-side DAC"
+    );
 
     // Flip the phase relationship; the output follows one half-cycle later.
     sim.drive("CLK", false);
     sim.drive("BOP0", false);
     sim.drive("BON0", true);
-    assert_eq!(sim.value("T0"), Logic::One, "old value still held while CLK low");
+    assert_eq!(
+        sim.value("T0"),
+        Logic::One,
+        "old value still held while CLK low"
+    );
     sim.drive("CLK", true);
     assert_eq!(sim.value("T0"), Logic::Zero, "new decision after the edge");
 }
@@ -125,14 +133,44 @@ fn nand3_comparator_structure_also_latches() {
     let inm = m.add_port("INM", PortDirection::Input);
     let outp = m.add_net("OUTP");
     let outm = m.add_net("OUTM");
-    m.add_leaf("I0", "NAND3X1", [("A", outm), ("B", inp), ("C", clk), ("Y", outp), ("VDD", vdd), ("VSS", vss)])
-        .unwrap();
-    m.add_leaf("I1", "NAND3X1", [("A", outp), ("B", inm), ("C", clk), ("Y", outm), ("VDD", vdd), ("VSS", vss)])
-        .unwrap();
-    m.add_leaf("I2", "NAND2X1", [("A", outp), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)])
-        .unwrap();
-    m.add_leaf("I3", "NAND2X1", [("A", outm), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)])
-        .unwrap();
+    m.add_leaf(
+        "I0",
+        "NAND3X1",
+        [
+            ("A", outm),
+            ("B", inp),
+            ("C", clk),
+            ("Y", outp),
+            ("VDD", vdd),
+            ("VSS", vss),
+        ],
+    )
+    .unwrap();
+    m.add_leaf(
+        "I1",
+        "NAND3X1",
+        [
+            ("A", outp),
+            ("B", inm),
+            ("C", clk),
+            ("Y", outm),
+            ("VDD", vdd),
+            ("VSS", vss),
+        ],
+    )
+    .unwrap();
+    m.add_leaf(
+        "I2",
+        "NAND2X1",
+        [("A", outp), ("B", qb), ("Y", q), ("VDD", vdd), ("VSS", vss)],
+    )
+    .unwrap();
+    m.add_leaf(
+        "I3",
+        "NAND2X1",
+        [("A", outm), ("B", q), ("Y", qb), ("VDD", vdd), ("VSS", vss)],
+    )
+    .unwrap();
     let mut sim = GateSimulator::new(&Design::new(m).expect("design").flatten()).expect("sim");
     sim.drive("CLK", true);
     sim.drive("INP", true);

@@ -1,148 +1,259 @@
 //! Property-based tests across the workspace's core invariants.
+//!
+//! The workspace builds fully offline, so instead of a property-testing
+//! dependency these run each invariant over a deterministic fan of
+//! randomized cases drawn from the in-house [`Rng64`] stream. Failures
+//! print the case seed, so any counterexample is exactly reproducible.
 
-use proptest::prelude::*;
 use tdsigma::dsp::decimate::{boxcar_decimate, CicDecimator};
 use tdsigma::dsp::fft::{dft_reference, fft_real, ifft_in_place, Complex};
 use tdsigma::dsp::spectrum::Spectrum;
 use tdsigma::dsp::window::Window;
 use tdsigma::layout::geom::{half_perimeter, Point, Rect};
 use tdsigma::netlist::{verilog, Design, Module, PortDirection};
+use tdsigma::tech::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// One RNG per case, seeded from the test name hash and case index so
+/// every case is independent and reproducible.
+fn case_rng(test: &str, case: u64) -> Rng64 {
+    let tag: u64 = test.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    Rng64::seed_from_u64(tag ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
 
-    /// Parseval's theorem holds for arbitrary real signals.
-    #[test]
-    fn fft_parseval(samples in proptest::collection::vec(-1e3f64..1e3, 256)) {
+fn uniform(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
+}
+
+fn uniform_usize(rng: &mut Rng64, lo: usize, hi: usize) -> usize {
+    lo + rng.gen_range(hi - lo)
+}
+
+fn uniform_i64(rng: &mut Rng64, lo: i64, hi: i64) -> i64 {
+    lo + rng.gen_range((hi - lo) as usize) as i64
+}
+
+fn vec_f64(rng: &mut Rng64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| uniform(rng, lo, hi)).collect()
+}
+
+/// Parseval's theorem holds for arbitrary real signals.
+#[test]
+fn fft_parseval() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("fft_parseval", case);
+        let samples = vec_f64(&mut rng, 256, -1e3, 1e3);
         let time: f64 = samples.iter().map(|x| x * x).sum();
         let spec = fft_real(&samples);
         let freq: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / samples.len() as f64;
-        prop_assert!((time - freq).abs() <= 1e-6 * time.abs().max(1.0));
+        assert!(
+            (time - freq).abs() <= 1e-6 * time.abs().max(1.0),
+            "case {case}: time {time} vs freq {freq}"
+        );
     }
+}
 
-    /// FFT matches the O(n²) DFT on random complex input.
-    #[test]
-    fn fft_matches_dft(re in proptest::collection::vec(-10f64..10.0, 32),
-                       im in proptest::collection::vec(-10f64..10.0, 32)) {
-        let input: Vec<Complex> = re.iter().zip(&im).map(|(&r, &i)| Complex::new(r, i)).collect();
+/// FFT matches the O(n²) DFT on random complex input.
+#[test]
+fn fft_matches_dft() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("fft_matches_dft", case);
+        let input: Vec<Complex> = (0..32)
+            .map(|_| {
+                Complex::new(
+                    uniform(&mut rng, -10.0, 10.0),
+                    uniform(&mut rng, -10.0, 10.0),
+                )
+            })
+            .collect();
         let mut fast = input.clone();
         tdsigma::dsp::fft::fft_in_place(&mut fast);
         let slow = dft_reference(&input);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((*a - *b).abs() < 1e-7);
+            assert!((*a - *b).abs() < 1e-7, "case {case}");
         }
     }
+}
 
-    /// IFFT inverts FFT for arbitrary signals.
-    #[test]
-    fn fft_roundtrip(samples in proptest::collection::vec(-1e2f64..1e2, 128)) {
+/// IFFT inverts FFT for arbitrary signals.
+#[test]
+fn fft_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("fft_roundtrip", case);
+        let samples = vec_f64(&mut rng, 128, -1e2, 1e2);
         let mut buf: Vec<Complex> = samples.iter().map(|&x| Complex::from_real(x)).collect();
         tdsigma::dsp::fft::fft_in_place(&mut buf);
         ifft_in_place(&mut buf);
         for (orig, got) in samples.iter().zip(&buf) {
-            prop_assert!((orig - got.re).abs() < 1e-9);
-            prop_assert!(got.im.abs() < 1e-9);
+            assert!((orig - got.re).abs() < 1e-9, "case {case}");
+            assert!(got.im.abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// A full-scale coherent tone always reads ~0 dBFS regardless of bin,
-    /// window, and sample rate.
-    #[test]
-    fn spectrum_normalisation(bin in 5usize..200, rate in 1e5f64..1e9) {
+/// A full-scale coherent tone always reads ~0 dBFS regardless of bin,
+/// window, and sample rate.
+#[test]
+fn spectrum_normalisation() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("spectrum_normalisation", case);
+        let bin = uniform_usize(&mut rng, 5, 200);
+        let rate = uniform(&mut rng, 1e5, 1e9);
         let n = 1024;
         let samples: Vec<f64> = (0..n)
             .map(|i| (2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64).sin())
             .collect();
         for window in [Window::Rectangular, Window::Hann, Window::Hamming] {
             let s = Spectrum::from_samples(&samples, rate, window);
-            prop_assert_eq!(s.peak_bin(), bin);
-            prop_assert!(s.dbfs(bin).abs() < 0.2, "window {} read {}", window, s.dbfs(bin));
+            assert_eq!(s.peak_bin(), bin, "case {case}");
+            assert!(
+                s.dbfs(bin).abs() < 0.2,
+                "case {case}: window {} read {}",
+                window,
+                s.dbfs(bin)
+            );
         }
     }
+}
 
-    /// CIC decimation preserves DC exactly for any order/ratio.
-    #[test]
-    fn cic_dc_gain(order in 1usize..5, ratio in 2usize..32, dc in -10f64..10.0) {
+/// CIC decimation preserves DC exactly for any order/ratio.
+#[test]
+fn cic_dc_gain() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("cic_dc_gain", case);
+        let order = uniform_usize(&mut rng, 1, 5);
+        let ratio = uniform_usize(&mut rng, 2, 32);
+        let dc = uniform(&mut rng, -10.0, 10.0);
         let cic = CicDecimator::new(order, ratio);
         let input = vec![dc; ratio * 32];
         let out = cic.decimate(&input);
         let settled = &out[order + 1..];
         for &v in settled {
-            prop_assert!((v - dc).abs() < 1e-9);
+            assert!((v - dc).abs() < 1e-9, "case {case}: {v} vs {dc}");
         }
     }
+}
 
-    /// Boxcar decimation never exceeds the input range.
-    #[test]
-    fn boxcar_bounded(samples in proptest::collection::vec(-5f64..5.0, 64), ratio in 1usize..16) {
+/// Boxcar decimation never exceeds the input range.
+#[test]
+fn boxcar_bounded() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("boxcar_bounded", case);
+        let samples = vec_f64(&mut rng, 64, -5.0, 5.0);
+        let ratio = uniform_usize(&mut rng, 1, 16);
         let out = boxcar_decimate(&samples, ratio);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for v in out {
-            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "case {case}");
         }
     }
+}
 
-    /// HPWL is translation invariant and non-negative.
-    #[test]
-    fn hpwl_invariants(pts in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 1..12),
-                       dx in -500i64..500, dy in -500i64..500) {
-        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
-        let moved: Vec<Point> = points.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+/// HPWL is translation invariant and non-negative.
+#[test]
+fn hpwl_invariants() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("hpwl_invariants", case);
+        let n = uniform_usize(&mut rng, 1, 12);
+        let points: Vec<Point> = (0..n)
+            .map(|_| {
+                Point::new(
+                    uniform_i64(&mut rng, -1000, 1000),
+                    uniform_i64(&mut rng, -1000, 1000),
+                )
+            })
+            .collect();
+        let dx = uniform_i64(&mut rng, -500, 500);
+        let dy = uniform_i64(&mut rng, -500, 500);
+        let moved: Vec<Point> = points
+            .iter()
+            .map(|p| Point::new(p.x + dx, p.y + dy))
+            .collect();
         let a = half_perimeter(&points);
-        prop_assert!(a >= 0);
-        prop_assert_eq!(a, half_perimeter(&moved));
+        assert!(a >= 0, "case {case}");
+        assert_eq!(a, half_perimeter(&moved), "case {case}");
     }
+}
 
-    /// Rect union always contains both operands; overlap is symmetric.
-    #[test]
-    fn rect_invariants(ax in -100i64..100, ay in -100i64..100, aw in 1i64..50, ah in 1i64..50,
-                       bx in -100i64..100, by in -100i64..100, bw in 1i64..50, bh in 1i64..50) {
-        let a = Rect::new(ax, ay, ax + aw, ay + ah);
-        let b = Rect::new(bx, by, bx + bw, by + bh);
+/// Rect union always contains both operands; overlap is symmetric.
+#[test]
+fn rect_invariants() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("rect_invariants", case);
+        let rect = |rng: &mut Rng64| {
+            let x = uniform_i64(rng, -100, 100);
+            let y = uniform_i64(rng, -100, 100);
+            let w = uniform_i64(rng, 1, 50);
+            let h = uniform_i64(rng, 1, 50);
+            Rect::new(x, y, x + w, y + h)
+        };
+        let a = rect(&mut rng);
+        let b = rect(&mut rng);
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert!(u.contains_rect(&a), "case {case}");
+        assert!(u.contains_rect(&b), "case {case}");
+        assert_eq!(a.overlaps(&b), b.overlaps(&a), "case {case}");
     }
+}
 
-    /// Verilog round trip is loss-free for arbitrary inverter-chain
-    /// netlists (length, drive strengths, port names).
-    #[test]
-    fn verilog_roundtrip(length in 1usize..20, drives in proptest::collection::vec(0usize..3, 20)) {
+/// Verilog round trip is loss-free for arbitrary inverter-chain
+/// netlists (length, drive strengths, port names).
+#[test]
+fn verilog_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = case_rng("verilog_roundtrip", case);
+        let length = uniform_usize(&mut rng, 1, 20);
+        let drives: Vec<usize> = (0..20).map(|_| uniform_usize(&mut rng, 0, 3)).collect();
         let mut m = Module::new("chain");
         let vdd = m.add_port("VDD", PortDirection::Inout);
         let vss = m.add_port("VSS", PortDirection::Inout);
         let mut prev = m.add_port("IN", PortDirection::Input);
         let out = m.add_port("OUT", PortDirection::Output);
         for i in 0..length {
-            let next = if i == length - 1 { out } else { m.add_net(format!("n{i}")) };
+            let next = if i == length - 1 {
+                out
+            } else {
+                m.add_net(format!("n{i}"))
+            };
             let cell = ["INVX1", "INVX2", "INVX4"][drives[i % drives.len()]];
-            m.add_leaf(format!("I{i}"), cell, [("A", prev), ("Y", next), ("VDD", vdd), ("VSS", vss)])
-                .expect("legal netlist");
+            m.add_leaf(
+                format!("I{i}"),
+                cell,
+                [("A", prev), ("Y", next), ("VDD", vdd), ("VSS", vss)],
+            )
+            .expect("legal netlist");
             prev = next;
         }
         let design = Design::new(m).expect("valid design");
         let text = verilog::write_design(&design).expect("write");
         let back = verilog::read_design(&text).expect("read");
-        prop_assert_eq!(verilog::write_design(&back).expect("write"), text);
-        prop_assert_eq!(back.flatten().len(), length);
+        assert_eq!(
+            verilog::write_design(&back).expect("write"),
+            text,
+            "case {case}"
+        );
+        assert_eq!(back.flatten().len(), length, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The placer always produces a legal placement (no overlaps, region
+/// containment) for random multi-domain netlists.
+#[test]
+fn placement_always_legal() {
+    use std::collections::BTreeMap;
+    use tdsigma::layout::floorplan::Floorplan;
+    use tdsigma::layout::physlib::PhysicalLibrary;
+    use tdsigma::layout::place::place;
+    use tdsigma::netlist::PowerPlan;
+    use tdsigma::tech::{NodeId, Technology};
 
-    /// The placer always produces a legal placement (no overlaps, region
-    /// containment) for random multi-domain netlists.
-    #[test]
-    fn placement_always_legal(n_a in 2usize..20, n_b in 2usize..20, seed in 0u64..50) {
-        use std::collections::BTreeMap;
-        use tdsigma::layout::floorplan::Floorplan;
-        use tdsigma::layout::physlib::PhysicalLibrary;
-        use tdsigma::layout::place::place;
-        use tdsigma::netlist::PowerPlan;
-        use tdsigma::tech::{NodeId, Technology};
+    for case in 0..12u64 {
+        let mut rng = case_rng("placement_always_legal", case);
+        let n_a = uniform_usize(&mut rng, 2, 20);
+        let n_b = uniform_usize(&mut rng, 2, 20);
+        let seed = rng.gen_range(50) as u64;
 
         let mut m = Module::new("rand");
         let vdd = m.add_port("VDD", PortDirection::Inout);
@@ -153,47 +264,78 @@ proptest! {
             nets.push(m.add_net(format!("n{i}")));
         }
         for i in 0..n_a {
-            m.add_leaf(format!("A{i}"), "INVX1",
-                [("A", nets[i]), ("Y", nets[i + 1]), ("VDD", vdd), ("VSS", vss)])
-                .expect("legal");
+            m.add_leaf(
+                format!("A{i}"),
+                "INVX1",
+                [
+                    ("A", nets[i]),
+                    ("Y", nets[i + 1]),
+                    ("VDD", vdd),
+                    ("VSS", vss),
+                ],
+            )
+            .expect("legal");
         }
         for i in 0..n_b {
-            m.add_leaf(format!("B{i}"), "NOR2X1",
-                [("A", nets[i]), ("B", nets[i + 1]), ("Y", nets[n_a + i + 1]), ("VDD", vc), ("VSS", vss)])
-                .expect("legal");
+            m.add_leaf(
+                format!("B{i}"),
+                "NOR2X1",
+                [
+                    ("A", nets[i]),
+                    ("B", nets[i + 1]),
+                    ("Y", nets[n_a + i + 1]),
+                    ("VDD", vc),
+                    ("VSS", vss),
+                ],
+            )
+            .expect("legal");
         }
         let flat = Design::new(m).expect("valid").flatten();
         let plan = PowerPlan::infer(&flat).expect("plan");
-        let lib = PhysicalLibrary::for_technology(&Technology::for_node(NodeId::N40).expect("node"));
+        let lib =
+            PhysicalLibrary::for_technology(&Technology::for_node(NodeId::N40).expect("node"));
         let fp = Floorplan::generate(&flat, &plan, &lib, 0.8).expect("floorplan");
-        let assignments: BTreeMap<String, String> = flat.cells.iter()
-            .map(|c| (c.path.clone(), plan.region_of(&c.path).expect("assigned").name.clone()))
+        let assignments: BTreeMap<String, String> = flat
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    c.path.clone(),
+                    plan.region_of(&c.path).expect("assigned").name.clone(),
+                )
+            })
             .collect();
         let p = place(&flat, &assignments, &fp, &lib, seed).expect("placement");
 
         // Legality: pairwise non-overlap + region containment.
         let report = tdsigma::layout::checks::check_placement(&flat, &p);
-        prop_assert!(report.is_clean(), "{}", report);
+        assert!(report.is_clean(), "case {case}: {report}");
         for cell in &p.cells {
             let region = fp.region(&cell.region).expect("region exists");
-            let r = Rect::new(cell.x_nm, cell.y_nm, cell.x_nm + cell.width_nm, cell.y_nm + cell.height_nm);
-            prop_assert!(region.rect.contains_rect(&r));
+            let r = Rect::new(
+                cell.x_nm,
+                cell.y_nm,
+                cell.x_nm + cell.width_nm,
+                cell.y_nm + cell.height_nm,
+            );
+            assert!(region.rect.contains_rect(&r), "case {case}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+/// The netlist generator yields an error-free, power-plan-valid design
+/// for any slice/stage combination, and its size follows the closed
+/// form — asserted via the generator-independent recount below.
+#[test]
+fn netgen_always_clean() {
+    use std::collections::BTreeSet;
+    use tdsigma::core::{netgen, spec::AdcSpec};
+    use tdsigma::netlist::{lint::lint_flat, PowerPlan};
 
-    /// The netlist generator yields an error-free, power-plan-valid design
-    /// for any slice/stage combination, and its size follows the closed
-    /// form: slices × (16·stages + 49·(stages/4 scaled) … ) — asserted via
-    /// the generator-independent recount below.
-    #[test]
-    fn netgen_always_clean(slices in 1usize..6, stages in 2usize..6) {
-        use std::collections::BTreeSet;
-        use tdsigma::core::{netgen, spec::AdcSpec};
-        use tdsigma::netlist::{lint::lint_flat, PowerPlan};
+    for case in 0..10u64 {
+        let mut rng = case_rng("netgen_always_clean", case);
+        let slices = uniform_usize(&mut rng, 1, 6);
+        let stages = uniform_usize(&mut rng, 2, 6);
 
         let mut spec = AdcSpec::paper_40nm().expect("base spec");
         spec.n_slices = slices;
@@ -212,32 +354,44 @@ proptest! {
         //   DAC: 2 × stages inverters
         //   DAC resistors: 4 × stages cells × 4 fragments
         //   input resistors: 2 × 4 fragments
-        let per_slice = 8 * stages + 8 * stages + (12 * stages + 1) + 2 * stages
-            + 16 * stages + 8;
-        prop_assert_eq!(flat.len(), slices * per_slice + 3, "plus 3 clock buffers");
+        let per_slice = 8 * stages + 8 * stages + (12 * stages + 1) + 2 * stages + 16 * stages + 8;
+        assert_eq!(
+            flat.len(),
+            slices * per_slice + 3,
+            "case {case}: plus 3 clock buffers"
+        );
 
         // Lint: warnings only (cross-coupled analog cells).
-        let externals: BTreeSet<String> =
-            design.top().ports().iter().map(|p| p.name.clone()).collect();
+        let externals: BTreeSet<String> = design
+            .top()
+            .ports()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
         let report = lint_flat(&flat, &externals).expect("lint runs");
-        prop_assert!(!report.has_errors(), "{}", report);
+        assert!(!report.has_errors(), "case {case}: {report}");
 
         // Power plan covers every cell and validates.
         let plan = PowerPlan::infer(&flat).expect("plan infers");
         plan.validate(&flat).expect("plan validates");
-        prop_assert_eq!(plan.domain_count(), 3 + 2 * slices);
+        assert_eq!(plan.domain_count(), 3 + 2 * slices, "case {case}");
 
         // Verilog round-trips.
         let text = tdsigma::netlist::verilog::write_design(&design).expect("write");
         let back = tdsigma::netlist::verilog::read_design(&text).expect("read");
-        prop_assert_eq!(back.flatten().len(), flat.len());
+        assert_eq!(back.flatten().len(), flat.len(), "case {case}");
     }
+}
 
-    /// The behavioral simulator's DC transfer stays monotone for any legal
-    /// slice count and input level (no overload inside ±0.7 FS).
-    #[test]
-    fn sim_dc_transfer_monotone(slices in 1usize..5, seed in 0u64..20) {
-        use tdsigma::core::{sim::AdcSimulator, spec::AdcSpec};
+/// The behavioral simulator's DC transfer stays monotone for any legal
+/// slice count and input level (no overload inside ±0.7 FS).
+#[test]
+fn sim_dc_transfer_monotone() {
+    use tdsigma::core::{sim::AdcSimulator, spec::AdcSpec};
+    for case in 0..10u64 {
+        let mut rng = case_rng("sim_dc_transfer_monotone", case);
+        let slices = uniform_usize(&mut rng, 1, 5);
+        let seed = rng.gen_range(20) as u64;
         let mut spec = AdcSpec::paper_40nm().expect("spec");
         spec.n_slices = slices;
         spec.steps_per_cycle = 8;
@@ -248,7 +402,10 @@ proptest! {
         for frac in [-0.7, -0.35, 0.0, 0.35, 0.7] {
             let mut sim = AdcSimulator::new(spec.clone()).expect("sim");
             let mean = sim.run(|_| frac * fsv, 1024).mean_code();
-            prop_assert!(mean > last, "transfer must increase: {mean} after {last}");
+            assert!(
+                mean > last,
+                "case {case}: transfer must increase: {mean} after {last}"
+            );
             last = mean;
         }
     }

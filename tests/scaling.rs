@@ -6,7 +6,10 @@ use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
 fn run(spec: AdcSpec) -> tdsigma::core::flow::FlowOutcome {
     let mut spec = spec;
     spec.steps_per_cycle = 8;
-    DesignFlow::new(spec).with_samples(4096).run().expect("flow")
+    DesignFlow::new(spec)
+        .with_samples(4096)
+        .run()
+        .expect("flow")
 }
 
 #[test]
@@ -16,8 +19,16 @@ fn table3_shape_holds() {
 
     // SNDR: both in the 69.5-dB class (quick-look captures are a few dB
     // pessimistic; 16k-sample runs in the bench binaries land 67-69).
-    assert!(o40.report.sndr_db > 55.0, "40 nm SNDR {}", o40.report.sndr_db);
-    assert!(o180.report.sndr_db > 55.0, "180 nm SNDR {}", o180.report.sndr_db);
+    assert!(
+        o40.report.sndr_db > 55.0,
+        "40 nm SNDR {}",
+        o40.report.sndr_db
+    );
+    assert!(
+        o180.report.sndr_db > 55.0,
+        "180 nm SNDR {}",
+        o180.report.sndr_db
+    );
     assert!(
         (o40.report.sndr_db - o180.report.sndr_db).abs() < 8.0,
         "nodes should be within a few dB ({} vs {})",
