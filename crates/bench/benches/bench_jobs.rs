@@ -24,8 +24,10 @@ fn engine(workers: usize) -> Engine {
         pool: PoolConfig {
             workers,
             retries: 0,
+            ..PoolConfig::default()
         },
         cache_dir: None,
+        faults: Default::default(),
     })
     .expect("engine")
 }

@@ -6,13 +6,27 @@
 //! (one `<key>.json` artifact per result, conventionally under
 //! `results/cache/`) survives process restarts, which is what makes
 //! re-running a whole sweep near-free.
+//!
+//! **Corruption is a defined state, not undefined behavior.** Every
+//! artifact carries a `crc64:` trailer (FNV-1a over the report line); an
+//! artifact that is unreadable, unparsable, checksum-mismatched, or filed
+//! under the wrong key is **quarantined** — renamed to
+//! `<key>.json.quarantine`, counted (see [`ResultCache::quarantined`]),
+//! and treated as a miss so the job recomputes. Quarantined files are
+//! never read back: lookups only ever open `<key>.json`.
 
 use crate::error::JobError;
+use crate::faults::{fnv1a64, FaultPlan};
 use crate::report::JobReport;
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Basis for artifact checksums (distinct from the job-key bases so a
+/// key can never masquerade as its own checksum).
+const CRC_BASIS: u64 = 0x6c62_272e_07bb_0142;
 
 /// A two-tier (memory + optional disk) result cache. All methods take
 /// `&self`; the cache is safe to share across worker and server threads.
@@ -20,6 +34,8 @@ use std::sync::Mutex;
 pub struct ResultCache {
     mem: Mutex<HashMap<String, JobReport>>,
     dir: Option<PathBuf>,
+    quarantined: AtomicUsize,
+    faults: FaultPlan,
 }
 
 impl ResultCache {
@@ -28,6 +44,8 @@ impl ResultCache {
         ResultCache {
             mem: Mutex::new(HashMap::new()),
             dir: None,
+            quarantined: AtomicUsize::new(0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -43,7 +61,17 @@ impl ResultCache {
         Ok(ResultCache {
             mem: Mutex::new(HashMap::new()),
             dir: Some(dir),
+            quarantined: AtomicUsize::new(0),
+            faults: FaultPlan::none(),
         })
+    }
+
+    /// Installs a fault plan that may corrupt artifacts as they are
+    /// written (exercises the quarantine path end to end).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The disk directory, if this cache has one.
@@ -51,20 +79,37 @@ impl ResultCache {
         self.dir.as_deref()
     }
 
+    /// Artifacts found corrupt and quarantined over this cache's
+    /// lifetime.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::SeqCst)
+    }
+
     /// Looks up a result by job key: memory first, then disk (a disk hit
-    /// is promoted into memory).
+    /// is promoted into memory). A corrupt disk artifact is quarantined
+    /// and reported as a miss — corruption degrades to recomputation,
+    /// never to a wrong answer or an aborted batch.
     pub fn get(&self, key: &str) -> Option<JobReport> {
         if let Some(hit) = self.mem.lock().expect("cache lock").get(key) {
             return Some(hit.clone());
         }
         let path = self.artifact_path(key)?;
-        let text = fs::read_to_string(path).ok()?;
-        let report = JobReport::from_text(&text).ok()?;
-        // Never serve an artifact filed under the wrong key (e.g. a
-        // hand-renamed file): the report embeds its own address.
-        if report.key != key {
-            return None;
-        }
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                // Exists but unreadable: same treatment as corrupt.
+                self.quarantine(&path);
+                return None;
+            }
+        };
+        let report = match parse_artifact(&text, key) {
+            Ok(report) => report,
+            Err(_) => {
+                self.quarantine(&path);
+                return None;
+            }
+        };
         self.mem
             .lock()
             .expect("cache lock")
@@ -86,11 +131,28 @@ impl ResultCache {
             .expect("cache lock")
             .insert(report.key.clone(), report.clone());
         if let Some(path) = self.artifact_path(&report.key) {
+            let intact = artifact_text(report);
+            let bytes = self
+                .faults
+                .corrupt_artifact(&report.key, &intact)
+                .unwrap_or(intact);
             let tmp = path.with_extension("json.tmp");
-            fs::write(&tmp, report.to_text() + "\n")?;
+            fs::write(&tmp, bytes)?;
             fs::rename(&tmp, &path)?;
         }
         Ok(())
+    }
+
+    /// Moves a damaged artifact aside as `<name>.quarantine` (never
+    /// consulted by lookups) and counts it. Best-effort: if the rename
+    /// fails the file is removed so it cannot be re-read either way.
+    fn quarantine(&self, path: &Path) {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".quarantine");
+        if fs::rename(path, PathBuf::from(target)).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Number of results in the in-memory tier.
@@ -111,6 +173,45 @@ impl ResultCache {
         }
         self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
     }
+}
+
+/// Serializes one artifact: the report line followed by its checksum
+/// trailer.
+fn artifact_text(report: &JobReport) -> String {
+    let line = report.to_text();
+    let crc = fnv1a64(line.as_bytes(), CRC_BASIS);
+    format!("{line}\ncrc64:{crc:016x}\n")
+}
+
+/// Parses and verifies one artifact. Checksum-less single-line files
+/// (the pre-checksum format) are still accepted if they parse and carry
+/// the right key, so existing caches keep working.
+fn parse_artifact(text: &str, key: &str) -> Result<JobReport, JobError> {
+    let mut lines = text.lines();
+    let line = lines
+        .next()
+        .ok_or_else(|| JobError::Invalid("empty artifact".into()))?;
+    if let Some(trailer) = lines.next() {
+        let stated = trailer
+            .strip_prefix("crc64:")
+            .ok_or_else(|| JobError::Invalid(format!("malformed checksum trailer {trailer:?}")))?;
+        let actual = format!("{:016x}", fnv1a64(line.as_bytes(), CRC_BASIS));
+        if stated != actual {
+            return Err(JobError::Invalid(format!(
+                "checksum mismatch: artifact says {stated}, content hashes to {actual}"
+            )));
+        }
+    }
+    let report = JobReport::from_text(line)?;
+    // Never serve an artifact filed under the wrong key (e.g. a
+    // hand-renamed file): the report embeds its own address.
+    if report.key != key {
+        return Err(JobError::Invalid(format!(
+            "artifact filed under {key} but reports key {}",
+            report.key
+        )));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -181,6 +282,100 @@ mod tests {
         .unwrap();
         let fresh = ResultCache::with_disk(&dir).unwrap();
         assert!(fresh.get(&other_key).is_none(), "key mismatch must miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_quarantined_and_counted() {
+        let dir = temp_dir("quarantine");
+        let job = Job::sim(40.0, 750e6, 5e6);
+        let key = job.key();
+        {
+            let cache = ResultCache::with_disk(&dir).unwrap();
+            cache.put(&report_for(&job)).unwrap();
+        }
+        // Truncate the artifact mid-record.
+        let path = dir.join(format!("{key}.json"));
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 3]).unwrap();
+
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.get(&key).is_none(), "corrupt artifact must miss");
+        assert_eq!(fresh.quarantined(), 1);
+        assert!(!path.exists(), "damaged file must be moved aside");
+        assert!(
+            dir.join(format!("{key}.json.quarantine")).exists(),
+            "quarantine file must carry the .quarantine suffix"
+        );
+        // The quarantined bytes are never consulted again: a re-put then
+        // a fresh lookup serves the new, intact artifact.
+        fresh.put(&report_for(&job)).unwrap();
+        let again = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(again.get(&key).unwrap().sndr_db, 68.5);
+        assert_eq!(again.quarantined(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_detects_silent_bit_damage() {
+        let dir = temp_dir("bitrot");
+        let job = Job::sim(40.0, 750e6, 5e6);
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        cache.put(&report_for(&job)).unwrap();
+        // Flip one digit inside the JSON so it still parses and still
+        // carries the right key — only the checksum can catch this.
+        let path = dir.join(format!("{}.json", job.key()));
+        let text = fs::read_to_string(&path).unwrap();
+        let damaged = text.replacen("68.5", "68.6", 1);
+        assert_ne!(text, damaged, "test must actually flip a value");
+        fs::write(&path, damaged).unwrap();
+
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.get(&job.key()).is_none(), "bit damage must miss");
+        assert_eq!(fresh.quarantined(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_checksum_less_artifacts_still_hit() {
+        let dir = temp_dir("legacy");
+        let job = Job::sim(40.0, 750e6, 5e6);
+        let report = report_for(&job);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(format!("{}.json", job.key())),
+            report.to_text() + "\n",
+        )
+        .unwrap();
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(cache.get(&job.key()).unwrap().sndr_db, 68.5);
+        assert_eq!(cache.quarantined(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_corruption_round_trips_through_quarantine() {
+        let dir = temp_dir("faulty_writes");
+        let always_corrupt = FaultPlan {
+            seed: 5,
+            corrupt_artifact_permille: 1000,
+            ..FaultPlan::default()
+        };
+        let job = Job::sim(40.0, 750e6, 5e6);
+        {
+            let cache = ResultCache::with_disk(&dir)
+                .unwrap()
+                .with_faults(always_corrupt);
+            cache.put(&report_for(&job)).unwrap();
+            // The memory tier keeps the good copy; only the disk lies.
+            assert_eq!(cache.get(&job.key()).unwrap().sndr_db, 68.5);
+        }
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert!(
+            fresh.get(&job.key()).is_none(),
+            "corrupted write must not come back as a hit"
+        );
+        assert_eq!(fresh.quarantined(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

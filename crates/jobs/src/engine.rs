@@ -10,6 +10,7 @@
 use crate::cache::ResultCache;
 use crate::error::JobError;
 use crate::execute;
+use crate::faults::FaultPlan;
 use crate::job::Job;
 use crate::metrics::BatchMetrics;
 use crate::pool::{JobOutcome, PoolConfig, Runner, WorkerPool};
@@ -22,10 +23,14 @@ use std::time::Instant;
 /// Engine construction options.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
-    /// Worker threads and retry budget.
+    /// Worker threads, retry budget, backoff and deadline policy.
     pub pool: PoolConfig,
     /// On-disk artifact store for the result cache; `None` → memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Deterministic fault injection, wired into both the pool (panics,
+    /// transient errors, latency) and the cache (artifact corruption).
+    /// The empty plan — the default — injects nothing.
+    pub faults: FaultPlan,
 }
 
 /// Lifetime counters across every batch and serve request.
@@ -87,9 +92,10 @@ impl Engine {
         let cache = match &config.cache_dir {
             Some(dir) => ResultCache::with_disk(dir)?,
             None => ResultCache::in_memory(),
-        };
+        }
+        .with_faults(config.faults);
         Ok(Engine {
-            pool: WorkerPool::new(config.pool, runner),
+            pool: WorkerPool::with_faults(config.pool, runner, config.faults),
             cache,
             totals: Mutex::new(EngineTotals::default()),
         })
@@ -110,6 +116,13 @@ impl Engine {
         self.pool.cancel();
     }
 
+    /// Graceful drain: in-flight jobs finish, queued jobs resolve as
+    /// [`JobError::Canceled`], every worker is joined. Afterwards new
+    /// submissions report [`JobError::PoolClosed`].
+    pub fn shutdown(&self) {
+        self.pool.drain();
+    }
+
     /// Lifetime counters.
     pub fn totals(&self) -> EngineTotals {
         *self.totals.lock().expect("totals lock")
@@ -125,6 +138,7 @@ impl Engine {
     /// * **Isolation** — one panicking or failing job fails only itself.
     pub fn run_batch(&self, jobs: &[Job]) -> BatchReport {
         let started = Instant::now();
+        let quarantined_before = self.cache.quarantined();
         let mut metrics = BatchMetrics {
             jobs: jobs.len(),
             ..BatchMetrics::default()
@@ -163,6 +177,8 @@ impl Engine {
                 result: Err(JobError::PoolClosed),
                 attempts: 0,
                 exec_ms: 0.0,
+                backoff_ms: 0.0,
+                injected_faults: 0,
                 stages: Default::default(),
             });
             if outcome.attempts > 0 {
@@ -172,6 +188,8 @@ impl Engine {
                 metrics.exec_ms_max = metrics.exec_ms_max.max(outcome.exec_ms);
                 metrics.stages.accumulate(&outcome.stages);
             }
+            metrics.faults_injected += outcome.injected_faults as usize;
+            metrics.backoff_ms_total += outcome.backoff_ms;
             let shared: Result<JobReport, JobError> = match outcome.result {
                 Ok(report) => {
                     // Cache failures must not fail the job: the report is
@@ -192,6 +210,7 @@ impl Engine {
             }
         }
 
+        metrics.cache_quarantined = self.cache.quarantined() - quarantined_before;
         metrics.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let results: Vec<_> = slots
             .into_iter()
@@ -306,8 +325,10 @@ mod tests {
                 pool: PoolConfig {
                     workers: 4,
                     retries: 0,
+                    ..PoolConfig::default()
                 },
                 cache_dir: None,
+                faults: Default::default(),
             },
             runner,
         )
@@ -332,8 +353,10 @@ mod tests {
                 pool: PoolConfig {
                     workers: 2,
                     retries: 0,
+                    ..PoolConfig::default()
                 },
                 cache_dir: None,
+                faults: Default::default(),
             },
             runner,
         )
@@ -356,8 +379,10 @@ mod tests {
                 pool: PoolConfig {
                     workers: 2,
                     retries: 0,
+                    ..PoolConfig::default()
                 },
                 cache_dir: None,
+                faults: Default::default(),
             },
             runner,
         )
@@ -386,8 +411,10 @@ mod tests {
                 pool: PoolConfig {
                     workers: 1,
                     retries: 0,
+                    ..PoolConfig::default()
                 },
                 cache_dir: None,
+                faults: Default::default(),
             },
             runner,
         )

@@ -16,6 +16,15 @@ pub enum JobError {
         /// Message of the final failure.
         message: String,
     },
+    /// A transient infrastructure failure (injected by a fault plan or
+    /// surfaced by a flaky resource). Retryable by definition.
+    Transient(String),
+    /// One attempt overran its soft deadline; the attempt's result was
+    /// discarded. Retryable — the overrun may have been environmental.
+    Timeout {
+        /// The soft deadline that was exceeded, ms.
+        soft_deadline_ms: u64,
+    },
     /// The batch was cancelled before this job ran.
     Canceled,
     /// The worker pool is shut down.
@@ -28,7 +37,13 @@ impl JobError {
     /// Whether re-running the job could plausibly succeed (panics and
     /// transient failures — not validation errors).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, JobError::Failed { .. } | JobError::Io(_))
+        matches!(
+            self,
+            JobError::Failed { .. }
+                | JobError::Io(_)
+                | JobError::Transient(_)
+                | JobError::Timeout { .. }
+        )
     }
 }
 
@@ -38,6 +53,10 @@ impl fmt::Display for JobError {
             JobError::Invalid(m) => write!(f, "invalid job: {m}"),
             JobError::Failed { attempts, message } => {
                 write!(f, "job failed after {attempts} attempt(s): {message}")
+            }
+            JobError::Transient(m) => write!(f, "transient failure: {m}"),
+            JobError::Timeout { soft_deadline_ms } => {
+                write!(f, "attempt exceeded soft deadline of {soft_deadline_ms} ms")
             }
             JobError::Canceled => f.write_str("job canceled"),
             JobError::PoolClosed => f.write_str("worker pool is closed"),

@@ -1,0 +1,305 @@
+//! Deterministic fault injection for the job engine.
+//!
+//! A [`FaultPlan`] is a seeded description of which faults to inject
+//! where: worker panics, transient retryable errors, artificial job
+//! latency, corrupted cache artifacts, and malformed or stalled network
+//! frames. It is compiled in always and consulted on the hot paths, but
+//! an empty plan ([`FaultPlan::none`], the default) reduces every check
+//! to a handful of integer compares — no RNG is ever constructed.
+//!
+//! The load-bearing property is **determinism independent of
+//! scheduling**: every decision is a pure function of `(plan seed, fault
+//! site, job key, attempt)`, hashed into a dedicated [`Rng64`] stream.
+//! Two runs with the same plan inject the same faults at the same
+//! places no matter how many workers raced for the jobs, which is what
+//! lets the chaos suite assert byte-identical recovery.
+
+use tdsigma_tech::Rng64;
+
+/// Where a fault decision is being made. Each site hashes into an
+/// independent decision stream so that, e.g., raising the panic rate
+/// does not reshuffle which attempts get latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Panic = 1,
+    Transient = 2,
+    Latency = 3,
+    Artifact = 4,
+    Frame = 5,
+}
+
+/// A fault injected before a job attempt runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptFault {
+    /// The worker panics mid-job (exercises `catch_unwind` isolation).
+    Panic,
+    /// The attempt fails with a retryable [`crate::JobError::Transient`].
+    Transient,
+}
+
+/// A fault applied to one protocol frame by a hostile client (used by
+/// the chaos suite to attack the server deterministically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Replace the frame with malformed bytes.
+    Garble(String),
+    /// Send only a prefix of the frame and stall (no newline) for the
+    /// given number of milliseconds before hanging up.
+    Stall(u64),
+}
+
+/// A seeded, deterministic fault-injection plan. All rates are permille
+/// (0–1000); the zero plan injects nothing and costs nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for every decision stream. Two plans with equal rates but
+    /// different seeds inject faults in different places.
+    pub seed: u64,
+    /// Chance a job attempt panics inside the worker.
+    pub panic_permille: u16,
+    /// Chance a job attempt fails with a transient retryable error.
+    pub transient_permille: u16,
+    /// Upper bound on artificial latency added to an attempt, ms
+    /// (actual latency is drawn uniformly from `[0, max]`).
+    pub latency_ms_max: u64,
+    /// Chance a cache artifact is written corrupted (truncated, garbled
+    /// or emptied) instead of intact.
+    pub corrupt_artifact_permille: u16,
+    /// Chance a protocol frame is garbled by the chaos client.
+    pub frame_garble_permille: u16,
+    /// Chance a protocol frame is stalled mid-line by the chaos client
+    /// (the stall duration is this many ms).
+    pub frame_stall_ms: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The standard chaotic mix used by `tdsigma sweep --chaos-seed N`
+    /// and the chaos suite: every fault class enabled at rates low
+    /// enough that a retry budget of 3 usually (but not always) wins.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_permille: 120,
+            transient_permille: 200,
+            latency_ms_max: 3,
+            corrupt_artifact_permille: 150,
+            frame_garble_permille: 250,
+            frame_stall_ms: 5,
+        }
+    }
+
+    /// True if no fault class is enabled (the zero-cost fast path).
+    pub fn is_empty(&self) -> bool {
+        self.panic_permille == 0
+            && self.transient_permille == 0
+            && self.latency_ms_max == 0
+            && self.corrupt_artifact_permille == 0
+            && self.frame_garble_permille == 0
+            && self.frame_stall_ms == 0
+    }
+
+    /// The fault (if any) to inject into attempt `attempt` of the job
+    /// addressed by `key`. Panic takes precedence over transient so the
+    /// two rates never mask each other's determinism.
+    pub fn attempt_fault(&self, key: &str, attempt: u32) -> Option<AttemptFault> {
+        if self.hit(Site::Panic, key, attempt, self.panic_permille) {
+            return Some(AttemptFault::Panic);
+        }
+        if self.hit(Site::Transient, key, attempt, self.transient_permille) {
+            return Some(AttemptFault::Transient);
+        }
+        None
+    }
+
+    /// Artificial latency for this attempt, ms (0 when disabled).
+    pub fn attempt_latency_ms(&self, key: &str, attempt: u32) -> u64 {
+        if self.latency_ms_max == 0 {
+            return 0;
+        }
+        let mut rng = self.stream(Site::Latency, key, attempt);
+        rng.gen_range(self.latency_ms_max as usize + 1) as u64
+    }
+
+    /// If this artifact write should be corrupted, returns the corrupted
+    /// bytes to write instead; `None` means write the real `text`.
+    /// Rotates between truncation, mid-string garbling, and emptying.
+    pub fn corrupt_artifact(&self, key: &str, text: &str) -> Option<String> {
+        if !self.hit(Site::Artifact, key, 0, self.corrupt_artifact_permille) {
+            return None;
+        }
+        let mut rng = self.stream(Site::Artifact, key, 1);
+        Some(match rng.gen_range(3) {
+            0 => {
+                // Truncated mid-record (snapped to a char boundary).
+                let mut cut = text.len() / 2;
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                text[..cut].to_string()
+            }
+            1 => {
+                // Structurally broken: braces flipped to stars.
+                text.replace(['{', '}'], "*")
+            }
+            _ => String::new(), // zero-length artifact
+        })
+    }
+
+    /// The fault (if any) a chaos client should apply to its `index`-th
+    /// protocol frame.
+    pub fn frame_fault(&self, index: u64) -> Option<FrameFault> {
+        let key = format!("frame-{index}");
+        if self.hit(Site::Frame, &key, 0, self.frame_garble_permille) {
+            let mut rng = self.stream(Site::Frame, &key, 1);
+            let garbage = match rng.gen_range(3) {
+                0 => "{\"cmd\":".to_string(),                    // truncated JSON
+                1 => "\u{1}\u{2}binary\u{3}garbage".to_string(), // non-JSON bytes
+                _ => "[1,2,".to_string(),                        // unterminated array
+            };
+            return Some(FrameFault::Garble(garbage));
+        }
+        if self.frame_stall_ms > 0 && self.hit(Site::Frame, &key, 2, 300) {
+            return Some(FrameFault::Stall(self.frame_stall_ms));
+        }
+        None
+    }
+
+    /// One permille draw from the decision stream for `(site, key,
+    /// attempt)`.
+    fn hit(&self, site: Site, key: &str, attempt: u32, permille: u16) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        if permille >= 1000 {
+            return true;
+        }
+        self.stream(site, key, attempt).gen_range(1000) < permille as usize
+    }
+
+    /// The dedicated RNG stream for one decision point.
+    fn stream(&self, site: Site, key: &str, attempt: u32) -> Rng64 {
+        let mut h = fnv1a64(key.as_bytes(), 0xcbf2_9ce4_8422_2325 ^ self.seed);
+        h = h
+            .wrapping_mul(31)
+            .wrapping_add(site as u64)
+            .wrapping_mul(31)
+            .wrapping_add(attempt as u64);
+        Rng64::seed_from_u64(h)
+    }
+}
+
+/// FNV-1a over `data` from the given basis. Shared by the fault plan's
+/// decision streams and the cache's artifact checksums.
+pub(crate) fn fnv1a64(data: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for attempt in 1..=100 {
+            assert_eq!(plan.attempt_fault("abc123", attempt), None);
+            assert_eq!(plan.attempt_latency_ms("abc123", attempt), 0);
+        }
+        assert_eq!(plan.corrupt_artifact("abc123", "{}"), None);
+        assert_eq!(plan.frame_fault(7), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = FaultPlan::chaos(42);
+        let b = FaultPlan::chaos(42);
+        for attempt in 1..=50 {
+            for key in ["deadbeef", "cafebabe", "0123abcd"] {
+                assert_eq!(a.attempt_fault(key, attempt), b.attempt_fault(key, attempt));
+                assert_eq!(
+                    a.attempt_latency_ms(key, attempt),
+                    b.attempt_latency_ms(key, attempt)
+                );
+            }
+        }
+        for i in 0..50 {
+            assert_eq!(a.frame_fault(i), b.frame_fault(i));
+        }
+        assert_eq!(
+            a.corrupt_artifact("deadbeef", "{\"x\":1}"),
+            b.corrupt_artifact("deadbeef", "{\"x\":1}")
+        );
+    }
+
+    #[test]
+    fn different_seeds_inject_differently() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let decisions = |p: &FaultPlan| -> Vec<Option<AttemptFault>> {
+            (1..=200)
+                .map(|i| p.attempt_fault(&format!("{i:08x}"), 1))
+                .collect()
+        };
+        assert_ne!(decisions(&a), decisions(&b), "seed must matter");
+    }
+
+    #[test]
+    fn chaos_plan_actually_fires_every_class() {
+        let plan = FaultPlan::chaos(2017);
+        let mut panics = 0;
+        let mut transients = 0;
+        let mut latencies = 0;
+        let mut corruptions = 0;
+        for i in 0..500u32 {
+            let key = format!("{i:08x}");
+            match plan.attempt_fault(&key, 1) {
+                Some(AttemptFault::Panic) => panics += 1,
+                Some(AttemptFault::Transient) => transients += 1,
+                None => {}
+            }
+            if plan.attempt_latency_ms(&key, 1) > 0 {
+                latencies += 1;
+            }
+            if plan.corrupt_artifact(&key, "{\"k\":\"v\"}").is_some() {
+                corruptions += 1;
+            }
+        }
+        assert!(panics > 10, "panic class silent: {panics}");
+        assert!(transients > 20, "transient class silent: {transients}");
+        assert!(latencies > 100, "latency class silent: {latencies}");
+        assert!(corruptions > 20, "corruption class silent: {corruptions}");
+        assert!(
+            (0..200).any(|i| plan.frame_fault(i).is_some()),
+            "frame class silent"
+        );
+    }
+
+    #[test]
+    fn corruption_variants_are_actually_corrupt() {
+        let plan = FaultPlan {
+            seed: 9,
+            corrupt_artifact_permille: 1000,
+            ..FaultPlan::default()
+        };
+        let text = "{\"key\":\"abc\",\"sndr_db\":68.5}";
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            let key = format!("{i:08x}");
+            let corrupted = plan.corrupt_artifact(&key, text).expect("rate is 1000");
+            assert_ne!(corrupted, text, "corruption must change the bytes");
+            seen.insert(corrupted);
+        }
+        assert!(seen.len() >= 2, "should rotate corruption styles");
+    }
+}

@@ -16,6 +16,15 @@
 //! * **[`Engine`]** — pool + cache + [`BatchMetrics`] accounting behind
 //!   one API: [`Engine::run_batch`] for sweeps, [`Engine::submit_one`]
 //!   for the [`Server`] line protocol.
+//! * **[`FaultPlan`]** — seeded, deterministic fault injection (worker
+//!   panics, transient errors, latency, artifact corruption, hostile
+//!   frames) that exercises the resilience layer: exponential backoff
+//!   with deterministic jitter, soft deadlines, cache quarantine, socket
+//!   timeouts and graceful drain. The chaos suite
+//!   (`tests/chaos.rs`) asserts the headline invariant: under any fault
+//!   seed a batch either reproduces the fault-free bytes or fails loudly
+//!   with a structured error — it never hangs, never drops a job
+//!   silently, never poisons the cache.
 //!
 //! The load-bearing guarantee is **determinism**: a [`JobReport`] is a
 //! pure function of its [`Job`] — no wall-clock, host name or scheduling
@@ -32,6 +41,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod execute;
+pub mod faults;
 pub mod job;
 pub mod json;
 pub mod metrics;
@@ -43,9 +53,10 @@ pub use cache::ResultCache;
 pub use engine::{BatchReport, Engine, EngineConfig, EngineTotals};
 pub use error::JobError;
 pub use execute::execute;
+pub use faults::{AttemptFault, FaultPlan, FrameFault};
 pub use job::{Job, JobKind};
 pub use json::Json;
 pub use metrics::{BatchMetrics, StageTimes};
-pub use pool::{default_workers, JobOutcome, PoolConfig, Runner, WorkerPool};
+pub use pool::{backoff_delay_ms, default_workers, JobOutcome, PoolConfig, Runner, WorkerPool};
 pub use report::JobReport;
-pub use server::Server;
+pub use server::{Server, ServerConfig};

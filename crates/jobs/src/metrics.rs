@@ -51,6 +51,14 @@ pub struct BatchMetrics {
     pub retried: usize,
     /// Jobs abandoned by cancellation.
     pub canceled: usize,
+    /// Cache artifacts found corrupt during this batch, renamed to
+    /// `*.quarantine` and recomputed. Non-zero means the result store
+    /// took damage — silent before, visible now.
+    pub cache_quarantined: usize,
+    /// Faults injected by the active fault plan (0 without `--chaos-seed`).
+    pub faults_injected: usize,
+    /// Total wall time spent sleeping in retry backoff, ms.
+    pub backoff_ms_total: f64,
     /// End-to-end batch wall time, ms.
     pub wall_ms: f64,
     /// Sum of per-job execution wall time, ms (parallel speedup shows as
@@ -118,7 +126,16 @@ impl fmt::Display for BatchMetrics {
             self.stages.build_ms,
             self.stages.execute_ms,
             self.stages.analyze_ms,
-        )
+        )?;
+        if self.cache_quarantined > 0 || self.faults_injected > 0 || self.backoff_ms_total > 0.0 {
+            write!(
+                f,
+                "\nresilience: {} cache artifacts quarantined, {} faults injected, \
+                 {:.0} ms retry backoff",
+                self.cache_quarantined, self.faults_injected, self.backoff_ms_total,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -174,5 +191,23 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("3 jobs"));
         assert!(text.contains("cache hits"));
+        assert!(
+            !text.contains("resilience"),
+            "healthy batches stay quiet about faults"
+        );
+    }
+
+    #[test]
+    fn display_surfaces_degradation() {
+        let m = BatchMetrics {
+            jobs: 3,
+            cache_quarantined: 2,
+            faults_injected: 5,
+            backoff_ms_total: 40.0,
+            ..BatchMetrics::default()
+        };
+        let text = m.to_string();
+        assert!(text.contains("2 cache artifacts quarantined"), "{text}");
+        assert!(text.contains("5 faults injected"), "{text}");
     }
 }

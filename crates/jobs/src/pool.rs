@@ -11,12 +11,21 @@
 //! * A panicking job is contained by `catch_unwind`: the worker thread
 //!   survives, the panic becomes a [`JobError::Failed`] for that job
 //!   only, and the rest of the batch is untouched.
-//! * Retries happen in the worker, bounded by [`PoolConfig::retries`];
-//!   validation errors are never retried (same input, same failure).
+//! * Retries happen in the worker, bounded by [`PoolConfig::retries`],
+//!   with exponential backoff and deterministic per-(job, attempt)
+//!   jitter ([`backoff_delay_ms`]); validation errors are never retried
+//!   (same input, same failure).
+//! * A soft per-job deadline ([`PoolConfig::soft_deadline_ms`]) marks
+//!   attempts that overrun as retryable [`JobError::Timeout`]s.
 //! * Cancellation is cooperative: a shared flag checked before each
-//!   attempt. In-flight flows finish; queued jobs drain as `Canceled`.
+//!   attempt and during backoff sleeps. In-flight flows finish; queued
+//!   jobs drain as `Canceled`. [`WorkerPool::drain`] is the graceful
+//!   shutdown: cancel, then join every worker.
+//! * Fault injection ([`FaultPlan`]) is consulted before each attempt;
+//!   the empty plan reduces to integer compares.
 
 use crate::error::JobError;
+use crate::faults::{fnv1a64, AttemptFault, FaultPlan};
 use crate::job::Job;
 use crate::metrics::StageTimes;
 use crate::report::JobReport;
@@ -24,20 +33,29 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use tdsigma_tech::Rng64;
 
 /// A job runner: everything the pool knows about executing work. The
 /// engine installs [`crate::execute::execute`]; tests inject hostile
 /// runners (panicking, flaky, slow) to exercise the scheduler itself.
 pub type Runner = dyn Fn(&Job) -> Result<(JobReport, StageTimes), JobError> + Send + Sync;
 
-/// Pool sizing and retry policy.
+/// Pool sizing, retry and deadline policy.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker threads. Clamped to at least 1.
     pub workers: usize,
     /// Extra attempts after a retryable failure (0 = fail fast).
     pub retries: u32,
+    /// Base backoff before the first retry, ms; doubles per retry.
+    /// 0 disables backoff (retries are immediate).
+    pub backoff_base_ms: u64,
+    /// Hard cap on any single backoff sleep, ms.
+    pub backoff_max_ms: u64,
+    /// Soft per-attempt deadline, ms: an attempt that runs longer is
+    /// discarded as a retryable [`JobError::Timeout`]. 0 = unbounded.
+    pub soft_deadline_ms: u64,
 }
 
 impl Default for PoolConfig {
@@ -45,8 +63,27 @@ impl Default for PoolConfig {
         PoolConfig {
             workers: default_workers(),
             retries: 1,
+            backoff_base_ms: 25,
+            backoff_max_ms: 1_000,
+            soft_deadline_ms: 0,
         }
     }
+}
+
+/// The backoff to sleep before retry number `attempt` (the attempt just
+/// failed): exponential in the attempt, capped at `max_ms`, plus a
+/// deterministic jitter drawn from `(job_key, attempt)` so that a herd
+/// of identical-phase retries decorrelates — but identically for every
+/// run, keeping the schedule reproducible.
+pub fn backoff_delay_ms(base_ms: u64, max_ms: u64, job_key: &str, attempt: u32) -> u64 {
+    if base_ms == 0 || max_ms == 0 {
+        return 0;
+    }
+    let exponent = attempt.saturating_sub(1).min(16);
+    let exp = base_ms.saturating_mul(1u64 << exponent).min(max_ms);
+    let seed = fnv1a64(job_key.as_bytes(), 0x9ae1_6a3b_2f90_404f).wrapping_add(attempt as u64);
+    let jitter = Rng64::seed_from_u64(seed).gen_range(exp as usize / 2 + 1) as u64;
+    (exp + jitter).min(max_ms)
 }
 
 /// The machine's available parallelism (≥ 1).
@@ -65,8 +102,25 @@ pub struct JobOutcome {
     pub attempts: u32,
     /// Wall time spent executing this job (all attempts), ms.
     pub exec_ms: f64,
+    /// Wall time spent sleeping in retry backoff, ms.
+    pub backoff_ms: f64,
+    /// Faults injected into this job by the active [`FaultPlan`].
+    pub injected_faults: u32,
     /// Per-stage wall time of the successful attempt.
     pub stages: StageTimes,
+}
+
+impl JobOutcome {
+    fn terminal(result: Result<JobReport, JobError>) -> Self {
+        JobOutcome {
+            result,
+            attempts: 0,
+            exec_ms: 0.0,
+            backoff_ms: 0.0,
+            injected_faults: 0,
+            stages: StageTimes::default(),
+        }
+    }
 }
 
 struct Task {
@@ -83,8 +137,14 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns the workers.
+    /// Spawns the workers with no fault injection.
     pub fn new(config: PoolConfig, runner: Arc<Runner>) -> Self {
+        WorkerPool::with_faults(config, runner, FaultPlan::none())
+    }
+
+    /// Spawns the workers with a fault-injection plan consulted before
+    /// every attempt (the empty plan injects nothing).
+    pub fn with_faults(config: PoolConfig, runner: Arc<Runner>, faults: FaultPlan) -> Self {
         let workers = config.workers.max(1);
         let (tx, rx) = mpsc::channel::<Task>();
         let rx = Arc::new(Mutex::new(rx));
@@ -94,10 +154,10 @@ impl WorkerPool {
                 let rx = Arc::clone(&rx);
                 let cancel = Arc::clone(&cancel);
                 let runner = Arc::clone(&runner);
-                let retries = config.retries;
+                let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("tdsigma-job-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &cancel, &runner, retries))
+                    .spawn(move || worker_loop(&rx, &cancel, &runner, &config, faults))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -118,20 +178,16 @@ impl WorkerPool {
     /// [`JobOutcome`] (immediately, if the pool is already closed).
     pub fn submit(&self, job: Job) -> mpsc::Receiver<JobOutcome> {
         let (reply, rx) = mpsc::channel();
-        let closed_outcome = || JobOutcome {
-            result: Err(JobError::PoolClosed),
-            attempts: 0,
-            exec_ms: 0.0,
-            stages: StageTimes::default(),
-        };
         match &*self.tx.lock().expect("pool lock") {
             Some(tx) => {
                 if let Err(mpsc::SendError(task)) = tx.send(Task { job, reply }) {
-                    let _ = task.reply.send(closed_outcome());
+                    let _ = task
+                        .reply
+                        .send(JobOutcome::terminal(Err(JobError::PoolClosed)));
                 }
             }
             None => {
-                let _ = reply.send(closed_outcome());
+                let _ = reply.send(JobOutcome::terminal(Err(JobError::PoolClosed)));
             }
         }
         rx
@@ -156,6 +212,14 @@ impl WorkerPool {
             let _ = handle.join();
         }
     }
+
+    /// Graceful drain: in-flight jobs finish, queued jobs resolve as
+    /// [`JobError::Canceled`], then every worker is joined. After this
+    /// returns, new submissions report [`JobError::PoolClosed`].
+    pub fn drain(&self) {
+        self.cancel();
+        self.shutdown();
+    }
 }
 
 impl Drop for WorkerPool {
@@ -173,11 +237,27 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// Sleeps up to `ms`, waking every few ms to honor cancellation.
+/// Returns the time actually slept, ms.
+fn cancellable_sleep(ms: u64, cancel: &AtomicBool) -> f64 {
+    let started = Instant::now();
+    let deadline = Duration::from_millis(ms);
+    while started.elapsed() < deadline {
+        if cancel.load(Ordering::SeqCst) {
+            break;
+        }
+        let left = deadline - started.elapsed();
+        std::thread::sleep(left.min(Duration::from_millis(5)));
+    }
+    started.elapsed().as_secs_f64() * 1e3
+}
+
 fn worker_loop(
     rx: &Mutex<mpsc::Receiver<Task>>,
     cancel: &AtomicBool,
     runner: &Arc<Runner>,
-    retries: u32,
+    config: &PoolConfig,
+    faults: FaultPlan,
 ) {
     loop {
         // Hold the lock only for the dequeue.
@@ -186,33 +266,99 @@ fn worker_loop(
             Err(_) => break, // queue closed: pool is shutting down
         };
         if cancel.load(Ordering::SeqCst) {
-            let _ = task.reply.send(JobOutcome {
-                result: Err(JobError::Canceled),
-                attempts: 0,
-                exec_ms: 0.0,
-                stages: StageTimes::default(),
-            });
+            let _ = task
+                .reply
+                .send(JobOutcome::terminal(Err(JobError::Canceled)));
             continue;
         }
+        let key = task.job.key();
         let started = Instant::now();
         let mut attempts = 0u32;
+        let mut backoff_ms = 0.0f64;
+        let mut injected_faults = 0u32;
+        let finish = |result: Result<JobReport, JobError>,
+                      attempts: u32,
+                      backoff_ms: f64,
+                      injected_faults: u32,
+                      stages: StageTimes| JobOutcome {
+            result,
+            attempts,
+            exec_ms: (started.elapsed().as_secs_f64() * 1e3 - backoff_ms).max(0.0),
+            backoff_ms,
+            injected_faults,
+            stages,
+        };
         let outcome = loop {
             attempts += 1;
-            let attempt = catch_unwind(AssertUnwindSafe(|| runner(&task.job)));
-            let may_retry = attempts <= retries && !cancel.load(Ordering::SeqCst);
+            let attempt_started = Instant::now();
+            let injected = faults.attempt_fault(&key, attempts);
+            let latency_ms = faults.attempt_latency_ms(&key, attempts);
+            if injected.is_some() || latency_ms > 0 {
+                injected_faults += 1;
+            }
+            if latency_ms > 0 {
+                std::thread::sleep(Duration::from_millis(latency_ms));
+            }
+            let attempt = catch_unwind(AssertUnwindSafe(|| match injected {
+                Some(AttemptFault::Panic) => panic!("chaos: injected worker panic"),
+                Some(AttemptFault::Transient) => Err(JobError::Transient(
+                    "chaos: injected transient failure".into(),
+                )),
+                None => runner(&task.job),
+            }));
+            // Soft deadline: a successful attempt that overran is
+            // discarded as a retryable timeout (the report of a job that
+            // blew its budget is suspect — often it only finished because
+            // injected latency or a stalled resource released late).
+            let attempt = match attempt {
+                Ok(Ok(ok))
+                    if config.soft_deadline_ms > 0
+                        && attempt_started.elapsed().as_millis() as u64
+                            > config.soft_deadline_ms =>
+                {
+                    drop(ok);
+                    Ok(Err(JobError::Timeout {
+                        soft_deadline_ms: config.soft_deadline_ms,
+                    }))
+                }
+                other => other,
+            };
+            let may_retry = attempts <= config.retries && !cancel.load(Ordering::SeqCst);
+            let retry_backoff = |backoff_ms: &mut f64| {
+                let delay = backoff_delay_ms(
+                    config.backoff_base_ms,
+                    config.backoff_max_ms,
+                    &key,
+                    attempts,
+                );
+                if delay > 0 {
+                    *backoff_ms += cancellable_sleep(delay, cancel);
+                }
+                // Canceled mid-backoff: give up instead of re-running.
+                !cancel.load(Ordering::SeqCst)
+            };
             match attempt {
                 Ok(Ok((report, stages))) => {
-                    break JobOutcome {
-                        result: Ok(report),
-                        attempts,
-                        exec_ms: started.elapsed().as_secs_f64() * 1e3,
-                        stages,
-                    }
+                    break finish(Ok(report), attempts, backoff_ms, injected_faults, stages);
                 }
-                Ok(Err(e)) if e.is_retryable() && may_retry => continue,
+                Ok(Err(e)) if e.is_retryable() && may_retry => {
+                    if retry_backoff(&mut backoff_ms) {
+                        continue;
+                    }
+                    break finish(
+                        Err(JobError::Canceled),
+                        attempts,
+                        backoff_ms,
+                        injected_faults,
+                        StageTimes::default(),
+                    );
+                }
                 Ok(Err(e)) => {
                     let result = match e {
                         JobError::Invalid(m) => Err(JobError::Invalid(m)),
+                        JobError::Timeout { soft_deadline_ms } => {
+                            Err(JobError::Timeout { soft_deadline_ms })
+                        }
                         JobError::Failed { message, .. } => {
                             Err(JobError::Failed { attempts, message })
                         }
@@ -221,26 +367,33 @@ fn worker_loop(
                             message: other.to_string(),
                         }),
                     };
-                    break JobOutcome {
+                    break finish(
                         result,
                         attempts,
-                        exec_ms: started.elapsed().as_secs_f64() * 1e3,
-                        stages: StageTimes::default(),
-                    };
+                        backoff_ms,
+                        injected_faults,
+                        StageTimes::default(),
+                    );
                 }
                 Err(panic) => {
-                    if may_retry {
+                    if may_retry && retry_backoff(&mut backoff_ms) {
                         continue;
                     }
-                    break JobOutcome {
-                        result: Err(JobError::Failed {
+                    let result = if cancel.load(Ordering::SeqCst) && may_retry {
+                        Err(JobError::Canceled)
+                    } else {
+                        Err(JobError::Failed {
                             attempts,
                             message: format!("panic: {}", panic_message(&*panic)),
-                        }),
-                        attempts,
-                        exec_ms: started.elapsed().as_secs_f64() * 1e3,
-                        stages: StageTimes::default(),
+                        })
                     };
+                    break finish(
+                        result,
+                        attempts,
+                        backoff_ms,
+                        injected_faults,
+                        StageTimes::default(),
+                    );
                 }
             }
         };
@@ -291,6 +444,7 @@ mod tests {
             PoolConfig {
                 workers: 2,
                 retries: 0,
+                ..PoolConfig::default()
             },
             Arc::new(|job: &Job| Ok((dummy_report(job), StageTimes::default()))),
         );
@@ -305,6 +459,7 @@ mod tests {
             PoolConfig {
                 workers: 2,
                 retries: 0,
+                ..PoolConfig::default()
             },
             Arc::new(|job: &Job| {
                 if job.seed == 13 {
@@ -337,6 +492,8 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 retries: 2,
+                backoff_base_ms: 1,
+                ..PoolConfig::default()
             },
             Arc::new(move |job: &Job| {
                 if f.fetch_add(1, Ordering::SeqCst) < 2 {
@@ -358,6 +515,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 retries: 5,
+                ..PoolConfig::default()
             },
             Arc::new(move |_: &Job| {
                 c.fetch_add(1, Ordering::SeqCst);
@@ -379,6 +537,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 retries: 0,
+                ..PoolConfig::default()
             },
             Arc::new(|job: &Job| {
                 std::thread::sleep(std::time::Duration::from_millis(30));
@@ -399,11 +558,200 @@ mod tests {
     }
 
     #[test]
+    fn backoff_schedule_is_deterministic_exponential_and_capped() {
+        let key = "00112233445566778899aabbccddeeff";
+        let schedule: Vec<u64> = (1..=8).map(|a| backoff_delay_ms(10, 200, key, a)).collect();
+        let again: Vec<u64> = (1..=8).map(|a| backoff_delay_ms(10, 200, key, a)).collect();
+        assert_eq!(schedule, again, "same key, same schedule");
+        // Exponential envelope with jitter: delay_n ∈ [exp_n, 1.5·exp_n],
+        // capped at max.
+        for (i, &d) in schedule.iter().enumerate() {
+            let exp = (10u64 << i).min(200);
+            assert!(d >= exp, "attempt {}: {d} < {exp}", i + 1);
+            assert!(
+                d <= (exp + exp / 2).min(200),
+                "attempt {}: {d} too large",
+                i + 1
+            );
+        }
+        assert!(schedule.iter().all(|&d| d <= 200), "cap must hold");
+        // A different job jitters differently (with overwhelming
+        // probability at least one attempt differs).
+        let other: Vec<u64> = (1..=8)
+            .map(|a| backoff_delay_ms(10, 200, "ffeeddccbbaa99887766554433221100", a))
+            .collect();
+        assert_ne!(schedule, other, "jitter must depend on the job key");
+        // Disabled backoff is exactly zero.
+        assert_eq!(backoff_delay_ms(0, 200, key, 3), 0);
+    }
+
+    #[test]
+    fn backoff_is_applied_between_retries() {
+        let failures = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&failures);
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 2,
+                backoff_base_ms: 20,
+                backoff_max_ms: 100,
+                ..PoolConfig::default()
+            },
+            Arc::new(move |job: &Job| {
+                if f.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(JobError::Transient("flaky resource".into()));
+                }
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let job = job_with_seed(5);
+        let expected: f64 = (1..=2)
+            .map(|a| backoff_delay_ms(20, 100, &job.key(), a) as f64)
+            .sum();
+        let outcome = pool.submit(job).recv().unwrap();
+        assert_eq!(outcome.attempts, 3);
+        assert!(outcome.result.is_ok());
+        assert!(
+            outcome.backoff_ms >= expected * 0.9,
+            "backoff {:.1} ms < expected {:.1} ms",
+            outcome.backoff_ms,
+            expected
+        );
+    }
+
+    #[test]
+    fn zero_retries_fail_fast_with_original_error() {
+        let started = Instant::now();
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 0,
+                backoff_base_ms: 10_000, // must never be slept
+                ..PoolConfig::default()
+            },
+            Arc::new(|_: &Job| Err(JobError::Transient("boom from the flow".into()))),
+        );
+        let outcome = pool.submit(job_with_seed(1)).recv().unwrap();
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.backoff_ms, 0.0, "no retries means no backoff");
+        match outcome.result {
+            Err(JobError::Failed { attempts, message }) => {
+                assert_eq!(attempts, 1);
+                assert!(message.contains("boom from the flow"), "message: {message}");
+            }
+            other => panic!("expected Failed with original message, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "fail-fast must not sleep"
+        );
+    }
+
+    #[test]
+    fn soft_deadline_marks_overruns_as_timeouts() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 0,
+                soft_deadline_ms: 10,
+                ..PoolConfig::default()
+            },
+            Arc::new(|job: &Job| {
+                std::thread::sleep(Duration::from_millis(40));
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let outcome = pool.submit(job_with_seed(1)).recv().unwrap();
+        match outcome.result {
+            Err(JobError::Timeout { soft_deadline_ms }) => assert_eq!(soft_deadline_ms, 10),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(JobError::Timeout {
+            soft_deadline_ms: 10
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_and_survivable() {
+        let run = || -> Vec<(bool, u32)> {
+            let pool = WorkerPool::with_faults(
+                PoolConfig {
+                    workers: 2,
+                    retries: 4,
+                    backoff_base_ms: 1,
+                    backoff_max_ms: 4,
+                    ..PoolConfig::default()
+                },
+                Arc::new(|job: &Job| Ok((dummy_report(job), StageTimes::default()))),
+                FaultPlan {
+                    seed: 7,
+                    panic_permille: 300,
+                    transient_permille: 300,
+                    ..FaultPlan::default()
+                },
+            );
+            let receivers: Vec<_> = (0..16).map(|s| pool.submit(job_with_seed(s))).collect();
+            receivers
+                .into_iter()
+                .map(|rx| {
+                    let o = rx.recv().unwrap();
+                    (o.result.is_ok(), o.attempts)
+                })
+                .collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault pattern must not depend on scheduling");
+        assert!(
+            a.iter().any(|&(_, attempts)| attempts > 1),
+            "some jobs must have been hit"
+        );
+        assert!(
+            a.iter().filter(|&&(ok, _)| ok).count() >= 12,
+            "retries should win against a 30%/30% fault mix"
+        );
+    }
+
+    #[test]
+    fn drain_finishes_inflight_cancels_queued_and_closes() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 0,
+                ..PoolConfig::default()
+            },
+            Arc::new(|job: &Job| {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let receivers: Vec<_> = (0..6).map(|s| pool.submit(job_with_seed(s))).collect();
+        pool.drain();
+        let outcomes: Vec<_> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| o.result.is_ok() || matches!(o.result, Err(JobError::Canceled))),
+            "every job must resolve as finished or canceled"
+        );
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| matches!(o.result, Err(JobError::Canceled))),
+            "queued jobs must drain as canceled"
+        );
+        let late = pool.submit(job_with_seed(99)).recv().unwrap();
+        assert!(matches!(late.result, Err(JobError::PoolClosed)));
+    }
+
+    #[test]
     fn submit_after_shutdown_reports_closed() {
         let pool = WorkerPool::new(
             PoolConfig {
                 workers: 1,
                 retries: 0,
+                ..PoolConfig::default()
             },
             Arc::new(|job: &Job| Ok((dummy_report(job), StageTimes::default()))),
         );

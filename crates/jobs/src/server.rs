@@ -26,11 +26,34 @@ use crate::engine::Engine;
 use crate::error::JobError;
 use crate::job::{Job, JobKind};
 use crate::json::Json;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+
+/// Connection-hardening knobs. The defaults assume an untrusted LAN
+/// client: an idle or stalled peer is disconnected instead of pinning a
+/// thread forever, and a single frame cannot exhaust memory.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Disconnect a connection that sends no complete frame for this
+    /// long, ms. 0 = wait forever (the pre-hardening behavior).
+    pub idle_timeout_ms: u64,
+    /// Maximum accepted frame length, bytes; longer frames get a
+    /// structured error and the connection is closed.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            idle_timeout_ms: 30_000,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
 
 /// A running line-protocol server. One thread per connection; all
 /// connections share the engine (and therefore its cache and pool).
@@ -38,19 +61,35 @@ pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds the listener (use port 0 to let the OS pick).
+    /// Binds the listener (use port 0 to let the OS pick) with default
+    /// hardening ([`ServerConfig::default`]).
     ///
     /// # Errors
     ///
     /// Propagates the bind error.
     pub fn bind(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> io::Result<Self> {
+        Server::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// Binds the listener with explicit hardening knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine,
             stop: Arc::new(AtomicBool::new(false)),
+            config,
         })
     }
 
@@ -63,8 +102,9 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until a `shutdown` command arrives. Joins every connection
-    /// thread before returning.
+    /// Serves until a `shutdown` command arrives. Graceful drain: every
+    /// connection thread (and therefore every in-flight job) is joined
+    /// before returning.
     ///
     /// # Errors
     ///
@@ -80,8 +120,9 @@ impl Server {
             let Ok(stream) = stream else { continue };
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
+            let config = self.config.clone();
             handles.push(thread::spawn(move || {
-                let _ = serve_connection(stream, &engine, &stop, addr);
+                let _ = serve_connection(stream, &engine, &stop, addr, &config);
             }));
         }
         for h in handles {
@@ -91,16 +132,76 @@ impl Server {
     }
 }
 
+/// What reading one frame produced.
+enum Frame {
+    /// A complete line (without the newline).
+    Line(String),
+    /// The peer closed the connection.
+    Eof,
+    /// No complete frame arrived within the idle timeout (also covers a
+    /// frame stalled halfway).
+    IdleTimeout,
+    /// The frame exceeded the configured length bound.
+    TooLong,
+}
+
+/// Reads one newline-terminated frame, honoring the idle timeout and
+/// the length bound. The timeout applies between reads, so a peer that
+/// goes silent — before a frame or stalled halfway through one — is
+/// disconnected once it elapses.
+fn read_frame(reader: &mut BufReader<TcpStream>, max_line_bytes: usize) -> io::Result<Frame> {
+    let mut buf = Vec::new();
+    // +1 so a frame of exactly max bytes (plus newline) still fits and
+    // anything longer is detected as oversized rather than split.
+    let mut limited = reader.by_ref().take(max_line_bytes as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => Ok(Frame::Eof),
+        Ok(n) if n > max_line_bytes => Ok(Frame::TooLong),
+        Ok(_) => {
+            while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            Ok(Frame::Line(String::from_utf8_lossy(&buf).into_owned()))
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(Frame::IdleTimeout)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     engine: &Engine,
     stop: &AtomicBool,
     addr: SocketAddr,
+    config: &ServerConfig,
 ) -> io::Result<()> {
+    if config.idle_timeout_ms > 0 {
+        let timeout = Some(Duration::from_millis(config.idle_timeout_ms));
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+    }
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, config.max_line_bytes)? {
+            Frame::Line(line) => line,
+            Frame::Eof | Frame::IdleTimeout => break,
+            Frame::TooLong => {
+                // One structured complaint, then hang up: the rest of the
+                // oversized frame is unread and unreadable in bounded
+                // memory.
+                let err = error_response(&format!(
+                    "request line exceeds {} bytes",
+                    config.max_line_bytes
+                ));
+                writer.write_all(err.to_text().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -176,6 +277,10 @@ fn stats_response(engine: &Engine) -> Json {
             (
                 "cached_results".into(),
                 Json::Num(engine.cache().len() as f64),
+            ),
+            (
+                "cache_quarantined".into(),
+                Json::Num(engine.cache().quarantined() as f64),
             ),
         ]),
     )])
@@ -304,8 +409,10 @@ mod tests {
                     pool: PoolConfig {
                         workers: 2,
                         retries: 0,
+                        ..PoolConfig::default()
                     },
                     cache_dir: None,
+                    faults: Default::default(),
                 },
                 runner,
             )

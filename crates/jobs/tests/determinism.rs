@@ -41,8 +41,10 @@ fn engine(workers: usize, cache_dir: Option<PathBuf>) -> Engine {
         pool: PoolConfig {
             workers,
             retries: 0,
+            ..PoolConfig::default()
         },
         cache_dir,
+        ..EngineConfig::default()
     })
     .expect("engine")
 }

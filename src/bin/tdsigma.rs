@@ -31,7 +31,9 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
-use tdsigma::jobs::{default_workers, Engine, EngineConfig, Job, JobKind, PoolConfig, Server};
+use tdsigma::jobs::{
+    default_workers, Engine, EngineConfig, FaultPlan, Job, JobKind, PoolConfig, Server,
+};
 use tdsigma::layout::physlib::PhysicalLibrary;
 use tdsigma::layout::{gds, lef, render};
 use tdsigma::tech::{NodeId, Technology};
@@ -121,8 +123,18 @@ const SWEEP_FLAGS: &[&str] = &[
     "cache-dir",
     "no-cache",
     "out",
+    // Hidden: deterministic fault injection for resilience testing.
+    // Not listed in `tdsigma help` on purpose.
+    "chaos-seed",
 ];
-const SERVE_FLAGS: &[&str] = &["addr", "workers", "retries", "cache-dir", "no-cache"];
+const SERVE_FLAGS: &[&str] = &[
+    "addr",
+    "workers",
+    "retries",
+    "cache-dir",
+    "no-cache",
+    "chaos-seed",
+];
 
 fn parse_flags(args: &[String], known: &[&str]) -> Result<Flags, String> {
     let mut flags = Flags {
@@ -290,9 +302,24 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, Box<dyn std::error::Error>
     } else {
         Some(flags.str("cache-dir", "results/cache").into())
     };
+    let faults = match flags.values.get("chaos-seed") {
+        None => FaultPlan::none(),
+        Some(text) => {
+            let seed = text
+                .parse::<u64>()
+                .map_err(|e| format!("--chaos-seed: {e}"))?;
+            eprintln!("warning: chaos mode on (seed {seed}) — faults will be injected");
+            FaultPlan::chaos(seed)
+        }
+    };
     Ok(Engine::new(EngineConfig {
-        pool: PoolConfig { workers, retries },
+        pool: PoolConfig {
+            workers,
+            retries,
+            ..PoolConfig::default()
+        },
         cache_dir,
+        faults,
     })?)
 }
 
@@ -389,7 +416,10 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
 
 fn run_serve(flags: &Flags) -> ExitCode {
     match try_run_serve(flags) {
-        Ok(()) => ExitCode::SUCCESS,
+        // Exit code reflects degradation: a serve session that saw job
+        // failures exits non-zero even though it drained gracefully.
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -397,7 +427,7 @@ fn run_serve(flags: &Flags) -> ExitCode {
     }
 }
 
-fn try_run_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let addr = flags.str("addr", "127.0.0.1:4017");
     let engine = Arc::new(engine_from_flags(flags)?);
     let server = Server::bind(addr.as_str(), Arc::clone(&engine))?;
@@ -413,12 +443,15 @@ fn try_run_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     println!("protocol: one JSON job request per line, one JSON report per line back");
     println!(r#"example: {{"kind":"sim","node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}}"#);
     server.run()?;
+    // Graceful drain: in-flight jobs finish, queued work is cancelled,
+    // worker threads are joined before we report totals.
+    engine.shutdown();
     let totals = engine.totals();
     println!(
         "served {} jobs ({} cache hits, {} executed, {} failed)",
         totals.jobs, totals.cache_hits, totals.executed, totals.failed
     );
-    Ok(())
+    Ok(totals.failed)
 }
 
 /// Hand-rolled JSON (flat object, numeric fields) — no serialization
