@@ -1,5 +1,5 @@
 //! **ABL1** — §2.2.1 ablation: the NOR3 comparator vs strongARM vs the
-//! NAND3 comparator of [16], both standalone (common-mode sweep) and
+//! NAND3 comparator of \[16\], both standalone (common-mode sweep) and
 //! inside the closed-loop ADC.
 
 use tdsigma_baselines::comparators::sweep_common_mode;

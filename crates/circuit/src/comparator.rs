@@ -4,7 +4,7 @@
 //! and the conventional strongARM reference (Fig. 6a). Electrically they are
 //! the same regenerative sampler — the paper's point is that the NOR3
 //! version keeps working at low input common mode where the NAND3 version
-//! of Weaver et al. [16] dies. The common-mode validity window is therefore
+//! of Weaver et al. \[16\] dies. The common-mode validity window is therefore
 //! part of the model: outside it the comparator's gain collapses and its
 //! decisions become noise-dominated.
 
@@ -89,7 +89,7 @@ impl ClockedComparator {
     ///
     /// When the input common mode `(vp + vn)/2` lies outside the valid
     /// window, the comparator has no regenerative gain: the decision
-    /// becomes a pure coin flip (this is how the NAND3 comparator of [16]
+    /// becomes a pure coin flip (this is how the NAND3 comparator of \[16\]
     /// fails at the 0.25 V buffer common mode, motivating the NOR3 design).
     pub fn sample(&mut self, vp_v: f64, vn_v: f64, rng: &mut SimRng) -> bool {
         self.decisions += 1;

@@ -104,6 +104,9 @@ impl DecimationBackend {
 
     /// Processes a raw modulator capture into the decimated output.
     pub fn process(&self, capture: &SimCapture) -> DecimatedSignal {
+        let _span = tdsigma_obs::span("flow.decimate")
+            .attr("samples", capture.output.len())
+            .attr("ratio", self.ratio);
         let decimated = self.cic.decimate(&capture.output);
         let filtered = self.compensator.filter(&decimated);
         // Drop the settling transient at the head AND the zero-padded

@@ -20,6 +20,7 @@ use std::fmt;
 use tdsigma_dsp::metrics::ToneAnalysis;
 use tdsigma_layout::{analyze_timing, synthesize, AprOptions, LayoutResult, TimingReport};
 use tdsigma_netlist::{verilog, Design, PowerPlan};
+use tdsigma_obs as obs;
 
 /// Everything a flow run produces.
 #[derive(Debug)]
@@ -129,20 +130,40 @@ impl DesignFlow {
     ///
     /// Propagates spec validation, netlist, and layout errors.
     pub fn run(&self) -> Result<FlowOutcome, CoreError> {
+        // Every stage runs under an observability span: wall time always
+        // lands in the `flow.*` histograms (atomic adds only), and each
+        // stage emits one JSON trace line when tracing is enabled.
+
         // 1. Netlist + HDL generation.
-        let design = netgen::generate(&self.spec)?;
-        let verilog_text = verilog::write_design(&design)?;
-        let flat = design.flatten();
+        let (design, verilog_text, flat) = {
+            let _span = obs::span("flow.netgen").attr("node", self.spec.tech.id());
+            let design = netgen::generate(&self.spec)?;
+            let verilog_text = verilog::write_design(&design)?;
+            let flat = design.flatten();
+            (design, verilog_text, flat)
+        };
 
         // 2. Power-domain partitioning (floorplan generation inputs).
-        let power_plan = PowerPlan::infer(&flat)?;
-        power_plan.validate(&flat)?;
+        let power_plan = {
+            let _span = obs::span("flow.power_plan");
+            let power_plan = PowerPlan::infer(&flat)?;
+            power_plan.validate(&flat)?;
+            power_plan
+        };
 
         // 3. APR with MSV regions + extraction, then timing sign-off.
-        let layout = synthesize(&flat, &power_plan, &self.spec.tech, &self.apr)?;
-        let timing = analyze_timing(&flat, &layout.parasitics, &self.spec.tech, self.spec.fs_hz)?;
+        let layout = {
+            let _span = obs::span("flow.apr").attr("cells", flat.cells.len());
+            synthesize(&flat, &power_plan, &self.spec.tech, &self.apr)?
+        };
+        let timing = {
+            let _span = obs::span("flow.timing");
+            analyze_timing(&flat, &layout.parasitics, &self.spec.tech, self.spec.fs_hz)?
+        };
 
-        // 4. Post-layout simulation.
+        // 4. Post-layout simulation (the transient itself is spanned as
+        // `flow.transient` inside the simulator, spectrum + tone metrics
+        // inside the capture analysis).
         let mut sim = AdcSimulator::with_parasitics(self.spec.clone(), &layout.parasitics)?;
         let fin = self.input_frequency_hz();
         let amplitude = self.amplitude_rel * self.spec.full_scale_v();
@@ -150,6 +171,7 @@ impl DesignFlow {
         let analysis = capture.analyze(self.spec.bw_hz);
 
         // 5. Power and the Table-3 row.
+        let _span = obs::span("flow.power_report");
         let leakage_nw: f64 = flat
             .cells
             .iter()

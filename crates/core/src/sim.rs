@@ -33,12 +33,13 @@ use tdsigma_dsp::metrics::ToneAnalysis;
 use tdsigma_dsp::spectrum::Spectrum;
 use tdsigma_dsp::window::Window;
 use tdsigma_layout::Parasitics;
+use tdsigma_obs as obs;
 
 /// The comparator flavour used in the SAFFs.
 ///
 /// The paper's §2.2.1 story: the buffer output common mode is ~0.25 V, so
 /// a comparator must regenerate at *low* common mode. The proposed NOR3
-/// comparator does; the NAND3 comparator of Weaver et al. [16] needs a
+/// comparator does; the NAND3 comparator of Weaver et al. \[16\] needs a
 /// *high* common mode and fails here; the strongARM works but is not a
 /// standard cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,7 +50,7 @@ pub enum ComparatorFlavor {
     Nor3,
     /// Conventional strongARM (works, but a custom AMS cell).
     StrongArm,
-    /// NAND3-based comparator of [16] (synthesis friendly but requires a
+    /// NAND3-based comparator of \[16\] (synthesis friendly but requires a
     /// high input common mode).
     Nand3,
 }
@@ -157,6 +158,7 @@ impl SimCapture {
     /// The output spectrum, normalised so a full-scale input tone reads
     /// 0 dBFS.
     pub fn spectrum(&self, window: Window) -> Spectrum {
+        let _span = obs::span("flow.spectrum").attr("samples", self.output.len());
         Spectrum::from_samples_with_full_scale(
             &self.output,
             self.fs_hz,
@@ -177,7 +179,9 @@ impl SimCapture {
 
     /// Single-tone analysis limited to `bw_hz`.
     pub fn analyze(&self, bw_hz: f64) -> ToneAnalysis {
-        ToneAnalysis::of(&self.spectrum(Window::Hann), Some(bw_hz))
+        let spectrum = self.spectrum(Window::Hann);
+        let _span = obs::span("flow.tone_metrics");
+        ToneAnalysis::of(&spectrum, Some(bw_hz))
     }
 
     /// Mean output code.
@@ -391,6 +395,7 @@ impl AdcSimulator {
     /// analyses should use power-of-two captures where the prefix is a
     /// negligible fraction.
     pub fn run<F: Fn(f64) -> f64>(&mut self, input: F, n_samples: usize) -> SimCapture {
+        let _span = obs::span("flow.transient").attr("samples", n_samples);
         let dt = 1.0 / self.spec.fs_hz / self.spec.steps_per_cycle as f64;
         let mut output = Vec::with_capacity(n_samples);
         let mut slice_codes = Vec::with_capacity(n_samples * self.spec.n_slices);

@@ -48,22 +48,61 @@ impl PsdEstimate {
         self.psd.is_empty()
     }
 
-    /// Total power integrated between two frequencies (trapezoid-free
-    /// rectangle sum), in (input units)².
-    pub fn band_power(&self, f_lo_hz: f64, f_hi_hz: f64) -> f64 {
-        let lo = (f_lo_hz / self.bin_width_hz).round() as usize;
+    /// Resolves a frequency band to an inclusive bin range, or `None`
+    /// for an empty band.
+    ///
+    /// Empty bands — an inverted range (`f_lo_hz > f_hi_hz`, including
+    /// NaN endpoints) or a band lying entirely above the last bin — used
+    /// to silently alias onto one valid bin (`lo.min(hi)..=hi`), so an
+    /// out-of-band request integrated nonzero power. They now resolve to
+    /// `None` and the band helpers return 0.
+    ///
+    /// DC convention: [`welch_psd`] removes the full-record mean, but
+    /// per-segment windowing still leaks residual power into bin 0, so a
+    /// band starting at exactly 0 Hz begins at bin 1 — DC leakage never
+    /// counts as in-band noise.
+    fn band_bins(&self, f_lo_hz: f64, f_hi_hz: f64) -> Option<(usize, usize)> {
+        if f_lo_hz > f_hi_hz || f_lo_hz.is_nan() || f_hi_hz.is_nan() {
+            return None; // inverted range, or a NaN endpoint
+        }
+        let lo = if f_lo_hz == 0.0 {
+            1
+        } else {
+            (f_lo_hz / self.bin_width_hz).round() as usize
+        };
         let hi = ((f_hi_hz / self.bin_width_hz).round() as usize).min(self.psd.len() - 1);
-        self.psd[lo.min(hi)..=hi].iter().sum::<f64>() * self.bin_width_hz
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Total power integrated between two frequencies (trapezoid-free
+    /// rectangle sum), in (input units)². An empty band — inverted range
+    /// or entirely past the last bin — integrates to exactly 0; a band
+    /// starting at 0 Hz excludes the DC bin (per-segment windowing leaks
+    /// residual power into bin 0 even after mean removal, and DC leakage
+    /// must never count as in-band noise).
+    pub fn band_power(&self, f_lo_hz: f64, f_hi_hz: f64) -> f64 {
+        match self.band_bins(f_lo_hz, f_hi_hz) {
+            Some((lo, hi)) => self.psd[lo..=hi].iter().sum::<f64>() * self.bin_width_hz,
+            None => 0.0,
+        }
     }
 
     /// Median PSD between two frequencies — a robust noise-floor estimate
-    /// that ignores tones.
+    /// that ignores tones. Even-length bands average the two middle
+    /// elements (the upper-middle element alone biases the floor high);
+    /// an empty band returns 0.
     pub fn median_floor(&self, f_lo_hz: f64, f_hi_hz: f64) -> f64 {
-        let lo = (f_lo_hz / self.bin_width_hz).round() as usize;
-        let hi = ((f_hi_hz / self.bin_width_hz).round() as usize).min(self.psd.len() - 1);
-        let mut band: Vec<f64> = self.psd[lo.min(hi)..=hi].to_vec();
+        let Some((lo, hi)) = self.band_bins(f_lo_hz, f_hi_hz) else {
+            return 0.0;
+        };
+        let mut band: Vec<f64> = self.psd[lo..=hi].to_vec();
         band.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        band[band.len() / 2]
+        let n = band.len();
+        if n % 2 == 1 {
+            band[n / 2]
+        } else {
+            0.5 * (band[n / 2 - 1] + band[n / 2])
+        }
     }
 }
 
@@ -81,6 +120,16 @@ impl fmt::Display for PsdEstimate {
 
 /// Estimates the one-sided PSD of `samples` with Welch's method:
 /// `segment_len`-point windowed periodograms, 50 % overlap, averaged.
+///
+/// # DC convention
+///
+/// The mean of the *full record* is subtracted once before segmentation.
+/// Each segment still carries its own residual mean (slow drift, window
+/// leakage), so bin 0 of the estimate is small but generally nonzero.
+/// The band helpers ([`PsdEstimate::band_power`],
+/// [`PsdEstimate::median_floor`]) therefore skip bin 0 whenever a band
+/// starts at exactly 0 Hz: DC residue is an artifact of the estimator,
+/// not in-band noise.
 ///
 /// # Panics
 ///
@@ -233,6 +282,62 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_segment_panics() {
         let _ = welch_psd(&[0.0; 100], 100, Window::Hann, 1e3);
+    }
+
+    /// A tiny estimate with hand-picked bin values, for exact band math.
+    fn synthetic_psd(psd: Vec<f64>, bin_width_hz: f64) -> PsdEstimate {
+        PsdEstimate {
+            psd,
+            bin_width_hz,
+            segments: 1,
+        }
+    }
+
+    #[test]
+    fn inverted_band_integrates_to_zero() {
+        // Regression: `lo.min(hi)..=hi` silently integrated one bin for
+        // an inverted range, so band_power(400e3, 100e3) returned the
+        // power of the bin at 100 kHz instead of 0.
+        let psd = synthetic_psd(vec![1.0; 8], 1e3);
+        assert_eq!(psd.band_power(4e3, 1e3), 0.0, "inverted range is empty");
+        assert_eq!(psd.median_floor(4e3, 1e3), 0.0);
+        // NaN endpoints are empty too, never a panic or a one-bin band.
+        assert_eq!(psd.band_power(f64::NAN, 1e3), 0.0);
+        assert_eq!(psd.median_floor(1e3, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn band_past_nyquist_is_empty() {
+        // Regression: a band starting beyond the last bin used to clamp
+        // onto the last bin and report its power.
+        let psd = synthetic_psd(vec![1.0; 8], 1e3); // bins 0..=7 → 0–7 kHz
+        assert_eq!(psd.band_power(9e3, 12e3), 0.0, "band entirely out of range");
+        assert_eq!(psd.median_floor(9e3, 12e3), 0.0);
+        // A band that merely *ends* past the last bin still clamps.
+        assert!((psd.band_power(6e3, 12e3) - 2.0 * 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_averages_the_two_middle_elements() {
+        // Regression: even-length bands took the upper-middle element,
+        // biasing the floor estimate high.
+        let psd = synthetic_psd(vec![0.0, 1.0, 2.0, 3.0, 4.0], 1e3);
+        // Bins 1..=4 (even count): median of {1,2,3,4} = 2.5, not 3.
+        assert!((psd.median_floor(1e3, 4e3) - 2.5).abs() < 1e-12);
+        // Bins 1..=3 (odd count): median of {1,2,3} = 2.
+        assert!((psd.median_floor(1e3, 3e3) - 2.0).abs() < 1e-12);
+        // Single-bin band: the bin itself.
+        assert!((psd.median_floor(2e3, 2e3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_bin_is_excluded_from_bands_starting_at_zero() {
+        let psd = synthetic_psd(vec![100.0, 1.0, 1.0, 1.0], 1e3);
+        // From 0 Hz: bin 0's leakage residue must not count as noise.
+        assert!((psd.band_power(0.0, 3e3) - 3.0 * 1e3).abs() < 1e-9);
+        assert!((psd.median_floor(0.0, 3e3) - 1.0).abs() < 1e-12);
+        // From any nonzero frequency the usual rounding applies.
+        assert!((psd.band_power(1e3, 3e3) - 3.0 * 1e3).abs() < 1e-9);
     }
 
     #[test]

@@ -153,6 +153,13 @@ impl ResultCache {
             let _ = fs::remove_file(path);
         }
         self.quarantined.fetch_add(1, Ordering::SeqCst);
+        tdsigma_obs::counter("jobs.cache_quarantined").inc();
+        if tdsigma_obs::tracing_enabled() {
+            tdsigma_obs::event(
+                "cache.quarantine",
+                &[("artifact", path.display().to_string())],
+            );
+        }
     }
 
     /// Number of results in the in-memory tier.

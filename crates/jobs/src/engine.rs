@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
+use tdsigma_obs as obs;
 
 /// Engine construction options.
 #[derive(Debug, Clone, Default)]
@@ -137,6 +138,7 @@ impl Engine {
     ///   identical jobs within the batch execute once.
     /// * **Isolation** — one panicking or failing job fails only itself.
     pub fn run_batch(&self, jobs: &[Job]) -> BatchReport {
+        let _batch_span = obs::span("engine.batch").attr("jobs", jobs.len());
         let started = Instant::now();
         let quarantined_before = self.cache.quarantined();
         let mut metrics = BatchMetrics {
@@ -160,6 +162,7 @@ impl Engine {
                 slots[i] = Some(Ok(hit));
                 continue;
             }
+            obs::counter("jobs.cache_misses").inc();
             if let Some(&pi) = by_key.get(&key) {
                 metrics.deduped += 1;
                 pending[pi].slots.push(i);
@@ -223,6 +226,7 @@ impl Engine {
         totals.executed += metrics.executed;
         totals.failed += metrics.failed;
         drop(totals);
+        metrics.publish();
 
         BatchReport { results, metrics }
     }
@@ -239,8 +243,10 @@ impl Engine {
             let mut totals = self.totals.lock().expect("totals lock");
             totals.jobs += 1;
             totals.cache_hits += 1;
+            obs::counter("jobs.cache_hits").inc();
             return Ok(hit);
         }
+        obs::counter("jobs.cache_misses").inc();
         let outcome = self
             .pool
             .submit(job.clone())
@@ -250,9 +256,11 @@ impl Engine {
         totals.jobs += 1;
         if outcome.attempts > 0 {
             totals.executed += 1;
+            obs::counter("jobs.executed").inc();
         }
         if outcome.result.is_err() {
             totals.failed += 1;
+            obs::counter("jobs.failed").inc();
         }
         drop(totals);
         if let Ok(report) = &outcome.result {

@@ -13,6 +13,7 @@ use std::time::Instant;
 use tdsigma_core::flow::DesignFlow;
 use tdsigma_core::sim::AdcSimulator;
 use tdsigma_dsp::metrics::enob_from_sndr;
+use tdsigma_obs as obs;
 
 /// Executes one job to completion on the calling thread.
 ///
@@ -33,8 +34,12 @@ pub fn execute(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
 fn execute_sim(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
     let mut stages = StageTimes::default();
     let t = Instant::now();
-    let spec = job.to_spec()?;
-    let mut sim = AdcSimulator::new(spec.clone()).map_err(failed)?;
+    let (spec, mut sim) = {
+        let _span = obs::span("flow.build").attr("kind", "sim");
+        let spec = job.to_spec()?;
+        let sim = AdcSimulator::new(spec.clone()).map_err(failed)?;
+        (spec, sim)
+    };
     stages.build_ms = ms_since(t);
 
     let t = Instant::now();
@@ -64,14 +69,18 @@ fn execute_sim(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
 fn execute_flow(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
     let mut stages = StageTimes::default();
     let t = Instant::now();
-    let spec = job.to_spec()?;
-    let mut flow = DesignFlow::new(spec)
-        .with_samples(job.samples)
-        .with_amplitude(job.amplitude_rel);
-    if let Some(fin) = job.fin_hz {
-        flow = flow.with_input_frequency(fin);
-    }
-    let fin = flow.input_frequency_hz();
+    let (flow, fin) = {
+        let _span = obs::span("flow.build").attr("kind", "flow");
+        let spec = job.to_spec()?;
+        let mut flow = DesignFlow::new(spec)
+            .with_samples(job.samples)
+            .with_amplitude(job.amplitude_rel);
+        if let Some(fin) = job.fin_hz {
+            flow = flow.with_input_frequency(fin);
+        }
+        let fin = flow.input_frequency_hz();
+        (flow, fin)
+    };
     stages.build_ms = ms_since(t);
 
     let t = Instant::now();

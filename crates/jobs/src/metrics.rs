@@ -97,6 +97,23 @@ impl BatchMetrics {
             self.exec_ms_total / self.wall_ms
         }
     }
+
+    /// Adds this batch's outcome counters to the process-wide
+    /// [`tdsigma_obs`] registry, under the same `jobs.*` namespace the
+    /// pool and cache report into live.
+    ///
+    /// Only the fields that nothing else counts at the source are added
+    /// here: retries, timeouts, panics, injected faults, backoff sleeps
+    /// and quarantines are recorded by the pool/cache as they happen, so
+    /// re-adding them would double-count.
+    pub fn publish(&self) {
+        use tdsigma_obs as obs;
+        obs::counter("jobs.cache_hits").add(self.cache_hits as u64);
+        obs::counter("jobs.deduped").add(self.deduped as u64);
+        obs::counter("jobs.executed").add(self.executed as u64);
+        obs::counter("jobs.failed").add(self.failed as u64);
+        obs::counter("jobs.canceled").add(self.canceled as u64);
+    }
 }
 
 impl fmt::Display for BatchMetrics {

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tdsigma_obs as obs;
 use tdsigma_tech::Rng64;
 
 /// A job runner: everything the pool knows about executing work. The
@@ -126,6 +127,9 @@ impl JobOutcome {
 struct Task {
     job: Job,
     reply: mpsc::Sender<JobOutcome>,
+    /// When the task entered the queue — dequeue-time minus this is the
+    /// queue latency the `jobs.queue_wait` histogram records.
+    submitted: Instant,
 }
 
 /// A fixed set of worker threads executing submitted jobs.
@@ -178,9 +182,15 @@ impl WorkerPool {
     /// [`JobOutcome`] (immediately, if the pool is already closed).
     pub fn submit(&self, job: Job) -> mpsc::Receiver<JobOutcome> {
         let (reply, rx) = mpsc::channel();
+        obs::counter("jobs.submitted").inc();
         match &*self.tx.lock().expect("pool lock") {
             Some(tx) => {
-                if let Err(mpsc::SendError(task)) = tx.send(Task { job, reply }) {
+                let task = Task {
+                    job,
+                    reply,
+                    submitted: Instant::now(),
+                };
+                if let Err(mpsc::SendError(task)) = tx.send(task) {
                     let _ = task
                         .reply
                         .send(JobOutcome::terminal(Err(JobError::PoolClosed)));
@@ -259,12 +269,21 @@ fn worker_loop(
     config: &PoolConfig,
     faults: FaultPlan,
 ) {
+    // Metric handles fetched once per worker: the per-job hot path below
+    // is atomic adds only.
+    let queue_wait = obs::histogram("jobs.queue_wait");
+    let backoff_hist = obs::histogram("jobs.backoff");
+    let retries_ctr = obs::counter("jobs.retries");
+    let timeouts_ctr = obs::counter("jobs.timeouts");
+    let panics_ctr = obs::counter("jobs.panics");
+    let faults_ctr = obs::counter("jobs.faults_injected");
     loop {
         // Hold the lock only for the dequeue.
         let task = match rx.lock().expect("task queue lock").recv() {
             Ok(task) => task,
             Err(_) => break, // queue closed: pool is shutting down
         };
+        queue_wait.record(task.submitted.elapsed());
         if cancel.load(Ordering::SeqCst) {
             let _ = task
                 .reply
@@ -295,17 +314,23 @@ fn worker_loop(
             let latency_ms = faults.attempt_latency_ms(&key, attempts);
             if injected.is_some() || latency_ms > 0 {
                 injected_faults += 1;
+                faults_ctr.inc();
             }
             if latency_ms > 0 {
                 std::thread::sleep(Duration::from_millis(latency_ms));
             }
-            let attempt = catch_unwind(AssertUnwindSafe(|| match injected {
-                Some(AttemptFault::Panic) => panic!("chaos: injected worker panic"),
-                Some(AttemptFault::Transient) => Err(JobError::Transient(
-                    "chaos: injected transient failure".into(),
-                )),
-                None => runner(&task.job),
-            }));
+            let attempt = {
+                let _span = obs::span("job.attempt")
+                    .attr("job", &key)
+                    .attr("attempt", attempts);
+                catch_unwind(AssertUnwindSafe(|| match injected {
+                    Some(AttemptFault::Panic) => panic!("chaos: injected worker panic"),
+                    Some(AttemptFault::Transient) => Err(JobError::Transient(
+                        "chaos: injected transient failure".into(),
+                    )),
+                    None => runner(&task.job),
+                }))
+            };
             // Soft deadline: a successful attempt that overran is
             // discarded as a retryable timeout (the report of a job that
             // blew its budget is suspect — often it only finished because
@@ -317,6 +342,7 @@ fn worker_loop(
                             > config.soft_deadline_ms =>
                 {
                     drop(ok);
+                    timeouts_ctr.inc();
                     Ok(Err(JobError::Timeout {
                         soft_deadline_ms: config.soft_deadline_ms,
                     }))
@@ -332,7 +358,9 @@ fn worker_loop(
                     attempts,
                 );
                 if delay > 0 {
-                    *backoff_ms += cancellable_sleep(delay, cancel);
+                    let slept = cancellable_sleep(delay, cancel);
+                    *backoff_ms += slept;
+                    backoff_hist.record_us((slept * 1e3) as u64);
                 }
                 // Canceled mid-backoff: give up instead of re-running.
                 !cancel.load(Ordering::SeqCst)
@@ -343,6 +371,7 @@ fn worker_loop(
                 }
                 Ok(Err(e)) if e.is_retryable() && may_retry => {
                     if retry_backoff(&mut backoff_ms) {
+                        retries_ctr.inc();
                         continue;
                     }
                     break finish(
@@ -376,7 +405,9 @@ fn worker_loop(
                     );
                 }
                 Err(panic) => {
+                    panics_ctr.inc();
                     if may_retry && retry_backoff(&mut backoff_ms) {
+                        retries_ctr.inc();
                         continue;
                     }
                     let result = if cancel.load(Ordering::SeqCst) && may_retry {

@@ -265,6 +265,9 @@ fn error_response(message: &str) -> Json {
 }
 
 fn stats_response(engine: &Engine) -> Json {
+    // A stats request is a natural checkpoint: push any buffered trace
+    // lines to disk so an operator tailing the file sees current state.
+    tdsigma_obs::flush_tracing();
     let totals = engine.totals();
     ok_response(vec![(
         "stats".into(),
@@ -282,8 +285,44 @@ fn stats_response(engine: &Engine) -> Json {
                 "cache_quarantined".into(),
                 Json::Num(engine.cache().quarantined() as f64),
             ),
+            ("obs".into(), obs_snapshot_json()),
         ]),
     )])
+}
+
+/// The live observability registry as JSON: every counter and gauge by
+/// name, and per-span timing summaries from the histograms.
+fn obs_snapshot_json() -> Json {
+    let snap = tdsigma_obs::registry().snapshot();
+    let counters = snap
+        .counters
+        .into_iter()
+        .map(|(name, v)| (name, Json::Num(v as f64)))
+        .collect();
+    let gauges = snap
+        .gauges
+        .into_iter()
+        .map(|(name, v)| (name, Json::Num(v)))
+        .collect();
+    let spans = snap
+        .histograms
+        .into_iter()
+        .map(|(name, h)| {
+            let obj = Json::Obj(vec![
+                ("count".into(), Json::Num(h.count as f64)),
+                ("total_ms".into(), Json::Num(h.total_ms())),
+                ("mean_ms".into(), Json::Num(h.mean_ms())),
+                ("p99_ms".into(), Json::Num(h.quantile_us(0.99) as f64 / 1e3)),
+                ("max_ms".into(), Json::Num(h.max_ms())),
+            ]);
+            (name, obj)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("spans".into(), Json::Obj(spans)),
+    ])
 }
 
 /// Builds a [`Job`] from a friendly-units request object. Unknown fields

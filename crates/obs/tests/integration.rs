@@ -1,0 +1,149 @@
+//! End-to-end observability test: enable tracing to a file, run spans,
+//! events and counters across threads, then read the trace back and
+//! verify it is valid JSON-lines with the expected shape.
+//!
+//! The trace sink is process-global, so everything lives in one `#[test]`
+//! — Rust runs test *binaries* in isolation, which is all the isolation
+//! the global state needs.
+
+use std::fs;
+use std::sync::{Arc, Barrier};
+
+/// A minimal structural JSON validator — enough to prove each line is a
+/// well-formed object without pulling in a parser dependency.
+fn assert_valid_json_object(line: &str) {
+    let line = line.trim();
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not an object: {line}"
+    );
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced braces: {line}");
+    }
+    assert_eq!(depth, 0, "unbalanced braces: {line}");
+    assert!(!in_str, "unterminated string: {line}");
+}
+
+#[test]
+fn trace_file_captures_spans_events_and_counters() {
+    let dir = std::env::temp_dir().join(format!("tdsigma-obs-test-{}", std::process::id()));
+    let path = dir.join("trace/run.jsonl");
+
+    assert!(!tdsigma_obs::tracing_enabled(), "tracing starts disabled");
+    tdsigma_obs::trace_to_file(&path).expect("install trace sink (creates parent dirs)");
+    assert!(tdsigma_obs::tracing_enabled());
+
+    // Spans from several threads, with attributes.
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::Builder::new()
+                .name(format!("obs-test-{i}"))
+                .spawn(move || {
+                    barrier.wait();
+                    let _span = tdsigma_obs::span("test.stage")
+                        .attr("worker", i)
+                        .attr("quoted", "a\"b\\c");
+                    tdsigma_obs::counter("test.iterations").inc();
+                })
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    {
+        let _outer = tdsigma_obs::span("test.outer");
+        let _inner = tdsigma_obs::span("test.inner");
+    }
+    tdsigma_obs::event("test.point", &[("key", "value".to_string())]);
+    tdsigma_obs::disable_tracing();
+    assert!(!tdsigma_obs::tracing_enabled());
+
+    // Post-disable activity must not reach the file.
+    {
+        let _late = tdsigma_obs::span("test.late").attr("should", "not appear");
+    }
+
+    let text = fs::read_to_string(&path).expect("trace file readable");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(
+        lines.len(),
+        7,
+        "4 stage spans + outer + inner + event:\n{text}"
+    );
+    for line in &lines {
+        assert_valid_json_object(line);
+        assert!(line.contains("\"ts_us\":"), "missing timestamp: {line}");
+        assert!(line.contains("\"thread\":\""), "missing thread: {line}");
+    }
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"span\""))
+            .count(),
+        6
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"event\""))
+            .count(),
+        1
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"name\":\"test.stage\""))
+            .count(),
+        4
+    );
+    // Attributes survive, with JSON escaping.
+    assert!(
+        text.contains(r#""attrs":{"worker":"0","quoted":"a\"b\\c"}"#),
+        "{text}"
+    );
+    assert!(text.contains(r#""attrs":{"key":"value"}"#));
+    // Spans record durations; the inner span closes before the outer.
+    assert!(lines
+        .iter()
+        .all(|l| !l.contains("\"kind\":\"span\"") || l.contains("\"dur_us\":")));
+    let inner_pos = lines.iter().position(|l| l.contains("test.inner")).unwrap();
+    let outer_pos = lines.iter().position(|l| l.contains("test.outer")).unwrap();
+    assert!(inner_pos < outer_pos, "drop order: inner closes first");
+    assert!(
+        !text.contains("test.late"),
+        "disabled sink must stay silent"
+    );
+
+    // The registry kept counting regardless of the sink.
+    let snap = tdsigma_obs::registry().snapshot();
+    assert_eq!(snap.counters["test.iterations"], 4);
+    assert_eq!(snap.histograms["test.stage"].count, 4);
+    assert_eq!(
+        snap.histograms["test.late"].count, 1,
+        "histograms are always on"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}

@@ -24,7 +24,7 @@ pub enum CellClass {
     Buffer,
     /// 2-input NAND.
     Nand2,
-    /// 3-input NAND (the comparator of Weaver et al. [16] uses these).
+    /// 3-input NAND (the comparator of Weaver et al. \[16\] uses these).
     Nand3,
     /// 2-input NOR (SR-latch of the proposed SAFF).
     Nor2,

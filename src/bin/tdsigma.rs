@@ -6,9 +6,9 @@
 //! tdsigma sweep  [--nodes 40,180] [--slices 4,8] [--fs-mhz 750] [--amps 0.79]
 //!                [--bw-mhz 5] [--kind sim] [--samples 8192] [--seed 2017]
 //!                [--workers N] [--retries 1] [--cache-dir results/cache]
-//!                [--no-cache] [--out results]
+//!                [--no-cache] [--trace results/trace/sweep.jsonl] [--out results]
 //! tdsigma serve  [--addr 127.0.0.1:4017] [--workers N] [--retries 1]
-//!                [--cache-dir results/cache] [--no-cache]
+//!                [--cache-dir results/cache] [--no-cache] [--trace FILE]
 //! tdsigma nodes
 //! tdsigma help
 //! ```
@@ -24,6 +24,12 @@
 //! `serve` exposes the same engine over TCP — one JSON job request per
 //! line in, one JSON report per line out (see `crates/jobs/src/server.rs`
 //! or README for the protocol).
+//!
+//! `--trace FILE` (sweep and serve) turns on the observability layer's
+//! JSON-lines trace sink: one line per flow stage span, job attempt and
+//! engine event. Both commands also print a per-stage wall-time
+//! breakdown at the end, with or without `--trace` (the span histograms
+//! are always on — they cost only atomic adds).
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -86,10 +92,11 @@ fn print_help() {
     println!("  tdsigma sweep  [--nodes 40,180] [--slices 4,8] [--fs-mhz 750]");
     println!("                 [--amps 0.79] [--bw-mhz B] [--kind sim|flow]");
     println!("                 [--samples K] [--seed S] [--workers W] [--retries R]");
-    println!("                 [--cache-dir DIR] [--no-cache] [--out DIR]");
+    println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE] [--out DIR]");
     println!("                                                run a cached parallel grid");
     println!("  tdsigma serve  [--addr HOST:PORT] [--workers W] [--retries R]");
-    println!("                 [--cache-dir DIR] [--no-cache]  JSON-lines job server");
+    println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE]");
+    println!("                                                JSON-lines job server");
     println!("  tdsigma nodes                                 list technology nodes");
     println!("  tdsigma help | --help | -h                    this message");
     println!("  tdsigma version | --version | -V              print the version");
@@ -122,6 +129,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "retries",
     "cache-dir",
     "no-cache",
+    "trace",
     "out",
     // Hidden: deterministic fault injection for resilience testing.
     // Not listed in `tdsigma help` on purpose.
@@ -133,6 +141,7 @@ const SERVE_FLAGS: &[&str] = &[
     "retries",
     "cache-dir",
     "no-cache",
+    "trace",
     "chaos-seed",
 ];
 
@@ -323,6 +332,54 @@ fn engine_from_flags(flags: &Flags) -> Result<Engine, Box<dyn std::error::Error>
     })?)
 }
 
+/// Turns on the JSON-lines trace sink if `--trace FILE` was given;
+/// returns the path when tracing is active.
+fn enable_trace(flags: &Flags) -> Result<Option<String>, Box<dyn std::error::Error>> {
+    match flags.values.get("trace") {
+        None => Ok(None),
+        Some(path) => {
+            tdsigma::obs::trace_to_file(path)?;
+            Ok(Some(path.clone()))
+        }
+    }
+}
+
+/// Prints the per-stage wall-time table accumulated by the span
+/// histograms. Histograms are always on (atomic adds only), so this
+/// works with or without `--trace`.
+fn print_stage_breakdown() {
+    let snap = tdsigma::obs::registry().snapshot();
+    let mut rows: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(name, h)| {
+            h.count > 0
+                && (name.starts_with("flow.")
+                    || name.as_str() == "job.attempt"
+                    || name.as_str() == "engine.batch")
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by_key(|(_, h)| std::cmp::Reverse(h.sum_us));
+    println!("stage breakdown (wall time summed across workers):");
+    println!(
+        "  {:<18} {:>7} {:>12} {:>10} {:>10}",
+        "stage", "count", "total ms", "mean ms", "max ms"
+    );
+    for (name, h) in rows {
+        println!(
+            "  {:<18} {:>7} {:>12.1} {:>10.2} {:>10.1}",
+            name,
+            h.count,
+            h.total_ms(),
+            h.mean_ms(),
+            h.max_ms()
+        );
+    }
+}
+
 fn run_sweep(flags: &Flags) -> ExitCode {
     match try_run_sweep(flags) {
         Ok(0) => ExitCode::SUCCESS,
@@ -348,6 +405,7 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let samples = flags.usize("samples", 8_192)?;
     let seed = flags.usize("seed", 2017)? as u64;
     let out = flags.str("out", "results");
+    let trace = enable_trace(flags)?;
 
     let mut jobs = Vec::new();
     for &node in &nodes {
@@ -401,6 +459,11 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         }
     }
     println!("{}", batch.metrics);
+    print_stage_breakdown();
+    if let Some(path) = trace {
+        tdsigma::obs::disable_tracing();
+        println!("wrote trace → {path}");
+    }
 
     let out = Path::new(&out);
     fs::create_dir_all(out)?;
@@ -429,6 +492,7 @@ fn run_serve(flags: &Flags) -> ExitCode {
 
 fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let addr = flags.str("addr", "127.0.0.1:4017");
+    let trace = enable_trace(flags)?;
     let engine = Arc::new(engine_from_flags(flags)?);
     let server = Server::bind(addr.as_str(), Arc::clone(&engine))?;
     println!(
@@ -451,6 +515,11 @@ fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         "served {} jobs ({} cache hits, {} executed, {} failed)",
         totals.jobs, totals.cache_hits, totals.executed, totals.failed
     );
+    print_stage_breakdown();
+    if let Some(path) = trace {
+        tdsigma::obs::disable_tracing();
+        println!("wrote trace → {path}");
+    }
     Ok(totals.failed)
 }
 
