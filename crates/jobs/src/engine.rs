@@ -12,6 +12,7 @@ use crate::error::JobError;
 use crate::execute;
 use crate::faults::FaultPlan;
 use crate::job::Job;
+use crate::journal::{Journal, JournalRecord};
 use crate::metrics::BatchMetrics;
 use crate::pool::{JobOutcome, PoolConfig, Runner, WorkerPool};
 use crate::report::JobReport;
@@ -112,6 +113,16 @@ impl Engine {
         self.pool.workers()
     }
 
+    /// Every worker's liveness (see [`crate::pool::WorkerPool::heartbeats`]).
+    pub fn heartbeats(&self) -> Vec<crate::pool::WorkerHeartbeat> {
+        self.pool.heartbeats()
+    }
+
+    /// Busy workers silent for longer than `threshold_ms` (0 disables).
+    pub fn stalled_workers(&self, threshold_ms: u64) -> usize {
+        self.pool.stalled(threshold_ms)
+    }
+
     /// Requests cooperative cancellation of queued work.
     pub fn cancel(&self) {
         self.pool.cancel();
@@ -138,7 +149,32 @@ impl Engine {
     ///   identical jobs within the batch execute once.
     /// * **Isolation** — one panicking or failing job fails only itself.
     pub fn run_batch(&self, jobs: &[Job]) -> BatchReport {
-        let _batch_span = obs::span("engine.batch").attr("jobs", jobs.len());
+        self.run_batch_with_journal(jobs, None)
+            .expect("a journal-free batch cannot fail")
+    }
+
+    /// [`Engine::run_batch`] with an optional write-ahead journal. With a
+    /// journal, the batch plan (including every job) and all cache hits
+    /// are durably recorded *before* anything is submitted, and each
+    /// outcome is recorded as it lands — so a SIGKILL at any point leaves
+    /// enough on disk for `--resume` to finish the run without redoing
+    /// completed work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Io`] if a journal write fails. A broken
+    /// journal voids the crash-safety contract, so — unlike a cache
+    /// store failure — it fails the batch loudly. In-flight jobs still
+    /// drain (and their results reach the cache) before the error is
+    /// returned.
+    pub fn run_batch_with_journal(
+        &self,
+        jobs: &[Job],
+        mut journal: Option<&mut Journal>,
+    ) -> Result<BatchReport, JobError> {
+        let _batch_span = obs::span("engine.batch")
+            .attr("jobs", jobs.len())
+            .attr("journaled", journal.is_some());
         let started = Instant::now();
         let quarantined_before = self.cache.quarantined();
         let mut metrics = BatchMetrics {
@@ -147,33 +183,76 @@ impl Engine {
         };
         let mut slots: Vec<Option<Result<JobReport, JobError>>> = vec![None; jobs.len()];
 
-        // Pending executions: key → (receiver, slots waiting on it).
-        struct Pending {
-            rx: mpsc::Receiver<JobOutcome>,
+        // Phase 1: classify every job — cache hit, in-batch duplicate, or
+        // planned for execution — without submitting anything yet, so the
+        // full plan can be journaled before the first flow starts.
+        struct Planned {
+            key: String,
+            job: Job,
             slots: Vec<usize>,
         }
-        let mut pending: Vec<Pending> = Vec::new();
+        let mut planned: Vec<Planned> = Vec::new();
         let mut by_key: HashMap<String, usize> = HashMap::new();
+        let mut hit_keys: Vec<String> = Vec::new();
 
         for (i, job) in jobs.iter().enumerate() {
             let key = job.key();
             if let Some(hit) = self.cache.get(&key) {
                 metrics.cache_hits += 1;
+                hit_keys.push(key);
                 slots[i] = Some(Ok(hit));
                 continue;
             }
             obs::counter("jobs.cache_misses").inc();
             if let Some(&pi) = by_key.get(&key) {
                 metrics.deduped += 1;
-                pending[pi].slots.push(i);
+                planned[pi].slots.push(i);
                 continue;
             }
-            by_key.insert(key, pending.len());
-            pending.push(Pending {
-                rx: self.pool.submit(job.clone()),
+            by_key.insert(key.clone(), planned.len());
+            planned.push(Planned {
+                key,
+                job: job.clone(),
                 slots: vec![i],
             });
         }
+        hit_keys.sort();
+        hit_keys.dedup();
+
+        // Phase 2: one durable journal batch — the plan, what the cache
+        // already answered, and what is about to be submitted. One fsync.
+        if let Some(j) = journal.as_deref_mut() {
+            let mut recs = Vec::with_capacity(1 + hit_keys.len() + planned.len());
+            recs.push(JournalRecord::BatchPlanned {
+                run_id: j.run_id().to_string(),
+                jobs: jobs.to_vec(),
+            });
+            for key in &hit_keys {
+                recs.push(JournalRecord::JobFinished { key: key.clone() });
+            }
+            for p in &planned {
+                recs.push(JournalRecord::JobStarted { key: p.key.clone() });
+            }
+            j.append_all(&recs)?;
+        }
+
+        // Phase 3: submit, then drain outcomes, journaling each as it
+        // lands. A journal failure mid-drain is remembered but the drain
+        // completes — in-flight results still reach the cache.
+        struct Pending {
+            key: String,
+            rx: mpsc::Receiver<JobOutcome>,
+            slots: Vec<usize>,
+        }
+        let pending: Vec<Pending> = planned
+            .into_iter()
+            .map(|p| Pending {
+                rx: self.pool.submit(p.job),
+                key: p.key,
+                slots: p.slots,
+            })
+            .collect();
+        let mut journal_err: Option<JobError> = None;
 
         for p in pending {
             let outcome = p.rx.recv().unwrap_or(JobOutcome {
@@ -193,11 +272,33 @@ impl Engine {
             }
             metrics.faults_injected += outcome.injected_faults as usize;
             metrics.backoff_ms_total += outcome.backoff_ms;
+            let record: Option<JournalRecord> = match &outcome.result {
+                Ok(_) => Some(JournalRecord::JobFinished { key: p.key.clone() }),
+                // Canceled jobs are neither finished nor permanently
+                // degraded: leaving them unjournaled makes a resume pick
+                // them up again, which is the right semantics.
+                Err(JobError::Canceled) => None,
+                Err(e) => Some(JournalRecord::JobDegraded {
+                    key: p.key.clone(),
+                    error: e.to_string(),
+                    retryable: e.is_retryable(),
+                }),
+            };
             let shared: Result<JobReport, JobError> = match outcome.result {
                 Ok(report) => {
                     // Cache failures must not fail the job: the report is
-                    // in hand; persistence is best-effort.
-                    let _ = self.cache.put(&report);
+                    // in hand; persistence is best-effort — but visibly
+                    // best-effort.
+                    if let Err(e) = self.cache.put(&report) {
+                        metrics.cache_store_failures += 1;
+                        obs::counter("jobs.cache_store_failures").inc();
+                        if obs::tracing_enabled() {
+                            obs::event(
+                                "cache.store_failure",
+                                &[("key", report.key.clone()), ("error", e.to_string())],
+                            );
+                        }
+                    }
                     Ok(report)
                 }
                 Err(e) => {
@@ -208,6 +309,16 @@ impl Engine {
                     Err(e)
                 }
             };
+            // Journal *after* the cache write, so a journaled
+            // `job_finished` implies the artifact rename already
+            // happened (or was counted as a store failure).
+            if journal_err.is_none() {
+                if let (Some(j), Some(rec)) = (journal.as_deref_mut(), &record) {
+                    if let Err(e) = j.append(rec) {
+                        journal_err = Some(e);
+                    }
+                }
+            }
             for &slot in &p.slots {
                 slots[slot] = Some(shared.clone());
             }
@@ -228,7 +339,10 @@ impl Engine {
         drop(totals);
         metrics.publish();
 
-        BatchReport { results, metrics }
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+        Ok(BatchReport { results, metrics })
     }
 
     /// Answers one job — from the cache if possible, otherwise through

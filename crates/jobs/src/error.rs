@@ -1,6 +1,7 @@
 //! Error type for job submission and execution.
 
 use std::fmt;
+use std::path::Path;
 
 /// Everything that can go wrong between submitting a job and getting a
 /// report back.
@@ -29,18 +30,37 @@ pub enum JobError {
     Canceled,
     /// The worker pool is shut down.
     PoolClosed,
-    /// Cache or network I/O failure.
-    Io(String),
+    /// Cache, journal or network I/O failure, carrying the OS error kind
+    /// and (when known) the path that failed, so a `PermissionDenied` on
+    /// a read-only cache dir is distinguishable from a full disk.
+    Io {
+        /// The OS error class ([`std::io::ErrorKind`]).
+        kind: std::io::ErrorKind,
+        /// The filesystem path the operation failed on, if known.
+        path: Option<String>,
+        /// The underlying error message.
+        message: String,
+    },
 }
 
 impl JobError {
+    /// Wraps an [`std::io::Error`] with the path it occurred on, so the
+    /// error taxonomy keeps both the OS error kind and the location.
+    pub fn io_at(path: impl AsRef<Path>, e: &std::io::Error) -> Self {
+        JobError::Io {
+            kind: e.kind(),
+            path: Some(path.as_ref().display().to_string()),
+            message: e.to_string(),
+        }
+    }
+
     /// Whether re-running the job could plausibly succeed (panics and
     /// transient failures — not validation errors).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             JobError::Failed { .. }
-                | JobError::Io(_)
+                | JobError::Io { .. }
                 | JobError::Transient(_)
                 | JobError::Timeout { .. }
         )
@@ -60,7 +80,16 @@ impl fmt::Display for JobError {
             }
             JobError::Canceled => f.write_str("job canceled"),
             JobError::PoolClosed => f.write_str("worker pool is closed"),
-            JobError::Io(m) => write!(f, "job I/O error: {m}"),
+            JobError::Io {
+                kind,
+                path: Some(path),
+                message,
+            } => write!(f, "job I/O error ({kind:?}) at {path}: {message}"),
+            JobError::Io {
+                kind,
+                path: None,
+                message,
+            } => write!(f, "job I/O error ({kind:?}): {message}"),
         }
     }
 }
@@ -69,6 +98,46 @@ impl std::error::Error for JobError {}
 
 impl From<std::io::Error> for JobError {
     fn from(e: std::io::Error) -> Self {
-        JobError::Io(e.to_string())
+        JobError::Io {
+            kind: e.kind(),
+            path: None,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    #[test]
+    fn io_errors_carry_kind_and_path() {
+        let os = io::Error::new(io::ErrorKind::PermissionDenied, "denied by mode 0555");
+        let e = JobError::io_at("/tmp/cache/abc.json", &os);
+        match &e {
+            JobError::Io { kind, path, .. } => {
+                assert_eq!(*kind, io::ErrorKind::PermissionDenied);
+                assert_eq!(path.as_deref(), Some("/tmp/cache/abc.json"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let text = e.to_string();
+        assert!(text.contains("PermissionDenied"), "{text}");
+        assert!(text.contains("/tmp/cache/abc.json"), "{text}");
+        assert!(text.contains("denied by mode"), "{text}");
+    }
+
+    #[test]
+    fn from_io_error_keeps_the_kind() {
+        let e: JobError = io::Error::new(io::ErrorKind::StorageFull, "disk full").into();
+        match &e {
+            JobError::Io { kind, path, .. } => {
+                assert_eq!(*kind, io::ErrorKind::StorageFull);
+                assert_eq!(*path, None);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(e.is_retryable(), "I/O failures are retryable");
     }
 }

@@ -43,6 +43,7 @@ pub mod error;
 pub mod execute;
 pub mod faults;
 pub mod job;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -55,8 +56,11 @@ pub use error::JobError;
 pub use execute::execute;
 pub use faults::{AttemptFault, FaultPlan, FrameFault};
 pub use job::{Job, JobKind};
+pub use journal::{validate_run_id, Journal, JournalRecord, JournalReplay};
 pub use json::Json;
 pub use metrics::{BatchMetrics, StageTimes};
-pub use pool::{backoff_delay_ms, default_workers, JobOutcome, PoolConfig, Runner, WorkerPool};
+pub use pool::{
+    backoff_delay_ms, default_workers, JobOutcome, PoolConfig, Runner, WorkerHeartbeat, WorkerPool,
+};
 pub use report::JobReport;
 pub use server::{Server, ServerConfig};

@@ -57,6 +57,10 @@ pub struct BatchMetrics {
     pub cache_quarantined: usize,
     /// Faults injected by the active fault plan (0 without `--chaos-seed`).
     pub faults_injected: usize,
+    /// Completed jobs whose report could not be persisted to the disk
+    /// cache (the job still succeeded; the result is just uncached, so a
+    /// resume would recompute it).
+    pub cache_store_failures: usize,
     /// Total wall time spent sleeping in retry backoff, ms.
     pub backoff_ms_total: f64,
     /// End-to-end batch wall time, ms.
@@ -144,12 +148,19 @@ impl fmt::Display for BatchMetrics {
             self.stages.execute_ms,
             self.stages.analyze_ms,
         )?;
-        if self.cache_quarantined > 0 || self.faults_injected > 0 || self.backoff_ms_total > 0.0 {
+        if self.cache_quarantined > 0
+            || self.faults_injected > 0
+            || self.backoff_ms_total > 0.0
+            || self.cache_store_failures > 0
+        {
             write!(
                 f,
                 "\nresilience: {} cache artifacts quarantined, {} faults injected, \
-                 {:.0} ms retry backoff",
-                self.cache_quarantined, self.faults_injected, self.backoff_ms_total,
+                 {:.0} ms retry backoff, {} cache store failures",
+                self.cache_quarantined,
+                self.faults_injected,
+                self.backoff_ms_total,
+                self.cache_store_failures,
             )?;
         }
         Ok(())

@@ -30,7 +30,7 @@ use crate::job::Job;
 use crate::metrics::StageTimes;
 use crate::report::JobReport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -132,12 +132,47 @@ struct Task {
     submitted: Instant,
 }
 
+/// Liveness state one worker publishes for the watchdog: the time of its
+/// last sign of life (ms since the pool epoch) and whether it currently
+/// holds a job. Idle workers are parked in `recv()` and do not beat, so
+/// stall detection only ever considers busy workers.
+#[derive(Debug, Default)]
+struct WorkerStatus {
+    heartbeat_ms: AtomicU64,
+    busy: AtomicBool,
+}
+
+impl WorkerStatus {
+    fn beat(&self, epoch: Instant) {
+        self.heartbeat_ms
+            .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+}
+
+/// One worker's liveness as seen from outside the pool (the supervision
+/// layer's view; see [`WorkerPool::heartbeats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHeartbeat {
+    /// Worker index (matches the `tdsigma-job-worker-<i>` thread name).
+    pub worker: usize,
+    /// Whether the worker currently holds a job.
+    pub busy: bool,
+    /// Milliseconds since the worker last showed a sign of life. Only
+    /// meaningful for busy workers — an idle worker's clock keeps
+    /// counting from its last job.
+    pub age_ms: u64,
+}
+
 /// A fixed set of worker threads executing submitted jobs.
 pub struct WorkerPool {
     tx: Mutex<Option<mpsc::Sender<Task>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     cancel: Arc<AtomicBool>,
     workers: usize,
+    /// Per-worker liveness, indexed like the worker threads.
+    status: Vec<Arc<WorkerStatus>>,
+    /// The zero point the heartbeat clocks count from.
+    epoch: Instant,
 }
 
 impl WorkerPool {
@@ -153,15 +188,22 @@ impl WorkerPool {
         let (tx, rx) = mpsc::channel::<Task>();
         let rx = Arc::new(Mutex::new(rx));
         let cancel = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let status: Vec<Arc<WorkerStatus>> = (0..workers)
+            .map(|_| Arc::new(WorkerStatus::default()))
+            .collect();
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let cancel = Arc::clone(&cancel);
                 let runner = Arc::clone(&runner);
                 let config = config.clone();
+                let status = Arc::clone(&status[i]);
                 std::thread::Builder::new()
                     .name(format!("tdsigma-job-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &cancel, &runner, &config, faults))
+                    .spawn(move || {
+                        worker_loop(&rx, &cancel, &runner, &config, faults, &status, epoch)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -170,12 +212,42 @@ impl WorkerPool {
             handles: Mutex::new(handles),
             cancel,
             workers,
+            status,
+            epoch,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Every worker's liveness, for health endpoints and watchdogs.
+    pub fn heartbeats(&self) -> Vec<WorkerHeartbeat> {
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        self.status
+            .iter()
+            .enumerate()
+            .map(|(worker, s)| WorkerHeartbeat {
+                worker,
+                busy: s.busy.load(Ordering::Relaxed),
+                age_ms: now_ms.saturating_sub(s.heartbeat_ms.load(Ordering::Relaxed)),
+            })
+            .collect()
+    }
+
+    /// Number of workers that hold a job but have shown no sign of life
+    /// for longer than `threshold_ms` — the watchdog's definition of a
+    /// stalled worker. Idle workers never count (they beat only around
+    /// jobs). `threshold_ms == 0` disables detection.
+    pub fn stalled(&self, threshold_ms: u64) -> usize {
+        if threshold_ms == 0 {
+            return 0;
+        }
+        self.heartbeats()
+            .iter()
+            .filter(|h| h.busy && h.age_ms > threshold_ms)
+            .count()
     }
 
     /// Submits a job; the returned receiver yields exactly one
@@ -262,12 +334,15 @@ fn cancellable_sleep(ms: u64, cancel: &AtomicBool) -> f64 {
     started.elapsed().as_secs_f64() * 1e3
 }
 
+#[allow(clippy::too_many_lines)]
 fn worker_loop(
     rx: &Mutex<mpsc::Receiver<Task>>,
     cancel: &AtomicBool,
     runner: &Arc<Runner>,
     config: &PoolConfig,
     faults: FaultPlan,
+    status: &WorkerStatus,
+    epoch: Instant,
 ) {
     // Metric handles fetched once per worker: the per-job hot path below
     // is atomic adds only.
@@ -284,10 +359,13 @@ fn worker_loop(
             Err(_) => break, // queue closed: pool is shutting down
         };
         queue_wait.record(task.submitted.elapsed());
+        status.busy.store(true, Ordering::Relaxed);
+        status.beat(epoch);
         if cancel.load(Ordering::SeqCst) {
             let _ = task
                 .reply
                 .send(JobOutcome::terminal(Err(JobError::Canceled)));
+            status.busy.store(false, Ordering::Relaxed);
             continue;
         }
         let key = task.job.key();
@@ -309,6 +387,9 @@ fn worker_loop(
         };
         let outcome = loop {
             attempts += 1;
+            // One beat per attempt: retries of a live job keep the
+            // watchdog quiet; an attempt that hangs stops beating.
+            status.beat(epoch);
             let attempt_started = Instant::now();
             let injected = faults.attempt_fault(&key, attempts);
             let latency_ms = faults.attempt_latency_ms(&key, attempts);
@@ -430,6 +511,8 @@ fn worker_loop(
         };
         // A dropped receiver just means the caller stopped waiting.
         let _ = task.reply.send(outcome);
+        status.beat(epoch);
+        status.busy.store(false, Ordering::Relaxed);
     }
 }
 
@@ -774,6 +857,39 @@ mod tests {
         );
         let late = pool.submit(job_with_seed(99)).recv().unwrap();
         assert!(matches!(late.result, Err(JobError::PoolClosed)));
+    }
+
+    #[test]
+    fn heartbeats_expose_stalled_workers() {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 2,
+                retries: 0,
+                ..PoolConfig::default()
+            },
+            Arc::new(|job: &Job| {
+                if job.seed == 1 {
+                    // A "stalled" worker: holds the job far past the
+                    // watchdog threshold used below.
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        assert_eq!(pool.heartbeats().len(), 2);
+        assert_eq!(pool.stalled(50), 0, "idle pool has no stalls");
+
+        let slow = pool.submit(job_with_seed(1));
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(pool.stalled(50), 1, "the hung worker must be visible");
+        assert_eq!(pool.stalled(0), 0, "threshold 0 disables detection");
+        let busy: Vec<bool> = pool.heartbeats().iter().map(|h| h.busy).collect();
+        assert_eq!(busy.iter().filter(|&&b| b).count(), 1);
+
+        let _ = slow.recv().unwrap();
+        // The worker beat on completion; give the flag a moment to settle.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.stalled(50), 0, "recovered worker stops counting");
     }
 
     #[test]

@@ -28,14 +28,16 @@ use crate::job::{Job, JobKind};
 use crate::json::Json;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-/// Connection-hardening knobs. The defaults assume an untrusted LAN
-/// client: an idle or stalled peer is disconnected instead of pinning a
-/// thread forever, and a single frame cannot exhaust memory.
+/// Connection-hardening and supervision knobs. The defaults assume an
+/// untrusted LAN client: an idle or stalled peer is disconnected instead
+/// of pinning a thread forever, a single frame cannot exhaust memory,
+/// and a connection flood is rejected with a structured `busy` error
+/// instead of spawning unbounded threads.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Disconnect a connection that sends no complete frame for this
@@ -44,6 +46,12 @@ pub struct ServerConfig {
     /// Maximum accepted frame length, bytes; longer frames get a
     /// structured error and the connection is closed.
     pub max_line_bytes: usize,
+    /// Maximum concurrent connections; further connects get one
+    /// structured `busy` rejection line and are closed. 0 = unlimited.
+    pub max_connections: usize,
+    /// A busy worker silent for longer than this, ms, counts as stalled
+    /// in `health`/`ready` responses. 0 disables stall detection.
+    pub stall_threshold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -51,8 +59,18 @@ impl Default for ServerConfig {
         ServerConfig {
             idle_timeout_ms: 30_000,
             max_line_bytes: 64 * 1024,
+            max_connections: 64,
+            stall_threshold_ms: 30_000,
         }
     }
+}
+
+/// The supervision state `health`/`ready` report from: the live
+/// connection count plus the configured limits.
+struct Supervision {
+    active: Arc<AtomicUsize>,
+    max_connections: usize,
+    stall_threshold_ms: u64,
 }
 
 /// A running line-protocol server. One thread per connection; all
@@ -62,6 +80,7 @@ pub struct Server {
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
     config: ServerConfig,
+    active: Arc<AtomicUsize>,
 }
 
 impl Server {
@@ -90,7 +109,13 @@ impl Server {
             engine,
             stop: Arc::new(AtomicBool::new(false)),
             config,
+            active: Arc::new(AtomicUsize::new(0)),
         })
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
     }
 
     /// The bound address (needed when binding port 0).
@@ -117,12 +142,40 @@ impl Server {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
+            let Ok(mut stream) = stream else { continue };
+            // Connection cap: reject loudly instead of queueing silently,
+            // so a flooded client knows to back off (and the cap cannot
+            // be mistaken for a hang).
+            if self.config.max_connections > 0
+                && self.active.load(Ordering::SeqCst) >= self.config.max_connections
+            {
+                tdsigma_obs::counter("serve.busy_rejected").inc();
+                let busy = Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    (
+                        "error".into(),
+                        Json::Str(format!(
+                            "server busy: {} connections active (limit {})",
+                            self.active.load(Ordering::SeqCst),
+                            self.config.max_connections
+                        )),
+                    ),
+                    ("busy".into(), Json::Bool(true)),
+                ]);
+                let _ = stream.write_all(busy.to_text().as_bytes());
+                let _ = stream.write_all(b"\n");
+                continue; // dropping the stream closes it
+            }
+            let active = Arc::clone(&self.active);
+            let n = active.fetch_add(1, Ordering::SeqCst) + 1;
+            tdsigma_obs::gauge("serve.active_connections").set(n as f64);
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
             let config = self.config.clone();
             handles.push(thread::spawn(move || {
-                let _ = serve_connection(stream, &engine, &stop, addr, &config);
+                let _ = serve_connection(stream, &engine, &stop, addr, &config, &active);
+                let n = active.fetch_sub(1, Ordering::SeqCst) - 1;
+                tdsigma_obs::gauge("serve.active_connections").set(n as f64);
             }));
         }
         for h in handles {
@@ -176,7 +229,13 @@ fn serve_connection(
     stop: &AtomicBool,
     addr: SocketAddr,
     config: &ServerConfig,
+    active: &Arc<AtomicUsize>,
 ) -> io::Result<()> {
+    let supervision = Supervision {
+        active: Arc::clone(active),
+        max_connections: config.max_connections,
+        stall_threshold_ms: config.stall_threshold_ms,
+    };
     if config.idle_timeout_ms > 0 {
         let timeout = Some(Duration::from_millis(config.idle_timeout_ms));
         stream.set_read_timeout(timeout)?;
@@ -205,7 +264,7 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_line(line.trim(), engine);
+        let (response, shutdown) = handle_line(line.trim(), engine, &supervision);
         writer.write_all(response.to_text().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -222,7 +281,7 @@ fn serve_connection(
 
 /// Handles one request line; returns the response and whether the server
 /// should shut down afterwards.
-fn handle_line(line: &str, engine: &Engine) -> (Json, bool) {
+fn handle_line(line: &str, engine: &Engine, supervision: &Supervision) -> (Json, bool) {
     let request = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => return (error_response(&format!("malformed JSON: {e}")), false),
@@ -231,9 +290,14 @@ fn handle_line(line: &str, engine: &Engine) -> (Json, bool) {
         return match cmd.as_str() {
             Some("ping") => (ok_response(vec![("pong".into(), Json::Bool(true))]), false),
             Some("stats") => (stats_response(engine), false),
+            Some("health") => (health_response(engine, supervision), false),
+            Some("ready") => (ready_response(engine, supervision), false),
             Some("shutdown") => (ok_response(vec![("bye".into(), Json::Bool(true))]), true),
             _ => (
-                error_response("unknown command (expected \"ping\", \"stats\" or \"shutdown\")"),
+                error_response(
+                    "unknown command (expected \"ping\", \"stats\", \"health\", \"ready\" \
+                     or \"shutdown\")",
+                ),
                 false,
             ),
         };
@@ -262,6 +326,74 @@ fn error_response(message: &str) -> Json {
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(message.into())),
     ])
+}
+
+/// The liveness watchdog's verdict: worker heartbeats, connection
+/// pressure, and lifetime failure counts in one object. `status` is
+/// `"degraded"` the moment any busy worker goes silent past the stall
+/// threshold — the signal a supervisor alerts on.
+fn health_response(engine: &Engine, supervision: &Supervision) -> Json {
+    tdsigma_obs::counter("serve.health_checks").inc();
+    let beats = engine.heartbeats();
+    let busy = beats.iter().filter(|h| h.busy).count();
+    let max_age = beats
+        .iter()
+        .filter(|h| h.busy)
+        .map(|h| h.age_ms)
+        .max()
+        .unwrap_or(0);
+    let stalled = engine.stalled_workers(supervision.stall_threshold_ms);
+    let totals = engine.totals();
+    let status = if stalled > 0 { "degraded" } else { "ok" };
+    ok_response(vec![(
+        "health".into(),
+        Json::Obj(vec![
+            ("status".into(), Json::Str(status.into())),
+            ("workers".into(), Json::Num(beats.len() as f64)),
+            ("busy_workers".into(), Json::Num(busy as f64)),
+            ("stalled_workers".into(), Json::Num(stalled as f64)),
+            ("max_heartbeat_age_ms".into(), Json::Num(max_age as f64)),
+            (
+                "active_connections".into(),
+                Json::Num(supervision.active.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "max_connections".into(),
+                Json::Num(supervision.max_connections as f64),
+            ),
+            ("jobs".into(), Json::Num(totals.jobs as f64)),
+            ("failed".into(), Json::Num(totals.failed as f64)),
+            (
+                "cache_quarantined".into(),
+                Json::Num(engine.cache().quarantined() as f64),
+            ),
+        ]),
+    )])
+}
+
+/// Readiness: can this server usefully take another connection right
+/// now? False while any worker is stalled or the connection cap is
+/// reached, with a `reason` a load balancer can log.
+fn ready_response(engine: &Engine, supervision: &Supervision) -> Json {
+    tdsigma_obs::counter("serve.health_checks").inc();
+    let stalled = engine.stalled_workers(supervision.stall_threshold_ms);
+    let active = supervision.active.load(Ordering::SeqCst);
+    let at_cap = supervision.max_connections > 0 && active >= supervision.max_connections;
+    let reason = if stalled > 0 {
+        Some(format!("{stalled} worker(s) stalled"))
+    } else if at_cap {
+        Some(format!(
+            "connection limit reached ({active}/{})",
+            supervision.max_connections
+        ))
+    } else {
+        None
+    };
+    let mut fields = vec![("ready".into(), Json::Bool(reason.is_none()))];
+    if let Some(reason) = reason {
+        fields.push(("reason".into(), Json::Str(reason)));
+    }
+    ok_response(fields)
 }
 
 fn stats_response(engine: &Engine) -> Json {
@@ -491,14 +623,27 @@ mod tests {
         assert!(job_from_request(&v).is_err());
     }
 
+    fn test_supervision() -> Supervision {
+        Supervision {
+            active: Arc::new(AtomicUsize::new(0)),
+            max_connections: 64,
+            stall_threshold_ms: 30_000,
+        }
+    }
+
     #[test]
     fn handle_line_answers_commands_jobs_and_garbage() {
         let engine = test_engine();
-        let (r, stop) = handle_line(r#"{"cmd":"ping"}"#, &engine);
+        let sup = test_supervision();
+        let (r, stop) = handle_line(r#"{"cmd":"ping"}"#, &engine, &sup);
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
         assert!(!stop);
 
-        let (r, _) = handle_line(r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":2}"#, &engine);
+        let (r, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":2}"#,
+            &engine,
+            &sup,
+        );
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
         let sndr = r
             .get("report")
@@ -506,13 +651,178 @@ mod tests {
             .and_then(Json::as_f64);
         assert_eq!(sndr, Some(62.0));
 
-        let (r, _) = handle_line("this is not json", &engine);
+        let (r, _) = handle_line("this is not json", &engine, &sup);
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
         assert!(r.get("error").and_then(Json::as_str).is_some());
 
-        let (r, stop) = handle_line(r#"{"cmd":"shutdown"}"#, &engine);
+        let (r, stop) = handle_line(r#"{"cmd":"shutdown"}"#, &engine, &sup);
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
         assert!(stop);
+    }
+
+    #[test]
+    fn health_reports_ok_on_an_idle_engine() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        let (r, stop) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+        assert!(!stop);
+        let health = r.get("health").expect("health object");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("workers").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            health.get("stalled_workers").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            health.get("max_connections").and_then(Json::as_f64),
+            Some(64.0)
+        );
+    }
+
+    #[test]
+    fn health_degrades_and_ready_flips_when_a_worker_stalls() {
+        let runner: Arc<Runner> = Arc::new(|job: &Job| {
+            std::thread::sleep(Duration::from_millis(250));
+            Ok((
+                JobReport {
+                    key: job.key(),
+                    job: job.clone(),
+                    fin_hz: 1e6,
+                    sndr_db: 60.0,
+                    enob: 9.7,
+                    power_mw: None,
+                    digital_fraction: None,
+                    area_mm2: None,
+                    fom_fj: None,
+                    timing_slack_ps: None,
+                },
+                StageTimes::default(),
+            ))
+        });
+        let engine = Arc::new(
+            Engine::with_runner(
+                EngineConfig {
+                    pool: PoolConfig {
+                        workers: 1,
+                        retries: 0,
+                        ..PoolConfig::default()
+                    },
+                    cache_dir: None,
+                    faults: Default::default(),
+                },
+                runner,
+            )
+            .unwrap(),
+        );
+        let sup = Supervision {
+            active: Arc::new(AtomicUsize::new(0)),
+            max_connections: 64,
+            stall_threshold_ms: 50,
+        };
+        // Park the single worker in a slow job, then watch it trip the
+        // 50 ms watchdog while still running.
+        let engine2 = Arc::clone(&engine);
+        let bg = thread::spawn(move || engine2.submit_one(&Job::sim(40.0, 750e6, 5e6)));
+        std::thread::sleep(Duration::from_millis(150));
+        let (r, _) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+        let health = r.get("health").expect("health object");
+        assert_eq!(
+            health.get("status").and_then(Json::as_str),
+            Some("degraded")
+        );
+        assert_eq!(
+            health.get("stalled_workers").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let (r, _) = handle_line(r#"{"cmd":"ready"}"#, &engine, &sup);
+        assert_eq!(r.get("ready").and_then(Json::as_bool), Some(false));
+        assert!(r
+            .get("reason")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("stalled")));
+        bg.join().unwrap().unwrap();
+        // Recovered: back to ok/ready.
+        std::thread::sleep(Duration::from_millis(20));
+        let (r, _) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+        assert_eq!(
+            r.get("health")
+                .and_then(|h| h.get("status"))
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+        let (r, _) = handle_line(r#"{"cmd":"ready"}"#, &engine, &sup);
+        assert_eq!(r.get("ready").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn ready_reports_connection_pressure() {
+        let engine = test_engine();
+        let sup = Supervision {
+            active: Arc::new(AtomicUsize::new(2)),
+            max_connections: 2,
+            stall_threshold_ms: 30_000,
+        };
+        let (r, _) = handle_line(r#"{"cmd":"ready"}"#, &engine, &sup);
+        assert_eq!(r.get("ready").and_then(Json::as_bool), Some(false));
+        assert!(r
+            .get("reason")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("connection limit")));
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_structured_busy() {
+        let engine = test_engine();
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.run().unwrap());
+
+        // First connection occupies the single slot.
+        let mut first = TcpStream::connect(addr).unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        first.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+        let mut pong = String::new();
+        first_reader.read_line(&mut pong).unwrap();
+        assert!(pong.contains("pong"), "slot holder must be served: {pong}");
+
+        // Second connection is told why it was turned away, then closed.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(second).read_line(&mut line).unwrap();
+        let busy = Json::parse(line.trim()).unwrap();
+        assert_eq!(busy.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(busy.get("busy").and_then(Json::as_bool), Some(true));
+        assert!(busy
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("busy")));
+
+        // Free the slot, then shut down cleanly (retry while the server
+        // notices the first connection closing).
+        drop(first_reader);
+        drop(first);
+        let bye = loop {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            stream.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let response = Json::parse(line.trim()).unwrap();
+            if response.get("busy").and_then(Json::as_bool) != Some(true) {
+                break response;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
     }
 
     #[test]

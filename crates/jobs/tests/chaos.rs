@@ -114,7 +114,7 @@ fn is_structured(e: &JobError) -> bool {
             | JobError::Timeout { .. }
             | JobError::Canceled
             | JobError::PoolClosed
-            | JobError::Io(_)
+            | JobError::Io { .. }
     ) && !e.to_string().is_empty()
 }
 
@@ -289,6 +289,7 @@ fn serve_disconnects_idle_connections_and_stays_up() {
             ServerConfig {
                 idle_timeout_ms: 150,
                 max_line_bytes: 4096,
+                ..ServerConfig::default()
             },
         )
         .expect("bind");
@@ -351,6 +352,7 @@ fn serve_bounds_frame_length_and_survives_hostile_frames() {
             ServerConfig {
                 idle_timeout_ms: 2_000,
                 max_line_bytes: 1024,
+                ..ServerConfig::default()
             },
         )
         .expect("bind");

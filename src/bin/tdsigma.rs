@@ -7,8 +7,11 @@
 //!                [--bw-mhz 5] [--kind sim] [--samples 8192] [--seed 2017]
 //!                [--workers N] [--retries 1] [--cache-dir results/cache]
 //!                [--no-cache] [--trace results/trace/sweep.jsonl] [--out results]
+//!                [--run-id ID] [--journal-dir results/journal] [--no-journal]
+//!                [--resume ID]
 //! tdsigma serve  [--addr 127.0.0.1:4017] [--workers N] [--retries 1]
 //!                [--cache-dir results/cache] [--no-cache] [--trace FILE]
+//!                [--max-connections 64]
 //! tdsigma nodes
 //! tdsigma help
 //! ```
@@ -19,7 +22,12 @@
 //!
 //! `sweep` runs a grid of configurations (node × slices × fs × amplitude)
 //! through the parallel job engine: results are cached under
-//! `results/cache/` and bit-identical regardless of `--workers`.
+//! `results/cache/` and bit-identical regardless of `--workers`. Every
+//! sweep also writes a crash-recovery journal (`results/journal/<run-id>.jsonl`
+//! unless `--no-journal`); a killed sweep is finished by
+//! `tdsigma sweep --resume <run-id>`, which re-executes only the jobs the
+//! journal does not record as complete and writes a `sweep.json`
+//! bit-identical to an uninterrupted run.
 //!
 //! `serve` exposes the same engine over TCP — one JSON job request per
 //! line in, one JSON report per line out (see `crates/jobs/src/server.rs`
@@ -38,7 +46,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
 use tdsigma::jobs::{
-    default_workers, Engine, EngineConfig, FaultPlan, Job, JobKind, PoolConfig, Server,
+    default_workers, validate_run_id, Engine, EngineConfig, FaultPlan, Job, JobKind, Journal,
+    JournalRecord, Json, PoolConfig, Server, ServerConfig,
 };
 use tdsigma::layout::physlib::PhysicalLibrary;
 use tdsigma::layout::{gds, lef, render};
@@ -93,16 +102,25 @@ fn print_help() {
     println!("                 [--amps 0.79] [--bw-mhz B] [--kind sim|flow]");
     println!("                 [--samples K] [--seed S] [--workers W] [--retries R]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE] [--out DIR]");
-    println!("                                                run a cached parallel grid");
+    println!("                 [--run-id ID] [--journal-dir DIR] [--no-journal]");
+    println!("                 [--resume ID]                   run a cached parallel grid");
     println!("  tdsigma serve  [--addr HOST:PORT] [--workers W] [--retries R]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE]");
-    println!("                                                JSON-lines job server");
+    println!("                 [--max-connections N]           JSON-lines job server");
     println!("  tdsigma nodes                                 list technology nodes");
     println!("  tdsigma help | --help | -h                    this message");
     println!("  tdsigma version | --version | -V              print the version");
     println!();
     println!("DEFAULTS: --node 40 --fs-mhz 750 --bw-mhz 5 --slices 8 --samples 16384");
     println!("          --out results --cache-dir results/cache --addr 127.0.0.1:4017");
+    println!("          --journal-dir results/journal --max-connections 64");
+    println!();
+    println!("CRASH RECOVERY: every sweep writes a write-ahead journal; after a crash,");
+    println!("  `tdsigma sweep --resume ID` finishes the run without redoing completed");
+    println!("  jobs and writes a bit-identical sweep.json.");
+    println!("EXIT CODES (sweep): 0 = every job succeeded; 1 = degraded (some jobs");
+    println!("  failed — sweep.json carries their structured failure records) or a");
+    println!("  fatal setup/journal error.");
 }
 
 /// Parsed command line: `--key value` pairs plus bare `--switch` flags.
@@ -112,7 +130,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 1] = ["no-cache"];
+const SWITCHES: [&str; 2] = ["no-cache", "no-journal"];
 
 /// The flags each subcommand accepts (anything else is an error).
 const DESIGN_FLAGS: &[&str] = &["node", "fs-mhz", "bw-mhz", "slices", "samples", "out"];
@@ -131,6 +149,11 @@ const SWEEP_FLAGS: &[&str] = &[
     "no-cache",
     "trace",
     "out",
+    // Crash recovery: the write-ahead journal and resume-on-restart.
+    "run-id",
+    "journal-dir",
+    "resume",
+    "no-journal",
     // Hidden: deterministic fault injection for resilience testing.
     // Not listed in `tdsigma help` on purpose.
     "chaos-seed",
@@ -142,6 +165,7 @@ const SERVE_FLAGS: &[&str] = &[
     "cache-dir",
     "no-cache",
     "trace",
+    "max-connections",
     "chaos-seed",
 ];
 
@@ -391,6 +415,16 @@ fn run_sweep(flags: &Flags) -> ExitCode {
     }
 }
 
+/// A fresh run id: unique enough for a journal filename, and valid under
+/// the journal's run-id rules.
+fn generate_run_id() -> String {
+    let millis = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    format!("sweep-{millis}-{}", std::process::id())
+}
+
 fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let nodes = flags.f64_list("nodes", &[40.0, 180.0])?;
     let slices = flags.f64_list("slices", &[4.0, 8.0])?;
@@ -405,47 +439,92 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let samples = flags.usize("samples", 8_192)?;
     let seed = flags.usize("seed", 2017)? as u64;
     let out = flags.str("out", "results");
+    let journal_dir = flags.str("journal-dir", "results/journal");
     let trace = enable_trace(flags)?;
 
-    let mut jobs = Vec::new();
-    for &node in &nodes {
-        for &n_slices in &slices {
-            for &fs_mhz in &fs_list {
-                for &amp in &amps {
-                    let mut job = match kind {
-                        JobKind::SimTone => Job::sim(node, fs_mhz * 1e6, bw_mhz * 1e6),
-                        JobKind::FullFlow => Job::flow(node, fs_mhz * 1e6, bw_mhz * 1e6),
-                    };
-                    job.slices = n_slices as usize;
-                    job.amplitude_rel = amp;
-                    job.samples = samples;
-                    job.seed = seed;
-                    jobs.push(job);
+    // Resume replaces the grid with the journaled plan; a fresh run
+    // builds the grid and (unless --no-journal) opens a new journal.
+    let resume_id = flags.values.get("resume").cloned();
+    let (jobs, run_id, mut journal) = if let Some(run_id) = resume_id {
+        validate_run_id(&run_id)?;
+        let replay = Journal::replay(&journal_dir, &run_id)?;
+        if replay.torn_tail {
+            eprintln!(
+                "warning: journal for {run_id} ends in a torn record \
+                 (crash mid-append) — replaying the intact prefix"
+            );
+        }
+        if replay.jobs.is_empty() {
+            return Err(
+                format!("journal for {run_id} holds no batch plan — nothing to resume").into(),
+            );
+        }
+        let complete = replay
+            .jobs
+            .iter()
+            .filter(|j| replay.finished.contains(&j.key()))
+            .count();
+        println!(
+            "resuming run {run_id}: {complete} of {} jobs journaled complete, \
+             {} degraded, resume #{}",
+            replay.jobs.len(),
+            replay.degraded.len(),
+            replay.resumes + 1
+        );
+        let mut journal = Journal::open_existing(&journal_dir, &run_id)?;
+        journal.append(&JournalRecord::Resumed {
+            completed: complete as u64,
+        })?;
+        (replay.jobs, run_id, Some(journal))
+    } else {
+        let mut jobs = Vec::new();
+        for &node in &nodes {
+            for &n_slices in &slices {
+                for &fs_mhz in &fs_list {
+                    for &amp in &amps {
+                        let mut job = match kind {
+                            JobKind::SimTone => Job::sim(node, fs_mhz * 1e6, bw_mhz * 1e6),
+                            JobKind::FullFlow => Job::flow(node, fs_mhz * 1e6, bw_mhz * 1e6),
+                        };
+                        job.slices = n_slices as usize;
+                        job.amplitude_rel = amp;
+                        job.samples = samples;
+                        job.seed = seed;
+                        jobs.push(job);
+                    }
                 }
             }
         }
-    }
+        let run_id = flags.str("run-id", &generate_run_id());
+        validate_run_id(&run_id)?;
+        let journal = if flags.switch("no-journal") {
+            None
+        } else {
+            Some(Journal::create(&journal_dir, &run_id)?)
+        };
+        (jobs, run_id, journal)
+    };
 
     let engine = engine_from_flags(flags)?;
     println!(
-        "sweep: {} jobs ({} nodes × {} slices × {} clocks × {} amplitudes) on {} workers",
+        "sweep {run_id}: {} jobs on {} workers (journal: {})",
         jobs.len(),
-        nodes.len(),
-        slices.len(),
-        fs_list.len(),
-        amps.len(),
         engine.workers(),
+        journal
+            .as_ref()
+            .map_or("off".to_string(), |j| j.path().display().to_string()),
     );
-    let batch = engine.run_batch(&jobs);
+    let batch = engine.run_batch_with_journal(&jobs, journal.as_mut())?;
 
     println!("{}", tdsigma::jobs::JobReport::table_header());
     let mut failed = 0usize;
-    let mut artifact = Vec::new();
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
     for (job, result) in jobs.iter().zip(&batch.results) {
         match result {
             Ok(report) => {
                 println!("{}", report.table_row());
-                artifact.push(report.to_json());
+                reports.push(report.to_json());
             }
             Err(e) => {
                 failed += 1;
@@ -455,6 +534,11 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
                     job.slices,
                     job.fs_hz / 1e6
                 );
+                failures.push(Json::Obj(vec![
+                    ("job".into(), job.to_json()),
+                    ("error".into(), Json::Str(e.to_string())),
+                    ("retryable".into(), Json::Bool(e.is_retryable())),
+                ]));
             }
         }
     }
@@ -465,15 +549,31 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         println!("wrote trace → {path}");
     }
 
+    // The artifact is a pure function of (run id, per-job results), so a
+    // resumed run writes bytes identical to an uninterrupted one.
+    let artifact = Json::Obj(vec![
+        ("run_id".into(), Json::Str(run_id.clone())),
+        ("jobs".into(), Json::Num(jobs.len() as f64)),
+        ("failed".into(), Json::Num(failed as f64)),
+        ("reports".into(), Json::Arr(reports)),
+        ("failures".into(), Json::Arr(failures)),
+    ]);
     let out = Path::new(&out);
     fs::create_dir_all(out)?;
     let path = out.join("sweep.json");
-    fs::write(&path, tdsigma::jobs::Json::Arr(artifact).to_text() + "\n")?;
+    fs::write(&path, artifact.to_text() + "\n")?;
     println!(
         "wrote {} reports → {}",
         batch.results.len() - failed,
         path.display()
     );
+    if failed > 0 {
+        eprintln!(
+            "degraded: {failed} of {} jobs failed — resume with: \
+             tdsigma sweep --resume {run_id} --journal-dir {journal_dir}",
+            jobs.len()
+        );
+    }
     Ok(failed)
 }
 
@@ -494,18 +594,25 @@ fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let addr = flags.str("addr", "127.0.0.1:4017");
     let trace = enable_trace(flags)?;
     let engine = Arc::new(engine_from_flags(flags)?);
-    let server = Server::bind(addr.as_str(), Arc::clone(&engine))?;
+    let server_config = ServerConfig {
+        max_connections: flags.usize("max-connections", ServerConfig::default().max_connections)?,
+        ..ServerConfig::default()
+    };
+    let max_connections = server_config.max_connections;
+    let server = Server::bind_with(addr.as_str(), Arc::clone(&engine), server_config)?;
     println!(
-        "tdsigma serve: listening on {} ({} workers, cache: {})",
+        "tdsigma serve: listening on {} ({} workers, cache: {}, max {} connections)",
         server.local_addr()?,
         engine.workers(),
         engine
             .cache()
             .disk_dir()
             .map_or("memory only".to_string(), |d| d.display().to_string()),
+        max_connections,
     );
     println!("protocol: one JSON job request per line, one JSON report per line back");
     println!(r#"example: {{"kind":"sim","node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}}"#);
+    println!(r#"supervision: {{"cmd":"health"}} and {{"cmd":"ready"}} report liveness"#);
     server.run()?;
     // Graceful drain: in-flight jobs finish, queued work is cancelled,
     // worker threads are joined before we report totals.

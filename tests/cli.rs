@@ -41,6 +41,7 @@ fn version_flag_prints_version() {
 fn sweep_runs_grid_and_writes_artifact() {
     let dir = std::env::temp_dir().join("tdsigma_cli_sweep_test");
     let _ = std::fs::remove_dir_all(&dir);
+    let journal_dir = dir.join("journal");
     let out = Command::new(bin())
         .args([
             "sweep",
@@ -53,6 +54,10 @@ fn sweep_runs_grid_and_writes_artifact() {
             "--workers",
             "2",
             "--no-cache",
+            "--run-id",
+            "cli-smoke",
+            "--journal-dir",
+            journal_dir.to_str().expect("utf8 temp path"),
             "--out",
             dir.to_str().expect("utf8 temp path"),
         ])
@@ -67,8 +72,17 @@ fn sweep_runs_grid_and_writes_artifact() {
     assert!(text.contains("SNDR[dB]"), "table header missing: {text}");
     assert!(text.contains("2 jobs"), "metrics missing: {text}");
     let json = std::fs::read_to_string(dir.join("sweep.json")).expect("artifact");
-    assert!(json.trim_start().starts_with('['));
+    assert!(
+        json.trim_start().starts_with('{'),
+        "object artifact: {json}"
+    );
+    assert!(json.contains("\"run_id\":\"cli-smoke\""), "{json}");
+    assert!(json.contains("\"reports\""), "{json}");
     assert!(json.contains("\"sndr_db\""));
+    assert!(
+        journal_dir.join("cli-smoke.jsonl").exists(),
+        "sweep must write its journal"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

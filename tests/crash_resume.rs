@@ -1,0 +1,202 @@
+//! Kill -9 a sweep mid-run, then resume it.
+//!
+//! The crash-safety contract under test (see DESIGN.md):
+//!   1. a resumed run re-executes only jobs with no `job_finished`
+//!      journal record — completed work is absorbed from the cache;
+//!   2. the final `sweep.json` is byte-identical to an uninterrupted
+//!      run of the same grid;
+//!   3. a journal whose final record was torn by the crash replays
+//!      cleanly (with a warning) instead of failing.
+//!
+//! The test drives the real binary: a control run establishes the
+//! expected artifact, a second run is SIGKILLed once its journal shows
+//! progress, the journal tail is deliberately mangled, and the resume
+//! must reconcile and finish.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tdsigma")
+}
+
+const RUN_ID: &str = "crash-resume-it";
+/// Large enough that each of the 4 jobs runs for over a second in an
+/// unoptimized build, so the poll loop below always catches the sweep
+/// mid-flight.
+const SAMPLES: &str = "262144";
+
+/// Common sweep arguments rooted at `base`: a 2x2 grid with all state
+/// (cache, journal, artifact) confined to the temp directory.
+fn sweep_args(base: &Path, workers: &str) -> Vec<String> {
+    [
+        "sweep",
+        "--nodes",
+        "40,180",
+        "--slices",
+        "1,2",
+        "--samples",
+        SAMPLES,
+        "--workers",
+        workers,
+        "--run-id",
+        RUN_ID,
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([
+        "--journal-dir".into(),
+        base.join("journal").to_string_lossy().into_owned(),
+        "--cache-dir".into(),
+        base.join("cache").to_string_lossy().into_owned(),
+        "--out".into(),
+        base.to_string_lossy().into_owned(),
+    ])
+    .collect()
+}
+
+fn journal_path(base: &Path) -> PathBuf {
+    base.join("journal").join(format!("{RUN_ID}.jsonl"))
+}
+
+fn finished_records(journal: &Path) -> usize {
+    std::fs::read_to_string(journal)
+        .map(|text| text.matches("\"t\":\"job_finished\"").count())
+        .unwrap_or(0)
+}
+
+/// Pulls the count preceding `marker` out of the metrics line, e.g.
+/// `2` from `"... — 2 executed, 2 cache hits ..."`.
+fn metric(stdout: &str, marker: &str) -> usize {
+    let tokens: Vec<&str> = stdout.split_whitespace().collect();
+    for i in 1..tokens.len() {
+        if tokens[i].trim_end_matches(',') == marker {
+            if let Ok(n) = tokens[i - 1].parse() {
+                return n;
+            }
+        }
+    }
+    panic!("no {marker:?} metric in output:\n{stdout}");
+}
+
+#[test]
+fn kill9_mid_sweep_then_resume_reproduces_the_report() {
+    let root = std::env::temp_dir().join(format!("tdsigma_crash_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let control = root.join("control");
+    let crashed = root.join("crashed");
+    std::fs::create_dir_all(&control).expect("mkdir control");
+    std::fs::create_dir_all(&crashed).expect("mkdir crashed");
+
+    // Control: the same grid, uninterrupted, in its own cache/journal.
+    let out = Command::new(bin())
+        .args(sweep_args(&control, "2"))
+        .output()
+        .expect("control run spawns");
+    assert!(
+        out.status.success(),
+        "control run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = std::fs::read(control.join("sweep.json")).expect("control artifact");
+
+    // Crash run: one worker serializes the jobs, so killing after the
+    // first `job_finished` record is guaranteed to strand later jobs.
+    let mut child = Command::new(bin())
+        .args(sweep_args(&crashed, "1"))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("crash run spawns");
+    let journal = journal_path(&crashed);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let finished_before_kill = loop {
+        let done = finished_records(&journal);
+        if done >= 1 {
+            break done;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("sweep exited ({status:?}) before the test could kill it — raise SAMPLES");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no journal progress within 120 s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    child.kill().expect("SIGKILL");
+    let status = child.wait().expect("reap");
+    assert!(!status.success(), "killed process cannot report success");
+    assert!(
+        finished_before_kill < 4,
+        "all 4 jobs finished before the kill; nothing was interrupted"
+    );
+
+    // A crash can also tear the final journal record mid-append. Mangle
+    // the tail so the resume exercises torn-record tolerance too.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("journal exists");
+        f.write_all(b"{\"crc64\":\"dead\",\"rec\":{\"t\":\"job_fin")
+            .expect("append torn tail");
+    }
+
+    // Resume: journaled-complete jobs must come back as cache hits.
+    let out = Command::new(bin())
+        .args([
+            "sweep",
+            "--resume",
+            RUN_ID,
+            "--journal-dir",
+            &crashed.join("journal").to_string_lossy(),
+            "--cache-dir",
+            &crashed.join("cache").to_string_lossy(),
+            "--out",
+            &crashed.to_string_lossy(),
+            "--workers",
+            "2",
+        ])
+        .output()
+        .expect("resume run spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "resume failed:\n{stdout}\n{stderr}");
+    assert!(
+        stderr.contains("torn record"),
+        "torn tail must be reported: {stderr}"
+    );
+    assert!(
+        stdout.contains(&format!("resuming run {RUN_ID}")),
+        "resume banner missing: {stdout}"
+    );
+
+    // No recompute: every job journaled complete before the kill was
+    // served from the cache, so at most (4 - finished) executed.
+    let executed = metric(&stdout, "executed");
+    let hits = metric(&stdout, "cache");
+    assert!(
+        hits >= finished_before_kill,
+        "{hits} cache hits < {finished_before_kill} journaled-complete jobs:\n{stdout}"
+    );
+    assert!(
+        executed <= 4 - finished_before_kill,
+        "resume re-executed journaled-complete work \
+         ({executed} executed, {finished_before_kill} already finished):\n{stdout}"
+    );
+    assert_eq!(executed + hits, 4, "every planned job accounted for");
+
+    // Bit-identical artifact: resume converges on the control bytes.
+    let resumed = std::fs::read(crashed.join("sweep.json")).expect("resumed artifact");
+    assert_eq!(
+        resumed,
+        expected,
+        "resumed sweep.json differs from uninterrupted run:\n{}",
+        String::from_utf8_lossy(&resumed)
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
