@@ -1,0 +1,737 @@
+//! Multi-backend dispatch: failover, circuit breakers, local fallback.
+//!
+//! The [`Dispatcher`] turns a fleet of `tdsigma serve` backends into one
+//! [`Runner`]: plug it into [`crate::Engine::with_runner`] and every existing
+//! engine feature — content-addressed cache, write-ahead journal,
+//! `--resume`, batch metrics — works over the network unchanged, because
+//! a [`crate::JobReport`] is a pure function of its [`Job`] no matter
+//! which machine computed it.
+//!
+//! The failure policy, in order:
+//!
+//! 1. **Rotation.** Jobs round-robin across backends whose breaker
+//!    admits them (plus local, when `local` was listed as a member).
+//! 2. **Failover.** A backend-class failure ([`RemoteError::Backend`])
+//!    records against that backend's breaker and the job immediately
+//!    moves to the next candidate. A job-class rejection
+//!    ([`RemoteError::Job`]) is deterministic — every backend would
+//!    answer the same — so it propagates without burning the fleet.
+//! 3. **Circuit breaker.** After [`BreakerConfig::failure_threshold`]
+//!    consecutive failures a backend's breaker opens and the rotation
+//!    skips it; after [`BreakerConfig::cooldown_ms`] one half-open probe
+//!    job is admitted — success re-closes the breaker, failure re-opens
+//!    it for another cooldown. This keeps a dead peer from taxing every
+//!    job with a connect timeout.
+//! 4. **Hedging** (optional, off by default). When a dispatched job has
+//!    produced nothing within `hedge_ms`, the same job is also sent to
+//!    the next admitted backend and the first answer wins. Safe because
+//!    jobs are deterministic and cached: a duplicate execution wastes
+//!    cycles, never correctness.
+//! 5. **Local fallback.** When every backend is down or skipped, the
+//!    job runs in-process on the wrapped local runner. A sweep never
+//!    fails solely because the fleet did; the degradation is counted
+//!    (`dispatch.local_fallback`) and warned once on stderr.
+//!
+//! Per-backend instrumentation lands in `tdsigma-obs` under
+//! `dispatch.<addr>.…`: `dispatched`/`failed`/`retried`/`hedged`
+//! counters, a `breaker` gauge (0 = closed, 1 = half-open, 2 = open)
+//! and an `rtt` histogram. [`Dispatcher::summary`] snapshots the same
+//! numbers for end-of-sweep reporting.
+
+use crate::error::JobError;
+use crate::faults::FaultPlan;
+use crate::job::Job;
+use crate::metrics::{BackendDispatchStats, DispatchSummary, StageTimes};
+use crate::pool::Runner;
+use crate::remote::{BackendHealth, RemoteClient, RemoteConfig, RemoteError};
+use crate::report::JobReport;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive backend-class failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before admitting one half-open
+    /// probe, ms.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 5_000,
+        }
+    }
+}
+
+/// Where a breaker currently stands. Reported as a gauge: closed = 0,
+/// half-open = 1, open = 2 — higher is worse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Cooling down; everything is rejected until the cooldown elapses.
+    Open,
+    /// One probe is in flight; its outcome decides open vs closed.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The gauge encoding (0/1/2, higher is worse).
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A per-backend circuit breaker.
+///
+/// `admit` is a *claim*, not a query: when it returns `true` the caller
+/// has committed to one attempt and must follow up with exactly one
+/// `record_success` or `record_failure` — in the half-open state the
+/// admitted call *is* the probe, and a second caller is rejected until
+/// the probe reports back.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        // Nothing in here panics while holding the guard, but recover
+        // from poisoning anyway: the state is a plain value with no
+        // multi-step invariant.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims permission for one attempt (see the type docs).
+    pub fn admit(&self) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false, // a probe is already out
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_none_or(|t| t.elapsed() >= Duration::from_millis(self.config.cooldown_ms));
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    true // this caller carries the probe
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful attempt: closes the breaker and clears the
+    /// failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Reports a failed attempt: extends the streak and opens the
+    /// breaker at the threshold (a failed half-open probe re-opens it
+    /// immediately).
+    pub fn record_failure(&self) {
+        let mut inner = self.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = inner.state == BreakerState::HalfOpen
+            || inner.consecutive_failures >= self.config.failure_threshold;
+        if trip {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+        }
+    }
+
+    /// The current state (for gauges and tests).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+}
+
+/// Dispatcher tuning: the fleet plus the failure policy.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchConfig {
+    /// Backend addresses (`host:port`), in rotation order.
+    pub backends: Vec<String>,
+    /// Whether `local` was listed as a fleet member: in-process
+    /// execution joins the rotation instead of being only the
+    /// last-resort fallback.
+    pub local_in_rotation: bool,
+    /// Connection deadlines shared by every backend client.
+    pub remote: RemoteConfig,
+    /// Per-backend breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Hedge delay, ms; 0 disables hedging.
+    pub hedge_ms: u64,
+    /// Deterministic network-fault injection for chaos runs.
+    pub faults: FaultPlan,
+}
+
+/// One backend plus its breaker and instrumentation.
+struct Backend {
+    client: RemoteClient,
+    breaker: CircuitBreaker,
+}
+
+impl Backend {
+    fn gauge(&self) {
+        tdsigma_obs::gauge(&format!("dispatch.{}.breaker", self.client.addr()))
+            .set(self.breaker.state().gauge_value());
+    }
+
+    /// One full attempt: counters, RTT, breaker bookkeeping.
+    fn attempt(&self, job: &Job) -> Result<JobReport, RemoteError> {
+        let addr = self.client.addr();
+        tdsigma_obs::counter(&format!("dispatch.{addr}.dispatched")).inc();
+        let start = Instant::now();
+        let result = self.client.run_job(job);
+        tdsigma_obs::histogram(&format!("dispatch.{addr}.rtt")).record(start.elapsed());
+        match &result {
+            // A job-class rejection means the backend held up its end of
+            // the protocol: the breaker records success.
+            Ok(_) | Err(RemoteError::Job(_)) => self.breaker.record_success(),
+            Err(RemoteError::Backend(_)) => {
+                tdsigma_obs::counter(&format!("dispatch.{addr}.failed")).inc();
+                self.breaker.record_failure();
+            }
+        }
+        self.gauge();
+        result
+    }
+}
+
+/// The candidates one job rotates through.
+enum Candidate {
+    Remote(usize),
+    Local,
+}
+
+/// A fleet of backends behind a [`Runner`]-shaped interface.
+pub struct Dispatcher {
+    backends: Vec<Arc<Backend>>,
+    local: Arc<Runner>,
+    local_in_rotation: bool,
+    hedge_ms: u64,
+    rotation: AtomicUsize,
+    fallback_warned: AtomicBool,
+    local_fallbacks: AtomicUsize,
+}
+
+impl Dispatcher {
+    /// Builds a dispatcher over `config.backends`, with `local` as the
+    /// in-process runner (rotation member or last-resort fallback).
+    pub fn new(config: &DispatchConfig, local: Arc<Runner>) -> Arc<Self> {
+        let backends = config
+            .backends
+            .iter()
+            .map(|addr| {
+                Arc::new(Backend {
+                    client: RemoteClient::with_config(addr.clone(), config.remote.clone())
+                        .with_faults(config.faults),
+                    breaker: CircuitBreaker::new(config.breaker.clone()),
+                })
+            })
+            .collect();
+        Arc::new(Dispatcher {
+            backends,
+            local,
+            local_in_rotation: config.local_in_rotation,
+            hedge_ms: config.hedge_ms,
+            rotation: AtomicUsize::new(0),
+            fallback_warned: AtomicBool::new(false),
+            local_fallbacks: AtomicUsize::new(0),
+        })
+    }
+
+    /// Health-checks every backend once (the startup probe). Returns
+    /// `(addr, health)` per backend; `None` marks an unreachable peer —
+    /// which also seeds its breaker with a failure, so a fleet that is
+    /// down at startup stops being retried almost immediately.
+    pub fn probe(&self) -> Vec<(String, Option<BackendHealth>)> {
+        self.backends
+            .iter()
+            .map(|b| {
+                let health = match b.client.health() {
+                    Ok(h) => {
+                        b.breaker.record_success();
+                        Some(h)
+                    }
+                    Err(_) => {
+                        b.breaker.record_failure();
+                        None
+                    }
+                };
+                b.gauge();
+                (b.client.addr().to_string(), health)
+            })
+            .collect()
+    }
+
+    /// Wraps this dispatcher as the engine's [`Runner`].
+    pub fn into_runner(self: &Arc<Self>) -> Arc<Runner> {
+        let this = Arc::clone(self);
+        Arc::new(move |job: &Job| this.run_job(job))
+    }
+
+    /// Executes one job somewhere: rotation → failover → breaker →
+    /// hedge → local fallback, per the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Only job-class errors surface (a deterministic rejection, or the
+    /// local runner's own failure after every backend was exhausted) —
+    /// never "a backend was down".
+    pub fn run_job(&self, job: &Job) -> Result<(JobReport, StageTimes), JobError> {
+        let candidates = self.rotation(job);
+        let mut local_tried = false;
+        for (slot, candidate) in candidates.iter().enumerate() {
+            match candidate {
+                Candidate::Local => {
+                    local_tried = true;
+                    match (self.local)(job) {
+                        Ok(out) => return Ok(out),
+                        // In rotation, a local failure fails over to the
+                        // remotes like any other backend-class failure —
+                        // unless it is deterministic.
+                        Err(e) if e.is_retryable() => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Candidate::Remote(i) => {
+                    let backend = &self.backends[*i];
+                    if !backend.breaker.admit() {
+                        backend.gauge();
+                        continue;
+                    }
+                    let result = if self.hedge_ms > 0 {
+                        self.hedged_attempt(
+                            backend,
+                            self.next_admitted(&candidates[slot + 1..]),
+                            job,
+                        )
+                    } else {
+                        backend.attempt(job)
+                    };
+                    match result {
+                        Ok(report) => return Ok((report, StageTimes::default())),
+                        Err(RemoteError::Job(e)) => return Err(e),
+                        Err(RemoteError::Backend(_)) => {
+                            if slot + 1 < candidates.len() {
+                                tdsigma_obs::counter(&format!(
+                                    "dispatch.{}.retried",
+                                    backend.client.addr()
+                                ))
+                                .inc();
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        if local_tried {
+            // Local already ran (and failed retryably) as a rotation
+            // member; re-running it cannot go better.
+            return Err(JobError::Failed {
+                attempts: 1,
+                message: "every backend (including local) failed".into(),
+            });
+        }
+        self.local_fallback(job)
+    }
+
+    /// Claims the first still-admissible backend among `rest` as a
+    /// hedge target.
+    fn next_admitted(&self, rest: &[Candidate]) -> Option<Arc<Backend>> {
+        for candidate in rest {
+            if let Candidate::Remote(i) = candidate {
+                let backend = &self.backends[*i];
+                if backend.breaker.admit() {
+                    return Some(Arc::clone(backend));
+                }
+            }
+        }
+        None
+    }
+
+    /// Sends the job to `primary`; if no answer lands within `hedge_ms`
+    /// and a hedge target was claimed, sends it there too and takes the
+    /// first answer. Deterministic jobs make the duplicate execution
+    /// harmless.
+    fn hedged_attempt(
+        &self,
+        primary: &Arc<Backend>,
+        hedge: Option<Arc<Backend>>,
+        job: &Job,
+    ) -> Result<JobReport, RemoteError> {
+        let (tx, rx) = mpsc::channel();
+        let spawn = |backend: Arc<Backend>, tx: mpsc::Sender<Result<JobReport, RemoteError>>| {
+            let job = job.clone();
+            std::thread::spawn(move || {
+                // The receiver may have taken an earlier answer and gone
+                // away; the loser's send failing is expected.
+                let _ = tx.send(backend.attempt(&job));
+            });
+        };
+        spawn(Arc::clone(primary), tx.clone());
+        let mut in_flight = 1;
+        let first = match rx.recv_timeout(Duration::from_millis(self.hedge_ms)) {
+            Ok(result) => result,
+            Err(_) => {
+                if let Some(hedge) = hedge {
+                    tdsigma_obs::counter(&format!("dispatch.{}.hedged", hedge.client.addr())).inc();
+                    spawn(hedge, tx.clone());
+                    in_flight += 1;
+                }
+                drop(tx);
+                match rx.recv() {
+                    Ok(result) => result,
+                    Err(_) => return Err(RemoteError::Backend("hedge channel closed".into())),
+                }
+            }
+        };
+        // An admitted-but-unneeded hedge was never spawned, so `rx` has
+        // at most one more answer. Prefer any success over an error.
+        if first.is_ok() {
+            return first;
+        }
+        for _ in 1..in_flight {
+            if let Ok(result) = rx.recv() {
+                if result.is_ok() || matches!(result, Err(RemoteError::Job(_))) {
+                    return result;
+                }
+            }
+        }
+        first
+    }
+
+    /// Last-resort in-process execution, counted and warned once.
+    fn local_fallback(&self, job: &Job) -> Result<(JobReport, StageTimes), JobError> {
+        self.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+        tdsigma_obs::counter("dispatch.local_fallback").inc();
+        if !self.fallback_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: all {} backend(s) unavailable; degrading to local execution",
+                self.backends.len()
+            );
+        }
+        (self.local)(job)
+    }
+
+    /// The rotation for one job: remote backends starting at a
+    /// round-robin offset (keyed per call, so consecutive jobs start at
+    /// consecutive backends), with local inserted at its rotation slot
+    /// when it is a fleet member.
+    fn rotation(&self, _job: &Job) -> Vec<Candidate> {
+        let mut slots: Vec<Candidate> = (0..self.backends.len()).map(Candidate::Remote).collect();
+        if self.local_in_rotation {
+            slots.push(Candidate::Local);
+        }
+        if slots.len() > 1 {
+            let start = self.rotation.fetch_add(1, Ordering::Relaxed) % slots.len();
+            slots.rotate_left(start);
+        }
+        slots
+    }
+
+    /// Snapshot of per-backend counters and breaker states for
+    /// end-of-sweep reporting.
+    pub fn summary(&self) -> DispatchSummary {
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| {
+                let addr = b.client.addr();
+                let get =
+                    |what: &str| tdsigma_obs::counter(&format!("dispatch.{addr}.{what}")).get();
+                BackendDispatchStats {
+                    addr: addr.to_string(),
+                    dispatched: get("dispatched"),
+                    failed: get("failed"),
+                    retried: get("retried"),
+                    hedged: get("hedged"),
+                    breaker_open: b.breaker.state() != BreakerState::Closed,
+                }
+            })
+            .collect();
+        DispatchSummary {
+            backends,
+            local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed) as u64,
+            local_in_rotation: self.local_in_rotation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::pool::PoolConfig;
+    use crate::server::{Server, ServerConfig};
+    use std::sync::atomic::AtomicUsize;
+
+    fn ok_report(job: &Job) -> (JobReport, StageTimes) {
+        (
+            JobReport {
+                key: job.key(),
+                job: job.clone(),
+                fin_hz: job.input_frequency_hz(),
+                sndr_db: 60.0 + job.seed as f64,
+                enob: 9.7,
+                power_mw: None,
+                digital_fraction: None,
+                area_mm2: None,
+                fom_fj: None,
+                timing_slack_ps: None,
+            },
+            StageTimes::default(),
+        )
+    }
+
+    fn local_runner() -> Arc<Runner> {
+        Arc::new(|job: &Job| Ok(ok_report(job)))
+    }
+
+    fn spawn_backend() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let runner: Arc<Runner> = Arc::new(|job: &Job| Ok(ok_report(job)));
+        let engine = Arc::new(
+            Engine::with_runner(
+                EngineConfig {
+                    pool: PoolConfig {
+                        workers: 2,
+                        retries: 0,
+                        ..PoolConfig::default()
+                    },
+                    cache_dir: None,
+                    faults: Default::default(),
+                },
+                runner,
+            )
+            .unwrap(),
+        );
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                allow_remote_shutdown: true,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn stop_backend(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+        use std::io::Write;
+        if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+            let _ = s.write_all(b"{\"cmd\":\"shutdown\"}\n");
+            let _ = std::io::BufRead::read_line(
+                &mut std::io::BufReader::new(s.try_clone().unwrap()),
+                &mut String::new(),
+            );
+        }
+        let _ = handle.join();
+    }
+
+    fn fast_config(backends: Vec<String>) -> DispatchConfig {
+        DispatchConfig {
+            backends,
+            remote: RemoteConfig {
+                connect_timeout_ms: 200,
+                connect_attempts: 1,
+                ..RemoteConfig::default()
+            },
+            ..DispatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 30,
+        });
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.admit());
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed, "below threshold");
+        assert!(breaker.admit());
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open, "threshold trips");
+        assert!(!breaker.admit(), "open rejects during cooldown");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(breaker.admit(), "cooldown elapsed: probe admitted");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.admit(), "only one probe at a time");
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open, "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(breaker.admit());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed, "good probe closes");
+        // A success clears the streak: one new failure does not trip.
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn dispatch_runs_jobs_on_a_real_backend() {
+        let (addr, handle) = spawn_backend();
+        let dispatcher = Dispatcher::new(&fast_config(vec![addr.to_string()]), local_runner());
+        let probes = dispatcher.probe();
+        assert!(probes[0].1.is_some(), "backend must be reachable");
+        let job = Job {
+            seed: 9,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let (report, _) = dispatcher.run_job(&job).expect("dispatched job");
+        assert_eq!(report.key, job.key());
+        assert_eq!(report.sndr_db, 69.0);
+        let summary = dispatcher.summary();
+        assert_eq!(summary.backends[0].dispatched, 1);
+        assert_eq!(summary.local_fallbacks, 0);
+        stop_backend(addr, handle);
+    }
+
+    #[test]
+    fn all_backends_down_degrades_to_local() {
+        // Nothing listens on these ports (connect is refused fast).
+        // Each test uses distinct dead ports: the obs counters are
+        // process-global and keyed by address.
+        let dispatcher = Dispatcher::new(
+            &fast_config(vec!["127.0.0.1:17".into(), "127.0.0.1:18".into()]),
+            local_runner(),
+        );
+        let job = Job::sim(40.0, 750e6, 5e6);
+        let (report, _) = dispatcher.run_job(&job).expect("local fallback");
+        assert_eq!(report.key, job.key());
+        let summary = dispatcher.summary();
+        assert_eq!(summary.local_fallbacks, 1);
+        assert!(summary.backends.iter().all(|b| b.failed >= 1));
+    }
+
+    #[test]
+    fn failover_moves_a_job_to_the_healthy_backend() {
+        let (addr, handle) = spawn_backend();
+        // A dead first backend, a live second one: the job must land.
+        let dispatcher = Dispatcher::new(
+            &fast_config(vec!["127.0.0.1:11".into(), addr.to_string()]),
+            local_runner(),
+        );
+        for seed in 0..4u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            let (report, _) = dispatcher.run_job(&job).expect("failover");
+            assert_eq!(report.key, job.key());
+        }
+        let summary = dispatcher.summary();
+        assert_eq!(summary.local_fallbacks, 0, "remote fleet handled it all");
+        let live = summary.backends.iter().find(|b| b.addr == addr.to_string());
+        assert_eq!(live.expect("live backend in summary").dispatched, 4);
+        stop_backend(addr, handle);
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures_and_skips_the_dead_peer() {
+        let mut config = fast_config(vec!["127.0.0.1:19".into()]);
+        config.breaker = BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 60_000,
+        };
+        let dispatcher = Dispatcher::new(&config, local_runner());
+        for _ in 0..5 {
+            dispatcher.run_job(&Job::sim(40.0, 750e6, 5e6)).unwrap();
+        }
+        let summary = dispatcher.summary();
+        assert!(summary.backends[0].breaker_open);
+        assert_eq!(
+            summary.backends[0].dispatched, 2,
+            "breaker must stop dispatch at the threshold"
+        );
+        assert_eq!(summary.local_fallbacks, 5);
+    }
+
+    #[test]
+    fn local_in_rotation_shares_the_load() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&calls);
+        let local: Arc<Runner> = Arc::new(move |job: &Job| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            Ok(ok_report(job))
+        });
+        let config = DispatchConfig {
+            local_in_rotation: true,
+            ..fast_config(vec![])
+        };
+        let dispatcher = Dispatcher::new(&config, local);
+        for seed in 0..3u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            dispatcher.run_job(&job).expect("local member");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            dispatcher.summary().local_fallbacks,
+            0,
+            "rotation membership is not degradation"
+        );
+    }
+
+    #[test]
+    fn hedging_takes_the_first_answer() {
+        let (addr_a, handle_a) = spawn_backend();
+        let (addr_b, handle_b) = spawn_backend();
+        let config = DispatchConfig {
+            hedge_ms: 1, // hedge almost immediately
+            ..fast_config(vec![addr_a.to_string(), addr_b.to_string()])
+        };
+        let dispatcher = Dispatcher::new(&config, local_runner());
+        for seed in 0..4u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            let (report, _) = dispatcher.run_job(&job).expect("hedged job");
+            assert_eq!(report.key, job.key());
+        }
+        stop_backend(addr_a, handle_a);
+        stop_backend(addr_b, handle_b);
+    }
+}

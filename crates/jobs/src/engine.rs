@@ -137,7 +137,7 @@ impl Engine {
 
     /// Lifetime counters.
     pub fn totals(&self) -> EngineTotals {
-        *self.totals.lock().expect("totals lock")
+        *crate::pool::lock_unpoisoned(&self.totals)
     }
 
     /// Runs a batch of jobs, returning results in submission order.
@@ -331,7 +331,7 @@ impl Engine {
             .map(|s| s.expect("every slot filled by cache, dedup, or execution"))
             .collect();
 
-        let mut totals = self.totals.lock().expect("totals lock");
+        let mut totals = crate::pool::lock_unpoisoned(&self.totals);
         totals.jobs += metrics.jobs;
         totals.cache_hits += metrics.cache_hits;
         totals.executed += metrics.executed;
@@ -354,7 +354,7 @@ impl Engine {
     pub fn submit_one(&self, job: &Job) -> Result<JobReport, JobError> {
         let key = job.key();
         if let Some(hit) = self.cache.get(&key) {
-            let mut totals = self.totals.lock().expect("totals lock");
+            let mut totals = crate::pool::lock_unpoisoned(&self.totals);
             totals.jobs += 1;
             totals.cache_hits += 1;
             obs::counter("jobs.cache_hits").inc();
@@ -366,7 +366,7 @@ impl Engine {
             .submit(job.clone())
             .recv()
             .map_err(|_| JobError::PoolClosed)?;
-        let mut totals = self.totals.lock().expect("totals lock");
+        let mut totals = crate::pool::lock_unpoisoned(&self.totals);
         totals.jobs += 1;
         if outcome.attempts > 0 {
             totals.executed += 1;

@@ -26,6 +26,9 @@ enum Site {
     Latency = 3,
     Artifact = 4,
     Frame = 5,
+    ConnDrop = 6,
+    NetStall = 7,
+    Response = 8,
 }
 
 /// A fault injected before a job attempt runs.
@@ -35,6 +38,22 @@ pub enum AttemptFault {
     Panic,
     /// The attempt fails with a retryable [`crate::JobError::Transient`].
     Transient,
+}
+
+/// A fault injected into one remote dispatch exchange (the client side
+/// of the serve protocol). These are the network analogue of
+/// [`AttemptFault`]: the dispatcher's failover/fallback machinery must
+/// absorb all of them without losing or duplicating a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The connection to the backend is dropped before the request is
+    /// written (partition / peer crash between health check and use).
+    ConnDrop,
+    /// The backend stalls for this many ms before its response arrives
+    /// (a wedged peer; caught by the client's read deadline).
+    Stall(u64),
+    /// The response frame arrives corrupted and fails to parse.
+    CorruptResponse,
 }
 
 /// A fault applied to one protocol frame by a hostile client (used by
@@ -70,6 +89,14 @@ pub struct FaultPlan {
     /// Chance a protocol frame is stalled mid-line by the chaos client
     /// (the stall duration is this many ms).
     pub frame_stall_ms: u64,
+    /// Chance a remote dispatch connection is dropped before the request
+    /// is written.
+    pub conn_drop_permille: u16,
+    /// Chance a remote dispatch response frame arrives corrupted.
+    pub response_corrupt_permille: u16,
+    /// Stall injected before a remote dispatch response is read, ms
+    /// (applied to ~30 % of exchanges when non-zero; 0 disables).
+    pub net_stall_ms: u64,
 }
 
 impl FaultPlan {
@@ -90,6 +117,9 @@ impl FaultPlan {
             corrupt_artifact_permille: 150,
             frame_garble_permille: 250,
             frame_stall_ms: 5,
+            conn_drop_permille: 150,
+            response_corrupt_permille: 150,
+            net_stall_ms: 5,
         }
     }
 
@@ -101,6 +131,9 @@ impl FaultPlan {
             && self.corrupt_artifact_permille == 0
             && self.frame_garble_permille == 0
             && self.frame_stall_ms == 0
+            && self.conn_drop_permille == 0
+            && self.response_corrupt_permille == 0
+            && self.net_stall_ms == 0
     }
 
     /// The fault (if any) to inject into attempt `attempt` of the job
@@ -148,6 +181,24 @@ impl FaultPlan {
             }
             _ => String::new(), // zero-length artifact
         })
+    }
+
+    /// The fault (if any) to inject into one remote dispatch exchange,
+    /// addressed by `key` (conventionally `"<backend>|<job key>"`, so the
+    /// same job draws independently per backend) and `attempt`. Drop
+    /// takes precedence over stall over corruption, so raising one rate
+    /// never reshuffles the others' decisions.
+    pub fn net_fault(&self, key: &str, attempt: u32) -> Option<NetFault> {
+        if self.hit(Site::ConnDrop, key, attempt, self.conn_drop_permille) {
+            return Some(NetFault::ConnDrop);
+        }
+        if self.net_stall_ms > 0 && self.hit(Site::NetStall, key, attempt, 300) {
+            return Some(NetFault::Stall(self.net_stall_ms));
+        }
+        if self.hit(Site::Response, key, attempt, self.response_corrupt_permille) {
+            return Some(NetFault::CorruptResponse);
+        }
+        None
     }
 
     /// The fault (if any) a chaos client should apply to its `index`-th
@@ -218,6 +269,7 @@ mod tests {
         }
         assert_eq!(plan.corrupt_artifact("abc123", "{}"), None);
         assert_eq!(plan.frame_fault(7), None);
+        assert_eq!(plan.net_fault("peer|abc123", 1), None);
     }
 
     #[test]
@@ -235,6 +287,10 @@ mod tests {
         }
         for i in 0..50 {
             assert_eq!(a.frame_fault(i), b.frame_fault(i));
+        }
+        for i in 0..50 {
+            let key = format!("peer:4017|{i:08x}");
+            assert_eq!(a.net_fault(&key, 1), b.net_fault(&key, 1));
         }
         assert_eq!(
             a.corrupt_artifact("deadbeef", "{\"x\":1}"),
@@ -283,6 +339,23 @@ mod tests {
             (0..200).any(|i| plan.frame_fault(i).is_some()),
             "frame class silent"
         );
+        let mut drops = 0;
+        let mut stalls = 0;
+        let mut garbles = 0;
+        for i in 0..500u32 {
+            match plan.net_fault(&format!("peer|{i:08x}"), 1) {
+                Some(NetFault::ConnDrop) => drops += 1,
+                Some(NetFault::Stall(ms)) => {
+                    assert_eq!(ms, plan.net_stall_ms);
+                    stalls += 1;
+                }
+                Some(NetFault::CorruptResponse) => garbles += 1,
+                None => {}
+            }
+        }
+        assert!(drops > 20, "conn-drop class silent: {drops}");
+        assert!(stalls > 50, "net-stall class silent: {stalls}");
+        assert!(garbles > 20, "corrupt-response class silent: {garbles}");
     }
 
     #[test]

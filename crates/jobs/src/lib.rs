@@ -38,6 +38,7 @@
 //! the in-crate [`json`] writer/parser.
 
 pub mod cache;
+pub mod dispatch;
 pub mod engine;
 pub mod error;
 pub mod execute;
@@ -47,20 +48,23 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod remote;
 pub mod report;
 pub mod server;
 
 pub use cache::ResultCache;
+pub use dispatch::{BreakerConfig, BreakerState, CircuitBreaker, DispatchConfig, Dispatcher};
 pub use engine::{BatchReport, Engine, EngineConfig, EngineTotals};
 pub use error::JobError;
 pub use execute::execute;
-pub use faults::{AttemptFault, FaultPlan, FrameFault};
+pub use faults::{AttemptFault, FaultPlan, FrameFault, NetFault};
 pub use job::{Job, JobKind};
 pub use journal::{validate_run_id, Journal, JournalRecord, JournalReplay};
 pub use json::Json;
-pub use metrics::{BatchMetrics, StageTimes};
+pub use metrics::{BackendDispatchStats, BatchMetrics, DispatchSummary, StageTimes};
 pub use pool::{
     backoff_delay_ms, default_workers, JobOutcome, PoolConfig, Runner, WorkerHeartbeat, WorkerPool,
 };
+pub use remote::{BackendHealth, RemoteClient, RemoteConfig, RemoteError};
 pub use report::JobReport;
 pub use server::{Server, ServerConfig};

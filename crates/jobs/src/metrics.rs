@@ -167,6 +167,75 @@ impl fmt::Display for BatchMetrics {
     }
 }
 
+/// One backend's dispatch counters, snapshotted for end-of-sweep
+/// reporting (the live values stream into `tdsigma-obs` under
+/// `dispatch.<addr>.…`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendDispatchStats {
+    /// Backend address (`host:port`).
+    pub addr: String,
+    /// Jobs sent to this backend.
+    pub dispatched: u64,
+    /// Backend-class failures (unreachable, deadline, corrupt frame).
+    pub failed: u64,
+    /// Jobs that moved on to another candidate after failing here.
+    pub retried: u64,
+    /// Hedge duplicates sent to this backend.
+    pub hedged: u64,
+    /// Whether the breaker was anything but closed at snapshot time.
+    pub breaker_open: bool,
+}
+
+/// Fleet-level dispatch outcome: what ran where, and how degraded the
+/// run was. `local_fallbacks > 0` means the whole fleet was unavailable
+/// for at least one job — the signal an operator investigates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchSummary {
+    /// Per-backend counters, in rotation order.
+    pub backends: Vec<BackendDispatchStats>,
+    /// Jobs that ran in-process because every backend was down/skipped.
+    pub local_fallbacks: u64,
+    /// Whether `local` was an intentional fleet member (its executions
+    /// are then load sharing, not degradation).
+    pub local_in_rotation: bool,
+}
+
+impl DispatchSummary {
+    /// Whether any job had to degrade to last-resort local execution.
+    pub fn degraded(&self) -> bool {
+        self.local_fallbacks > 0
+    }
+}
+
+impl fmt::Display for DispatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dispatch:")?;
+        for b in &self.backends {
+            write!(
+                f,
+                "\n  {} — {} dispatched, {} failed, {} retried, {} hedged, breaker {}",
+                b.addr,
+                b.dispatched,
+                b.failed,
+                b.retried,
+                b.hedged,
+                if b.breaker_open { "OPEN" } else { "closed" },
+            )?;
+        }
+        if self.local_in_rotation {
+            write!(f, "\n  local — rotation member")?;
+        }
+        if self.degraded() {
+            write!(
+                f,
+                "\n  DEGRADED: {} job(s) fell back to local execution",
+                self.local_fallbacks
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +292,30 @@ mod tests {
             !text.contains("resilience"),
             "healthy batches stay quiet about faults"
         );
+    }
+
+    #[test]
+    fn dispatch_summary_displays_degradation() {
+        let s = DispatchSummary {
+            backends: vec![BackendDispatchStats {
+                addr: "10.0.0.7:4000".into(),
+                dispatched: 12,
+                failed: 3,
+                retried: 3,
+                hedged: 1,
+                breaker_open: true,
+            }],
+            local_fallbacks: 2,
+            local_in_rotation: false,
+        };
+        assert!(s.degraded());
+        let text = s.to_string();
+        assert!(text.contains("10.0.0.7:4000"), "{text}");
+        assert!(text.contains("breaker OPEN"), "{text}");
+        assert!(text.contains("DEGRADED: 2 job(s)"), "{text}");
+        let healthy = DispatchSummary::default();
+        assert!(!healthy.degraded());
+        assert!(!healthy.to_string().contains("DEGRADED"));
     }
 
     #[test]

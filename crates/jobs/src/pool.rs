@@ -31,7 +31,7 @@ use crate::metrics::StageTimes;
 use crate::report::JobReport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tdsigma_obs as obs;
@@ -85,6 +85,21 @@ pub fn backoff_delay_ms(base_ms: u64, max_ms: u64, job_key: &str, attempt: u32) 
     let seed = fnv1a64(job_key.as_bytes(), 0x9ae1_6a3b_2f90_404f).wrapping_add(attempt as u64);
     let jitter = Rng64::seed_from_u64(seed).gen_range(exp as usize / 2 + 1) as u64;
     (exp + jitter).min(max_ms)
+}
+
+/// Locks `mutex`, recovering from poison instead of panicking.
+///
+/// Every mutex in this crate guards plain values (a channel endpoint, a
+/// handle list, a counter struct) whose invariants hold across any
+/// single operation — no holder performs a multi-step update that a
+/// panic could leave half-done. Job panics in particular are caught by
+/// `catch_unwind` *before* any lock is taken, so a poisoned lock here
+/// means a panic in unrelated code while merely reading or swapping the
+/// value. Recovering is therefore always sound, and strictly better
+/// than cascading one thread's panic into every worker and the serve
+/// loop.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The machine's available parallelism (≥ 1).
@@ -199,6 +214,10 @@ impl WorkerPool {
                 let runner = Arc::clone(&runner);
                 let config = config.clone();
                 let status = Arc::clone(&status[i]);
+                // Invariant, not a hot path: thread spawn happens once at
+                // pool construction and fails only when the OS is out of
+                // threads/memory — a state no structured error could make
+                // survivable. Panicking here is deliberate and documented.
                 std::thread::Builder::new()
                     .name(format!("tdsigma-job-worker-{i}"))
                     .spawn(move || {
@@ -255,7 +274,7 @@ impl WorkerPool {
     pub fn submit(&self, job: Job) -> mpsc::Receiver<JobOutcome> {
         let (reply, rx) = mpsc::channel();
         obs::counter("jobs.submitted").inc();
-        match &*self.tx.lock().expect("pool lock") {
+        match &*lock_unpoisoned(&self.tx) {
             Some(tx) => {
                 let task = Task {
                     job,
@@ -288,8 +307,8 @@ impl WorkerPool {
 
     /// Closes the queue and joins every worker. Idempotent.
     pub fn shutdown(&self) {
-        self.tx.lock().expect("pool lock").take();
-        let handles: Vec<_> = self.handles.lock().expect("pool lock").drain(..).collect();
+        lock_unpoisoned(&self.tx).take();
+        let handles: Vec<_> = lock_unpoisoned(&self.handles).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -354,7 +373,7 @@ fn worker_loop(
     let faults_ctr = obs::counter("jobs.faults_injected");
     loop {
         // Hold the lock only for the dequeue.
-        let task = match rx.lock().expect("task queue lock").recv() {
+        let task = match lock_unpoisoned(rx).recv() {
             Ok(task) => task,
             Err(_) => break, // queue closed: pool is shutting down
         };

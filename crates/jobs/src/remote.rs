@@ -1,0 +1,494 @@
+//! Remote backend client: the dispatcher's side of the serve protocol.
+//!
+//! A [`RemoteClient`] speaks the [`crate::server`] line protocol to one
+//! backend address: connect with bounded retries (reusing the pool's
+//! [`backoff_delay_ms`] deterministic jitter), one JSON request line
+//! out, one JSON response line back, with explicit connect/read/write
+//! deadlines so a dead or stalled peer costs a bounded amount of time —
+//! never a hung sweep.
+//!
+//! Jobs travel in their canonical Hz-units form (`{"cmd":"run","job":…}`,
+//! see [`Job::to_json`]) so the backend computes the same content
+//! address the dispatcher did; the client verifies `report.key` against
+//! the job key on the way back, which catches a corrupt or misrouted
+//! response frame before it can poison the local cache.
+//!
+//! Errors split into the two classes the failover policy needs
+//! ([`RemoteError`]): `Backend` means *this peer* misbehaved (connect
+//! refused, deadline missed, garbage frame) and the job deserves another
+//! backend; `Job` means the job itself was rejected and would be
+//! rejected identically everywhere, so failing over would only multiply
+//! the error.
+//!
+//! Network fault injection rides the same deterministic machinery as
+//! the rest of the chaos harness: an armed [`FaultPlan`] can drop the
+//! connection, stall the exchange, or corrupt the response frame, keyed
+//! on `(backend address, job key)` so a chaos run is replayable by seed.
+
+use crate::error::JobError;
+use crate::faults::{FaultPlan, NetFault};
+use crate::job::Job;
+use crate::json::Json;
+use crate::pool::backoff_delay_ms;
+use crate::report::JobReport;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Deadlines and retry bounds for one backend connection.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// Per-attempt TCP connect deadline, ms.
+    pub connect_timeout_ms: u64,
+    /// Deadline for the response line, ms. Generous by default: a `run`
+    /// request legitimately blocks while the backend executes the flow.
+    pub read_timeout_ms: u64,
+    /// Deadline for writing the request line, ms.
+    pub write_timeout_ms: u64,
+    /// Connect attempts before the backend counts as unreachable.
+    /// Retries are spaced by [`backoff_delay_ms`] keyed on the address.
+    pub connect_attempts: u32,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            connect_timeout_ms: 2_000,
+            read_timeout_ms: 300_000,
+            write_timeout_ms: 10_000,
+            connect_attempts: 3,
+        }
+    }
+}
+
+/// Why a remote exchange failed — the distinction that drives failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The backend (or the network to it) failed: unreachable, deadline
+    /// missed, connection dropped, malformed or misrouted response.
+    /// The job is untainted — retry it on another backend or locally.
+    Backend(String),
+    /// The backend executed the protocol correctly and rejected the job
+    /// itself. Deterministic: every backend would answer the same, so
+    /// this propagates to the caller instead of failing over.
+    Job(JobError),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Backend(m) => write!(f, "backend error: {m}"),
+            RemoteError::Job(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// One backend's `health` answer, as the dispatcher consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendHealth {
+    /// `"ok"` or `"degraded"` (a busy worker silent past the stall
+    /// threshold).
+    pub status: String,
+    /// Worker threads in the backend's pool — the dispatcher sizes its
+    /// in-flight budget from the fleet total.
+    pub workers: usize,
+    /// Milliseconds since the backend process bound its listener. A low
+    /// number identifies a freshly restarted peer whose cache is cold.
+    pub uptime_ms: u64,
+    /// Jobs served since start; with `uptime_ms` this distinguishes a
+    /// fresh restart from a long-lived backend at a glance.
+    pub served_jobs: u64,
+}
+
+/// A client for one backend address. Cheap to clone; every exchange
+/// opens a fresh connection, so a backend restart between two jobs is
+/// invisible — there is no session state to lose.
+#[derive(Debug, Clone)]
+pub struct RemoteClient {
+    addr: String,
+    config: RemoteConfig,
+    faults: FaultPlan,
+}
+
+impl RemoteClient {
+    /// A client for `addr` (`host:port`) with default deadlines.
+    pub fn new(addr: impl Into<String>) -> Self {
+        RemoteClient::with_config(addr, RemoteConfig::default())
+    }
+
+    /// A client with explicit deadlines.
+    pub fn with_config(addr: impl Into<String>, config: RemoteConfig) -> Self {
+        RemoteClient {
+            addr: addr.into(),
+            config,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Arms deterministic network-fault injection on this client.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The backend address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Executes `job` on the backend and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Backend`] when the peer or network failed (retry
+    /// elsewhere); [`RemoteError::Job`] when the backend rejected the
+    /// job itself (deterministic — do not fail over).
+    pub fn run_job(&self, job: &Job) -> Result<JobReport, RemoteError> {
+        let key = job.key();
+        let request = Json::Obj(vec![
+            ("cmd".into(), Json::Str("run".into())),
+            ("job".into(), job.to_json()),
+        ]);
+        let response = self.exchange(&request.to_text(), &format!("{}|{key}", self.addr))?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(classify_protocol_error(&response));
+        }
+        let report_json = response
+            .get("report")
+            .ok_or_else(|| RemoteError::Backend("response missing \"report\"".into()))?;
+        let report = JobReport::from_json(report_json)
+            .map_err(|e| RemoteError::Backend(format!("unparseable report: {e}")))?;
+        // A report for the wrong job means the frame was corrupted or
+        // misrouted in transit; caching it would poison the store, so it
+        // is rejected here where the job key is still in hand.
+        if report.key != key {
+            return Err(RemoteError::Backend(format!(
+                "report key {} does not match job key {key}",
+                report.key
+            )));
+        }
+        Ok(report)
+    }
+
+    /// Health-checks the backend via the `health` op.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Backend`] when the peer is unreachable or answers
+    /// garbage — exactly the condition a breaker should count.
+    pub fn health(&self) -> Result<BackendHealth, RemoteError> {
+        let response = self.exchange(r#"{"cmd":"health"}"#, &format!("{}|health", self.addr))?;
+        let health = response
+            .get("health")
+            .ok_or_else(|| RemoteError::Backend("health response missing \"health\"".into()))?;
+        let num = |k: &str| -> u64 {
+            health.get(k).and_then(Json::as_f64).unwrap_or(0.0).max(0.0) as u64
+        };
+        Ok(BackendHealth {
+            status: health
+                .get("status")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            workers: num("workers") as usize,
+            uptime_ms: num("uptime_ms"),
+            served_jobs: num("served_jobs"),
+        })
+    }
+
+    /// Asks the backend whether it can usefully take more work right now
+    /// (`ready` op).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Backend`] when the peer is unreachable or answers
+    /// garbage.
+    pub fn ready(&self) -> Result<bool, RemoteError> {
+        let response = self.exchange(r#"{"cmd":"ready"}"#, &format!("{}|ready", self.addr))?;
+        Ok(response.get("ready").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// One request/response exchange on a fresh connection. `fault_key`
+    /// feeds the deterministic fault machinery so a given (backend, job)
+    /// pair always sees the same injected faults for a given seed.
+    fn exchange(&self, line: &str, fault_key: &str) -> Result<Json, RemoteError> {
+        match self.faults.net_fault(fault_key, 1) {
+            Some(NetFault::ConnDrop) => {
+                return Err(RemoteError::Backend(format!(
+                    "injected: connection to {} dropped",
+                    self.addr
+                )));
+            }
+            Some(NetFault::Stall(ms)) => {
+                // A stalled backend manifests as latency, bounded by the
+                // read deadline like the real thing.
+                std::thread::sleep(Duration::from_millis(ms.min(self.config.read_timeout_ms)));
+            }
+            Some(NetFault::CorruptResponse) | None => {}
+        }
+        let stream = self.connect()?;
+        let backend = |e: &std::io::Error, what: &str| {
+            RemoteError::Backend(format!("{what} {}: {e}", self.addr))
+        };
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| backend(&e, "cloning stream to"))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| backend(&e, "writing request to"))?;
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .map_err(|e| backend(&e, "reading response from"))?;
+        if response.is_empty() {
+            return Err(RemoteError::Backend(format!(
+                "{} closed the connection without responding",
+                self.addr
+            )));
+        }
+        if matches!(
+            self.faults.net_fault(fault_key, 1),
+            Some(NetFault::CorruptResponse)
+        ) {
+            // Garble the frame the same way the wire would: flip bytes in
+            // the middle of the payload.
+            let mid = response.len() / 2;
+            response.replace_range(mid..(mid + 1).min(response.len()), "\u{1}");
+        }
+        Json::parse(response.trim()).map_err(|e| {
+            RemoteError::Backend(format!("malformed response from {}: {e}", self.addr))
+        })
+    }
+
+    /// Connects with per-attempt deadlines and deterministic backoff
+    /// between attempts (keyed on the address, so a fleet of clients
+    /// does not reconnect in lockstep).
+    fn connect(&self) -> Result<TcpStream, RemoteError> {
+        let attempts = self.config.connect_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                let delay = backoff_delay_ms(50, 2_000, &self.addr, attempt - 1);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            match self.try_connect() {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = e,
+            }
+        }
+        Err(RemoteError::Backend(format!(
+            "{} unreachable after {attempts} attempt(s): {last}",
+            self.addr
+        )))
+    }
+
+    fn try_connect(&self) -> Result<TcpStream, String> {
+        let timeout = Duration::from_millis(self.config.connect_timeout_ms.max(1));
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve: {e}"))?;
+        let mut last = String::from("no addresses resolved");
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_millis(
+                            self.config.read_timeout_ms.max(1),
+                        )))
+                        .map_err(|e| e.to_string())?;
+                    stream
+                        .set_write_timeout(Some(Duration::from_millis(
+                            self.config.write_timeout_ms.max(1),
+                        )))
+                        .map_err(|e| e.to_string())?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(last)
+    }
+}
+
+/// Classifies a `{"ok":false,…}` protocol answer. A `busy` rejection and
+/// infrastructure-flavored messages are the backend's problem; a
+/// validation rejection is the job's own and must not fail over.
+fn classify_protocol_error(response: &Json) -> RemoteError {
+    let message = response
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("backend answered ok=false with no error message")
+        .to_string();
+    if response.get("busy").and_then(Json::as_bool) == Some(true) {
+        return RemoteError::Backend(format!("busy: {message}"));
+    }
+    if message.starts_with("invalid job:") {
+        return RemoteError::Job(JobError::Invalid(
+            message
+                .strip_prefix("invalid job:")
+                .unwrap_or(&message)
+                .trim()
+                .to_string(),
+        ));
+    }
+    RemoteError::Backend(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::metrics::StageTimes;
+    use crate::pool::{PoolConfig, Runner};
+    use crate::server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    fn test_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let runner: Arc<Runner> = Arc::new(|job: &Job| {
+            if job.node_nm == 13.0 {
+                return Err(JobError::Invalid("unsupported node".into()));
+            }
+            Ok((
+                JobReport {
+                    key: job.key(),
+                    job: job.clone(),
+                    fin_hz: job.input_frequency_hz(),
+                    sndr_db: 60.0 + job.seed as f64,
+                    enob: 9.7,
+                    power_mw: None,
+                    digital_fraction: None,
+                    area_mm2: None,
+                    fom_fj: None,
+                    timing_slack_ps: None,
+                },
+                StageTimes::default(),
+            ))
+        });
+        let engine = Arc::new(
+            Engine::with_runner(
+                EngineConfig {
+                    pool: PoolConfig {
+                        workers: 2,
+                        retries: 0,
+                        ..PoolConfig::default()
+                    },
+                    cache_dir: None,
+                    faults: Default::default(),
+                },
+                runner,
+            )
+            .unwrap(),
+        );
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                allow_remote_shutdown: true,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn shutdown(addr: std::net::SocketAddr) {
+        let client = RemoteClient::new(addr.to_string());
+        let _ = client.exchange(r#"{"cmd":"shutdown"}"#, "test|shutdown");
+    }
+
+    #[test]
+    fn run_job_round_trips_and_verifies_the_key() {
+        let (addr, handle) = test_server();
+        let client = RemoteClient::new(addr.to_string());
+        let job = Job {
+            seed: 3,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let report = client.run_job(&job).expect("remote run");
+        assert_eq!(report.key, job.key());
+        assert_eq!(report.sndr_db, 63.0);
+        let health = client.health().expect("health");
+        assert_eq!(health.status, "ok");
+        assert_eq!(health.workers, 2);
+        assert_eq!(health.served_jobs, 1);
+        assert!(client.ready().expect("ready"));
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn job_rejection_is_not_a_backend_failure() {
+        let (addr, handle) = test_server();
+        let client = RemoteClient::new(addr.to_string());
+        let bad = Job::sim(13.0, 750e6, 5e6);
+        match client.run_job(&bad) {
+            Err(RemoteError::Job(JobError::Failed { .. } | JobError::Invalid(_))) => {}
+            other => panic!("expected a job-class error, got {other:?}"),
+        }
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_backend_is_a_backend_error() {
+        // A port from the ephemeral range with nothing bound: connect
+        // must fail fast (bounded by the timeout), not hang.
+        let client = RemoteClient::with_config(
+            "127.0.0.1:9",
+            RemoteConfig {
+                connect_timeout_ms: 200,
+                connect_attempts: 2,
+                ..RemoteConfig::default()
+            },
+        );
+        match client.run_job(&Job::sim(40.0, 750e6, 5e6)) {
+            Err(RemoteError::Backend(m)) => assert!(m.contains("unreachable"), "{m}"),
+            other => panic!("expected Backend error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_connection_drop_and_corruption_are_backend_errors() {
+        let (addr, handle) = test_server();
+        let job = Job::sim(40.0, 750e6, 5e6);
+        // Force each fault class in turn with a saturated rate.
+        let drop_all = FaultPlan {
+            conn_drop_permille: 1000,
+            ..FaultPlan::none()
+        };
+        let client = RemoteClient::new(addr.to_string()).with_faults(drop_all);
+        match client.run_job(&job) {
+            Err(RemoteError::Backend(m)) => assert!(m.contains("dropped"), "{m}"),
+            other => panic!("expected injected drop, got {other:?}"),
+        }
+        let garble_all = FaultPlan {
+            response_corrupt_permille: 1000,
+            ..FaultPlan::none()
+        };
+        let client = RemoteClient::new(addr.to_string()).with_faults(garble_all);
+        match client.run_job(&job) {
+            // Depending on where the flipped byte lands, the frame fails
+            // JSON parsing, report parsing, or the key check — all of
+            // them Backend-class, which is what failover needs.
+            Err(RemoteError::Backend(m)) => assert!(
+                m.contains("malformed") || m.contains("unparseable") || m.contains("key"),
+                "{m}"
+            ),
+            other => panic!("expected corrupt frame error, got {other:?}"),
+        }
+        // The faults were client-side: the backend is still healthy.
+        let clean = RemoteClient::new(addr.to_string());
+        assert!(clean.ready().expect("ready after injected faults"));
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+}

@@ -6,6 +6,7 @@
 //! ```text
 //! {"cmd":"ping"}      → {"ok":true,"pong":true}
 //! {"cmd":"stats"}     → {"ok":true,"stats":{…}}
+//! {"cmd":"run","job":{…}} → {"ok":true,"report":{…}}
 //! {"cmd":"shutdown"}  → {"ok":true,"bye":true}   (then the server stops)
 //! ```
 //!
@@ -21,6 +22,18 @@
 //! requests get `{"ok":false,"error":"…"}` and the connection stays open.
 //! Results are cached exactly like sweep results: asking the same
 //! question twice executes one flow.
+//!
+//! The `run` command carries a full [`Job`] in its canonical Hz-units
+//! JSON form ([`Job::to_json`]) — the machine-to-machine path the
+//! distributed dispatcher uses, where every parameter must round-trip
+//! bit-exactly so local and remote execution share one cache address.
+//!
+//! `shutdown` is **disabled by default**: any LAN client can reach the
+//! socket, and a shared backend must not be killable by one of them.
+//! Enable it explicitly ([`ServerConfig::allow_remote_shutdown`], CLI
+//! `--allow-remote-shutdown`); otherwise the command answers
+//! `{"ok":false,"error":"shutdown disabled"}` and the server keeps
+//! serving.
 
 use crate::engine::Engine;
 use crate::error::JobError;
@@ -31,7 +44,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Connection-hardening and supervision knobs. The defaults assume an
 /// untrusted LAN client: an idle or stalled peer is disconnected instead
@@ -52,6 +65,11 @@ pub struct ServerConfig {
     /// A busy worker silent for longer than this, ms, counts as stalled
     /// in `health`/`ready` responses. 0 disables stall detection.
     pub stall_threshold_ms: u64,
+    /// Whether the `shutdown` protocol command is honored. Off by
+    /// default: any LAN client can reach the socket, and a shared
+    /// backend must not be killable by one of them. When off, the
+    /// command answers `{"ok":false,"error":"shutdown disabled"}`.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -61,16 +79,23 @@ impl Default for ServerConfig {
             max_line_bytes: 64 * 1024,
             max_connections: 64,
             stall_threshold_ms: 30_000,
+            allow_remote_shutdown: false,
         }
     }
 }
 
-/// The supervision state `health`/`ready` report from: the live
-/// connection count plus the configured limits.
+/// The supervision state `health`/`ready`/`stats` report from: the live
+/// connection count, the configured limits, and the process epoch the
+/// uptime counter runs against. A dispatcher health-checking a fleet
+/// uses `uptime_ms`/`served_jobs` to tell a freshly restarted backend
+/// (low uptime, empty counters — treat its warm-up gently) from a
+/// long-lived one.
 struct Supervision {
     active: Arc<AtomicUsize>,
     max_connections: usize,
     stall_threshold_ms: u64,
+    allow_remote_shutdown: bool,
+    started: Instant,
 }
 
 /// A running line-protocol server. One thread per connection; all
@@ -81,6 +106,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     config: ServerConfig,
     active: Arc<AtomicUsize>,
+    started: Instant,
 }
 
 impl Server {
@@ -110,6 +136,7 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             config,
             active: Arc::new(AtomicUsize::new(0)),
+            started: Instant::now(),
         })
     }
 
@@ -172,8 +199,9 @@ impl Server {
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
             let config = self.config.clone();
+            let started = self.started;
             handles.push(thread::spawn(move || {
-                let _ = serve_connection(stream, &engine, &stop, addr, &config, &active);
+                let _ = serve_connection(stream, &engine, &stop, addr, &config, &active, started);
                 let n = active.fetch_sub(1, Ordering::SeqCst) - 1;
                 tdsigma_obs::gauge("serve.active_connections").set(n as f64);
             }));
@@ -230,11 +258,14 @@ fn serve_connection(
     addr: SocketAddr,
     config: &ServerConfig,
     active: &Arc<AtomicUsize>,
+    started: Instant,
 ) -> io::Result<()> {
     let supervision = Supervision {
         active: Arc::clone(active),
         max_connections: config.max_connections,
         stall_threshold_ms: config.stall_threshold_ms,
+        allow_remote_shutdown: config.allow_remote_shutdown,
+        started,
     };
     if config.idle_timeout_ms > 0 {
         let timeout = Some(Duration::from_millis(config.idle_timeout_ms));
@@ -289,14 +320,18 @@ fn handle_line(line: &str, engine: &Engine, supervision: &Supervision) -> (Json,
     if let Some(cmd) = request.get("cmd") {
         return match cmd.as_str() {
             Some("ping") => (ok_response(vec![("pong".into(), Json::Bool(true))]), false),
-            Some("stats") => (stats_response(engine), false),
+            Some("stats") => (stats_response(engine, supervision), false),
             Some("health") => (health_response(engine, supervision), false),
             Some("ready") => (ready_response(engine, supervision), false),
-            Some("shutdown") => (ok_response(vec![("bye".into(), Json::Bool(true))]), true),
+            Some("run") => (run_response(&request, engine), false),
+            Some("shutdown") if supervision.allow_remote_shutdown => {
+                (ok_response(vec![("bye".into(), Json::Bool(true))]), true)
+            }
+            Some("shutdown") => (error_response("shutdown disabled"), false),
             _ => (
                 error_response(
-                    "unknown command (expected \"ping\", \"stats\", \"health\", \"ready\" \
-                     or \"shutdown\")",
+                    "unknown command (expected \"ping\", \"stats\", \"health\", \"ready\", \
+                     \"run\" or \"shutdown\")",
                 ),
                 false,
             ),
@@ -312,6 +347,24 @@ fn handle_line(line: &str, engine: &Engine, supervision: &Supervision) -> (Json,
             false,
         ),
         Err(e) => (error_response(&e.to_string()), false),
+    }
+}
+
+/// Executes a `{"cmd":"run","job":{…}}` request: the job arrives in its
+/// canonical Hz-units JSON form ([`Job::to_json`]), so no unit
+/// conversion happens between a dispatcher and this backend — the cache
+/// key computed here is identical to the one the dispatcher computed.
+fn run_response(request: &Json, engine: &Engine) -> Json {
+    let Some(job_json) = request.get("job") else {
+        return error_response("run request needs a \"job\" object");
+    };
+    let job = match Job::from_json(job_json) {
+        Ok(job) => job,
+        Err(e) => return error_response(&e.to_string()),
+    };
+    match engine.submit_one(&job) {
+        Ok(report) => ok_response(vec![("report".into(), report.to_json())]),
+        Err(e) => error_response(&e.to_string()),
     }
 }
 
@@ -367,6 +420,11 @@ fn health_response(engine: &Engine, supervision: &Supervision) -> Json {
                 "cache_quarantined".into(),
                 Json::Num(engine.cache().quarantined() as f64),
             ),
+            (
+                "uptime_ms".into(),
+                Json::Num(supervision.started.elapsed().as_millis() as f64),
+            ),
+            ("served_jobs".into(), Json::Num(totals.jobs as f64)),
         ]),
     )])
 }
@@ -396,7 +454,7 @@ fn ready_response(engine: &Engine, supervision: &Supervision) -> Json {
     ok_response(fields)
 }
 
-fn stats_response(engine: &Engine) -> Json {
+fn stats_response(engine: &Engine, supervision: &Supervision) -> Json {
     // A stats request is a natural checkpoint: push any buffered trace
     // lines to disk so an operator tailing the file sees current state.
     tdsigma_obs::flush_tracing();
@@ -406,6 +464,11 @@ fn stats_response(engine: &Engine) -> Json {
         Json::Obj(vec![
             ("workers".into(), Json::Num(engine.workers() as f64)),
             ("jobs".into(), Json::Num(totals.jobs as f64)),
+            (
+                "uptime_ms".into(),
+                Json::Num(supervision.started.elapsed().as_millis() as f64),
+            ),
+            ("served_jobs".into(), Json::Num(totals.jobs as f64)),
             ("cache_hits".into(), Json::Num(totals.cache_hits as f64)),
             ("executed".into(), Json::Num(totals.executed as f64)),
             ("failed".into(), Json::Num(totals.failed as f64)),
@@ -628,6 +691,8 @@ mod tests {
             active: Arc::new(AtomicUsize::new(0)),
             max_connections: 64,
             stall_threshold_ms: 30_000,
+            allow_remote_shutdown: true,
+            started: Instant::now(),
         }
     }
 
@@ -658,6 +723,78 @@ mod tests {
         let (r, stop) = handle_line(r#"{"cmd":"shutdown"}"#, &engine, &sup);
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
         assert!(stop);
+    }
+
+    #[test]
+    fn shutdown_is_refused_unless_explicitly_allowed() {
+        let engine = test_engine();
+        let sup = Supervision {
+            allow_remote_shutdown: false,
+            ..test_supervision()
+        };
+        let (r, stop) = handle_line(r#"{"cmd":"shutdown"}"#, &engine, &sup);
+        assert!(!stop, "gated shutdown must not stop the server");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            r.get("error").and_then(Json::as_str),
+            Some("shutdown disabled")
+        );
+        // The connection (and server) keep serving afterwards.
+        let (r, stop) = handle_line(r#"{"cmd":"ping"}"#, &engine, &sup);
+        assert!(!stop);
+        assert_eq!(r.get("pong").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn run_command_round_trips_a_canonical_job() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        let job = Job {
+            seed: 5,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let request = Json::Obj(vec![
+            ("cmd".into(), Json::Str("run".into())),
+            ("job".into(), job.to_json()),
+        ]);
+        let (r, stop) = handle_line(&request.to_text(), &engine, &sup);
+        assert!(!stop);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let report = r.get("report").expect("report object");
+        // The backend computed the same cache address the sender did:
+        // the job round-tripped bit-exactly.
+        assert_eq!(
+            report.get("key").and_then(Json::as_str),
+            Some(job.key().as_str())
+        );
+        assert_eq!(report.get("sndr_db").and_then(Json::as_f64), Some(65.0));
+
+        let (r, _) = handle_line(r#"{"cmd":"run"}"#, &engine, &sup);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(r
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("job")));
+    }
+
+    #[test]
+    fn stats_and_health_expose_uptime_and_served_jobs() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        let (r, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}"#,
+            &engine,
+            &sup,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let (r, _) = handle_line(r#"{"cmd":"stats"}"#, &engine, &sup);
+        let stats = r.get("stats").expect("stats object");
+        assert_eq!(stats.get("served_jobs").and_then(Json::as_f64), Some(1.0));
+        assert!(stats.get("uptime_ms").and_then(Json::as_f64).is_some());
+        let (r, _) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+        let health = r.get("health").expect("health object");
+        assert_eq!(health.get("served_jobs").and_then(Json::as_f64), Some(1.0));
+        assert!(health.get("uptime_ms").and_then(Json::as_f64).is_some());
     }
 
     #[test]
@@ -715,9 +852,8 @@ mod tests {
             .unwrap(),
         );
         let sup = Supervision {
-            active: Arc::new(AtomicUsize::new(0)),
-            max_connections: 64,
             stall_threshold_ms: 50,
+            ..test_supervision()
         };
         // Park the single worker in a slow job, then watch it trip the
         // 50 ms watchdog while still running.
@@ -760,7 +896,7 @@ mod tests {
         let sup = Supervision {
             active: Arc::new(AtomicUsize::new(2)),
             max_connections: 2,
-            stall_threshold_ms: 30_000,
+            ..test_supervision()
         };
         let (r, _) = handle_line(r#"{"cmd":"ready"}"#, &engine, &sup);
         assert_eq!(r.get("ready").and_then(Json::as_bool), Some(false));
@@ -778,6 +914,7 @@ mod tests {
             engine,
             ServerConfig {
                 max_connections: 1,
+                allow_remote_shutdown: true,
                 ..ServerConfig::default()
             },
         )
@@ -828,7 +965,15 @@ mod tests {
     #[test]
     fn server_round_trips_over_tcp() {
         let engine = test_engine();
-        let server = Server::bind("127.0.0.1:0", engine).unwrap();
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                allow_remote_shutdown: true,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
         let handle = thread::spawn(move || server.run().unwrap());
 

@@ -289,6 +289,7 @@ fn serve_disconnects_idle_connections_and_stays_up() {
             ServerConfig {
                 idle_timeout_ms: 150,
                 max_line_bytes: 4096,
+                allow_remote_shutdown: true,
                 ..ServerConfig::default()
             },
         )
@@ -352,6 +353,7 @@ fn serve_bounds_frame_length_and_survives_hostile_frames() {
             ServerConfig {
                 idle_timeout_ms: 2_000,
                 max_line_bytes: 1024,
+                allow_remote_shutdown: true,
                 ..ServerConfig::default()
             },
         )
@@ -501,5 +503,87 @@ fn drain_under_chaos_cancels_queued_and_closes_cleanly() {
             Err(JobError::PoolClosed) => {}
             other => panic!("expected PoolClosed after drain, got {other:?}"),
         }
+    });
+}
+
+/// Network chaos over the distributed dispatcher: with connection
+/// drops, stalls and corrupt response frames injected at the dispatch
+/// layer, every job must still produce bytes identical to the
+/// fault-free run — failover, circuit breakers and the local fallback
+/// absorb the damage without changing a single report.
+#[test]
+fn network_chaos_dispatch_reproduces_fault_free_bytes() {
+    use tdsigma_jobs::{DispatchConfig, Dispatcher};
+    with_deadline("network chaos dispatch", 120, || {
+        let jobs = grid();
+        let baseline: Vec<String> = engine(FaultPlan::none(), 0, None)
+            .run_batch(&jobs)
+            .results
+            .iter()
+            .map(|r| r.as_ref().expect("fault-free run succeeds").to_text())
+            .collect();
+
+        // Two real protocol servers over the same deterministic runner.
+        let spawn = || {
+            let server = Server::bind_with(
+                "127.0.0.1:0",
+                Arc::new(engine(FaultPlan::none(), 0, None)),
+                ServerConfig {
+                    allow_remote_shutdown: true,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind");
+            let addr = server.local_addr().expect("addr");
+            (
+                addr,
+                std::thread::spawn(move || server.run().expect("serve")),
+            )
+        };
+        let (addr_a, handle_a) = spawn();
+        let (addr_b, handle_b) = spawn();
+
+        for seed in CHAOS_SEEDS {
+            let config = DispatchConfig {
+                backends: vec![addr_a.to_string(), addr_b.to_string()],
+                faults: FaultPlan::chaos(seed),
+                ..DispatchConfig::default()
+            };
+            let dispatcher = Dispatcher::new(&config, fake_runner());
+            let batch = Engine::with_runner(
+                EngineConfig {
+                    pool: PoolConfig {
+                        workers: 4,
+                        retries: 0,
+                        ..PoolConfig::default()
+                    },
+                    cache_dir: None,
+                    faults: FaultPlan::none(),
+                },
+                dispatcher.into_runner(),
+            )
+            .expect("dispatch engine")
+            .run_batch(&jobs);
+            assert_eq!(batch.results.len(), jobs.len(), "seed {seed}: dropped jobs");
+            for (i, result) in batch.results.iter().enumerate() {
+                let report = result.as_ref().unwrap_or_else(|e| {
+                    panic!("seed {seed} job {i}: network chaos must never fail a job ({e})")
+                });
+                assert_eq!(
+                    report.to_text(),
+                    baseline[i],
+                    "seed {seed} job {i}: bytes diverge from the fault-free run"
+                );
+            }
+        }
+
+        for addr in [addr_a, addr_b] {
+            let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+            writeln!(stream, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
+            let mut line = String::new();
+            let _ = BufReader::new(stream).read_line(&mut line);
+        }
+        handle_a.join().expect("server a");
+        handle_b.join().expect("server b");
     });
 }

@@ -12,7 +12,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
-use tdsigma_jobs::{Engine, EngineConfig, Job, Json, PoolConfig, Server};
+use tdsigma_jobs::{Engine, EngineConfig, Job, Json, PoolConfig, Server, ServerConfig};
 
 /// A real-but-quick sim job (~ms): 2 slices, 2048 cycles, 4 substeps.
 fn quick_job(seed: u64) -> Job {
@@ -95,7 +95,15 @@ fn warm_disk_cache_executes_zero_flows() {
 
 #[test]
 fn serve_answers_concurrent_clients_and_rejects_garbage() {
-    let server = Server::bind("127.0.0.1:0", Arc::new(engine(4, None))).expect("bind");
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::new(engine(4, None)),
+        ServerConfig {
+            allow_remote_shutdown: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
     let addr = server.local_addr().expect("addr");
     let server_thread = std::thread::spawn(move || server.run().expect("serve"));
 

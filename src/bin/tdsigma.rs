@@ -5,13 +5,14 @@
 //!                [--samples 16384] [--out results]
 //! tdsigma sweep  [--nodes 40,180] [--slices 4,8] [--fs-mhz 750] [--amps 0.79]
 //!                [--bw-mhz 5] [--kind sim] [--samples 8192] [--seed 2017]
-//!                [--workers N] [--retries 1] [--cache-dir results/cache]
+//!                [--workers N | host:port,host:port[,local]] [--hedge-ms MS]
+//!                [--retries 1] [--cache-dir results/cache]
 //!                [--no-cache] [--trace results/trace/sweep.jsonl] [--out results]
 //!                [--run-id ID] [--journal-dir results/journal] [--no-journal]
 //!                [--resume ID]
 //! tdsigma serve  [--addr 127.0.0.1:4017] [--workers N] [--retries 1]
 //!                [--cache-dir results/cache] [--no-cache] [--trace FILE]
-//!                [--max-connections 64]
+//!                [--max-connections 64] [--allow-remote-shutdown]
 //! tdsigma nodes
 //! tdsigma help
 //! ```
@@ -29,9 +30,18 @@
 //! journal does not record as complete and writes a `sweep.json`
 //! bit-identical to an uninterrupted run.
 //!
+//! `sweep --workers` also accepts a comma-separated backend list
+//! (`host:port,host:port[,local]`): jobs then dispatch over the serve
+//! protocol to those `tdsigma serve` peers with per-backend circuit
+//! breakers, failover, optional hedging (`--hedge-ms`) and a guaranteed
+//! local fallback — results land in the same content-addressed cache,
+//! so distributed and local runs are byte-interchangeable and equally
+//! `--resume`-able.
+//!
 //! `serve` exposes the same engine over TCP — one JSON job request per
 //! line in, one JSON report per line out (see `crates/jobs/src/server.rs`
-//! or README for the protocol).
+//! or README for the protocol). The protocol `shutdown` command is
+//! refused unless the server was started with `--allow-remote-shutdown`.
 //!
 //! `--trace FILE` (sweep and serve) turns on the observability layer's
 //! JSON-lines trace sink: one line per flow stage span, job attempt and
@@ -46,8 +56,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
 use tdsigma::jobs::{
-    default_workers, validate_run_id, Engine, EngineConfig, FaultPlan, Job, JobKind, Journal,
-    JournalRecord, Json, PoolConfig, Server, ServerConfig,
+    default_workers, execute, validate_run_id, DispatchConfig, Dispatcher, Engine, EngineConfig,
+    FaultPlan, Job, JobKind, Journal, JournalRecord, Json, PoolConfig, Runner, Server,
+    ServerConfig,
 };
 use tdsigma::layout::physlib::PhysicalLibrary;
 use tdsigma::layout::{gds, lef, render};
@@ -100,13 +111,15 @@ fn print_help() {
     println!("                 [--samples K] [--out DIR]     run the full flow");
     println!("  tdsigma sweep  [--nodes 40,180] [--slices 4,8] [--fs-mhz 750]");
     println!("                 [--amps 0.79] [--bw-mhz B] [--kind sim|flow]");
-    println!("                 [--samples K] [--seed S] [--workers W] [--retries R]");
+    println!("                 [--samples K] [--seed S] [--retries R]");
+    println!("                 [--workers N | host:port,host:port[,local]] [--hedge-ms MS]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE] [--out DIR]");
     println!("                 [--run-id ID] [--journal-dir DIR] [--no-journal]");
     println!("                 [--resume ID]                   run a cached parallel grid");
     println!("  tdsigma serve  [--addr HOST:PORT] [--workers W] [--retries R]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE]");
-    println!("                 [--max-connections N]           JSON-lines job server");
+    println!("                 [--max-connections N] [--allow-remote-shutdown]");
+    println!("                                                JSON-lines job server");
     println!("  tdsigma nodes                                 list technology nodes");
     println!("  tdsigma help | --help | -h                    this message");
     println!("  tdsigma version | --version | -V              print the version");
@@ -118,6 +131,10 @@ fn print_help() {
     println!("CRASH RECOVERY: every sweep writes a write-ahead journal; after a crash,");
     println!("  `tdsigma sweep --resume ID` finishes the run without redoing completed");
     println!("  jobs and writes a bit-identical sweep.json.");
+    println!("DISTRIBUTED SWEEPS: `--workers host:port,host:port[,local]` dispatches jobs");
+    println!("  to `tdsigma serve` backends with per-backend circuit breakers, failover");
+    println!("  and a guaranteed local fallback; results are byte-identical to a local");
+    println!("  run. `--hedge-ms MS` duplicates a slow job onto a second backend.");
     println!("EXIT CODES (sweep): 0 = every job succeeded; 1 = degraded (some jobs");
     println!("  failed — sweep.json carries their structured failure records) or a");
     println!("  fatal setup/journal error.");
@@ -130,7 +147,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 2] = ["no-cache", "no-journal"];
+const SWITCHES: [&str; 3] = ["no-cache", "no-journal", "allow-remote-shutdown"];
 
 /// The flags each subcommand accepts (anything else is an error).
 const DESIGN_FLAGS: &[&str] = &["node", "fs-mhz", "bw-mhz", "slices", "samples", "out"];
@@ -154,6 +171,9 @@ const SWEEP_FLAGS: &[&str] = &[
     "journal-dir",
     "resume",
     "no-journal",
+    // Distributed dispatch: only meaningful with a backend list in
+    // --workers.
+    "hedge-ms",
     // Hidden: deterministic fault injection for resilience testing.
     // Not listed in `tdsigma help` on purpose.
     "chaos-seed",
@@ -166,6 +186,7 @@ const SERVE_FLAGS: &[&str] = &[
     "no-cache",
     "trace",
     "max-connections",
+    "allow-remote-shutdown",
     "chaos-seed",
 ];
 
@@ -327,33 +348,128 @@ fn try_run_design(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn engine_from_flags(flags: &Flags) -> Result<Engine, Box<dyn std::error::Error>> {
-    let workers = flags.usize("workers", default_workers())?;
+/// What `--workers` asked for: a local thread count, or a fleet of
+/// serve backends (with `local` optionally joining the rotation).
+enum WorkerSpec {
+    Local(usize),
+    Fleet { backends: Vec<String>, local: bool },
+}
+
+fn parse_workers(flags: &Flags) -> Result<WorkerSpec, String> {
+    let Some(text) = flags.values.get("workers") else {
+        return Ok(WorkerSpec::Local(default_workers()));
+    };
+    if let Ok(n) = text.parse::<usize>() {
+        if n == 0 {
+            return Err("--workers: need at least 1 worker".into());
+        }
+        return Ok(WorkerSpec::Local(n));
+    }
+    let mut backends = Vec::new();
+    let mut local = false;
+    for part in text.split(',') {
+        let part = part.trim();
+        if part == "local" {
+            local = true;
+        } else if part.contains(':') {
+            backends.push(part.to_string());
+        } else {
+            return Err(format!(
+                "--workers: {part:?} is neither a thread count, \"local\", nor host:port"
+            ));
+        }
+    }
+    if backends.is_empty() {
+        return Err("--workers: a backend list needs at least one host:port".into());
+    }
+    Ok(WorkerSpec::Fleet { backends, local })
+}
+
+fn fault_plan(flags: &Flags) -> Result<FaultPlan, String> {
+    match flags.values.get("chaos-seed") {
+        None => Ok(FaultPlan::none()),
+        Some(text) => {
+            let seed = text
+                .parse::<u64>()
+                .map_err(|e| format!("--chaos-seed: {e}"))?;
+            eprintln!("warning: chaos mode on (seed {seed}) — faults will be injected");
+            Ok(FaultPlan::chaos(seed))
+        }
+    }
+}
+
+fn engine_config(flags: &Flags, workers: usize) -> Result<EngineConfig, String> {
     let retries = flags.usize("retries", 1)? as u32;
     let cache_dir = if flags.switch("no-cache") {
         None
     } else {
         Some(flags.str("cache-dir", "results/cache").into())
     };
-    let faults = match flags.values.get("chaos-seed") {
-        None => FaultPlan::none(),
-        Some(text) => {
-            let seed = text
-                .parse::<u64>()
-                .map_err(|e| format!("--chaos-seed: {e}"))?;
-            eprintln!("warning: chaos mode on (seed {seed}) — faults will be injected");
-            FaultPlan::chaos(seed)
-        }
-    };
-    Ok(Engine::new(EngineConfig {
+    Ok(EngineConfig {
         pool: PoolConfig {
             workers,
             retries,
             ..PoolConfig::default()
         },
         cache_dir,
-        faults,
-    })?)
+        faults: fault_plan(flags)?,
+    })
+}
+
+/// Builds the engine `--workers` asked for. With a thread count this is
+/// the classic in-process pool; with a backend list the engine's runner
+/// becomes a [`Dispatcher`] over the fleet (returned alongside, for the
+/// end-of-sweep summary) — journal, cache, resume and metrics machinery
+/// are identical either way.
+type EngineSetup = (Engine, Option<Arc<Dispatcher>>);
+
+fn engine_from_flags(flags: &Flags) -> Result<EngineSetup, Box<dyn std::error::Error>> {
+    match parse_workers(flags)? {
+        WorkerSpec::Local(workers) => {
+            let engine = Engine::new(engine_config(flags, workers)?)?;
+            Ok((engine, None))
+        }
+        WorkerSpec::Fleet { backends, local } => {
+            let config = DispatchConfig {
+                backends,
+                local_in_rotation: local,
+                hedge_ms: flags.usize("hedge-ms", 0)? as u64,
+                faults: fault_plan(flags)?,
+                ..DispatchConfig::default()
+            };
+            let local_runner: Arc<Runner> = Arc::new(execute);
+            let dispatcher = Dispatcher::new(&config, local_runner);
+            // Startup probe: report each backend, seed the breakers, and
+            // size the dispatch pool from the fleet's actual capacity
+            // (each pool thread just blocks on one remote call).
+            let mut remote_workers = 0usize;
+            for (addr, health) in dispatcher.probe() {
+                match health {
+                    Some(h) => {
+                        println!(
+                            "backend {addr}: {} workers, status {}, up {:.0} s, {} jobs served",
+                            h.workers,
+                            h.status,
+                            h.uptime_ms as f64 / 1e3,
+                            h.served_jobs
+                        );
+                        remote_workers += h.workers;
+                    }
+                    None => eprintln!("warning: backend {addr} unreachable at startup"),
+                }
+            }
+            let workers = if local {
+                remote_workers + default_workers()
+            } else {
+                remote_workers
+            };
+            let engine = Engine::with_runner(
+                engine_config(flags, workers.clamp(1, 64))?,
+                dispatcher.into_runner(),
+            )?;
+            Ok((engine, Some(dispatcher)))
+        }
+    }
 }
 
 /// Turns on the JSON-lines trace sink if `--trace FILE` was given;
@@ -505,7 +621,7 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         (jobs, run_id, journal)
     };
 
-    let engine = engine_from_flags(flags)?;
+    let (engine, dispatcher) = engine_from_flags(flags)?;
     println!(
         "sweep {run_id}: {} jobs on {} workers (journal: {})",
         jobs.len(),
@@ -543,6 +659,16 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         }
     }
     println!("{}", batch.metrics);
+    if let Some(dispatcher) = &dispatcher {
+        let summary = dispatcher.summary();
+        println!("{summary}");
+        if summary.degraded() {
+            eprintln!(
+                "degraded: {} job(s) ran via local fallback because every backend was unavailable",
+                summary.local_fallbacks
+            );
+        }
+    }
     print_stage_breakdown();
     if let Some(path) = trace {
         tdsigma::obs::disable_tracing();
@@ -593,12 +719,18 @@ fn run_serve(flags: &Flags) -> ExitCode {
 fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     let addr = flags.str("addr", "127.0.0.1:4017");
     let trace = enable_trace(flags)?;
-    let engine = Arc::new(engine_from_flags(flags)?);
+    let (engine, dispatcher) = engine_from_flags(flags)?;
+    if dispatcher.is_some() {
+        return Err("serve takes a numeric --workers (a backend cannot itself dispatch)".into());
+    }
+    let engine = Arc::new(engine);
     let server_config = ServerConfig {
         max_connections: flags.usize("max-connections", ServerConfig::default().max_connections)?,
+        allow_remote_shutdown: flags.switch("allow-remote-shutdown"),
         ..ServerConfig::default()
     };
     let max_connections = server_config.max_connections;
+    let allow_remote_shutdown = server_config.allow_remote_shutdown;
     let server = Server::bind_with(addr.as_str(), Arc::clone(&engine), server_config)?;
     println!(
         "tdsigma serve: listening on {} ({} workers, cache: {}, max {} connections)",
@@ -613,6 +745,11 @@ fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     println!("protocol: one JSON job request per line, one JSON report per line back");
     println!(r#"example: {{"kind":"sim","node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}}"#);
     println!(r#"supervision: {{"cmd":"health"}} and {{"cmd":"ready"}} report liveness"#);
+    if allow_remote_shutdown {
+        println!("remote shutdown: ENABLED (any client can stop this server)");
+    } else {
+        println!("remote shutdown: disabled (start with --allow-remote-shutdown to enable)");
+    }
     server.run()?;
     // Graceful drain: in-flight jobs finish, queued work is cancelled,
     // worker threads are joined before we report totals.

@@ -13,72 +13,13 @@
 //! progress, the journal tail is deliberately mangled, and the resume
 //! must reconcile and finish.
 
-use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::{Duration, Instant};
 
-fn bin() -> &'static str {
-    env!("CARGO_BIN_EXE_tdsigma")
-}
+mod common;
+use common::{bin, finished_records, journal_path, metric, sweep_args, SLOW_SAMPLES};
 
 const RUN_ID: &str = "crash-resume-it";
-/// Large enough that each of the 4 jobs runs for over a second in an
-/// unoptimized build, so the poll loop below always catches the sweep
-/// mid-flight.
-const SAMPLES: &str = "262144";
-
-/// Common sweep arguments rooted at `base`: a 2x2 grid with all state
-/// (cache, journal, artifact) confined to the temp directory.
-fn sweep_args(base: &Path, workers: &str) -> Vec<String> {
-    [
-        "sweep",
-        "--nodes",
-        "40,180",
-        "--slices",
-        "1,2",
-        "--samples",
-        SAMPLES,
-        "--workers",
-        workers,
-        "--run-id",
-        RUN_ID,
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .chain([
-        "--journal-dir".into(),
-        base.join("journal").to_string_lossy().into_owned(),
-        "--cache-dir".into(),
-        base.join("cache").to_string_lossy().into_owned(),
-        "--out".into(),
-        base.to_string_lossy().into_owned(),
-    ])
-    .collect()
-}
-
-fn journal_path(base: &Path) -> PathBuf {
-    base.join("journal").join(format!("{RUN_ID}.jsonl"))
-}
-
-fn finished_records(journal: &Path) -> usize {
-    std::fs::read_to_string(journal)
-        .map(|text| text.matches("\"t\":\"job_finished\"").count())
-        .unwrap_or(0)
-}
-
-/// Pulls the count preceding `marker` out of the metrics line, e.g.
-/// `2` from `"... — 2 executed, 2 cache hits ..."`.
-fn metric(stdout: &str, marker: &str) -> usize {
-    let tokens: Vec<&str> = stdout.split_whitespace().collect();
-    for i in 1..tokens.len() {
-        if tokens[i].trim_end_matches(',') == marker {
-            if let Ok(n) = tokens[i - 1].parse() {
-                return n;
-            }
-        }
-    }
-    panic!("no {marker:?} metric in output:\n{stdout}");
-}
 
 #[test]
 fn kill9_mid_sweep_then_resume_reproduces_the_report() {
@@ -91,7 +32,7 @@ fn kill9_mid_sweep_then_resume_reproduces_the_report() {
 
     // Control: the same grid, uninterrupted, in its own cache/journal.
     let out = Command::new(bin())
-        .args(sweep_args(&control, "2"))
+        .args(sweep_args(&control, "2", RUN_ID, SLOW_SAMPLES))
         .output()
         .expect("control run spawns");
     assert!(
@@ -104,12 +45,12 @@ fn kill9_mid_sweep_then_resume_reproduces_the_report() {
     // Crash run: one worker serializes the jobs, so killing after the
     // first `job_finished` record is guaranteed to strand later jobs.
     let mut child = Command::new(bin())
-        .args(sweep_args(&crashed, "1"))
+        .args(sweep_args(&crashed, "1", RUN_ID, SLOW_SAMPLES))
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::null())
         .spawn()
         .expect("crash run spawns");
-    let journal = journal_path(&crashed);
+    let journal = journal_path(&crashed, RUN_ID);
     let deadline = Instant::now() + Duration::from_secs(120);
     let finished_before_kill = loop {
         let done = finished_records(&journal);
@@ -117,7 +58,7 @@ fn kill9_mid_sweep_then_resume_reproduces_the_report() {
             break done;
         }
         if let Some(status) = child.try_wait().expect("try_wait") {
-            panic!("sweep exited ({status:?}) before the test could kill it — raise SAMPLES");
+            panic!("sweep exited ({status:?}) before the test could kill it — raise SLOW_SAMPLES");
         }
         assert!(
             Instant::now() < deadline,
