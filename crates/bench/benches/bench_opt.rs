@@ -1,0 +1,64 @@
+//! Micro-bench: the design-space optimizer — driver overhead with a
+//! synthetic evaluator (no flows), and the real per-candidate
+//! evaluation cost the loop pays through the jobs runner.
+//!
+//! `cargo bench --bench bench_opt -- --save BENCH_opt.json` refreshes
+//! the checked-in baseline.
+
+use std::hint::black_box;
+use tdsigma_bench::harness::BenchRunner;
+use tdsigma_jobs::{execute, Job, JobError, JobReport};
+use tdsigma_opt::{optimize, OptConfig, SearchSpace, Strategy};
+
+/// A flow-free evaluator: smooth analytic SNDR/FOM so the bench times
+/// the optimizer (ask/tell, scoring, report assembly), not simulations.
+fn synthetic_eval(jobs: &[Job]) -> Result<Vec<Result<JobReport, JobError>>, JobError> {
+    Ok(jobs
+        .iter()
+        .map(|job| {
+            let sndr = 60.0 + job.slices as f64 * 2.0;
+            let fom = 50.0
+                + (job.slices as f64 - 12.0).powi(2)
+                + ((job.rdac_ohm / 1000.0) - 30.0).powi(2) * 0.1;
+            Ok(JobReport {
+                key: job.key(),
+                job: job.clone(),
+                fin_hz: job.input_frequency_hz(),
+                sndr_db: sndr,
+                enob: (sndr - 1.76) / 6.02,
+                power_mw: Some(1.0),
+                digital_fraction: Some(0.9),
+                area_mm2: Some(0.01),
+                fom_fj: Some(fom),
+                timing_slack_ps: Some(10.0),
+            })
+        })
+        .collect())
+}
+
+fn main() {
+    let runner = BenchRunner::from_args();
+
+    for strategy in [Strategy::Cma, Strategy::Halving] {
+        let config = OptConfig {
+            strategy,
+            budget: 48,
+            ..OptConfig::flow(SearchSpace::default())
+        };
+        runner.bench(
+            &format!("opt_{}_loop_synthetic_48evals", strategy.as_str()),
+            || black_box(optimize(&config, &mut synthetic_eval).expect("synthetic run")),
+        );
+    }
+
+    // One real sim-kind candidate evaluation through the jobs runner —
+    // the unit of cost every uncached optimizer generation pays per
+    // candidate.
+    let mut job = Job::sim(40.0, 750e6, 5e6);
+    job.samples = 2048;
+    runner.bench("opt_real_sim_eval_2048cyc", || {
+        black_box(execute(&job).expect("sim job"))
+    });
+
+    runner.finish();
+}

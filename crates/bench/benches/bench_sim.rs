@@ -1,10 +1,16 @@
 //! Micro-bench: behavioral ADC simulation throughput at both paper
-//! nodes, and its sensitivity to the substep count.
+//! nodes, its sensitivity to the substep count, and the single-run
+//! transient + spectrum path a design-space evaluation pays per
+//! candidate.
+//!
+//! `cargo bench --bench bench_sim -- --save BENCH_sim.json` refreshes
+//! the checked-in baseline.
 
 use std::hint::black_box;
 use tdsigma_bench::harness::BenchRunner;
 use tdsigma_core::sim::AdcSimulator;
 use tdsigma_core::spec::AdcSpec;
+use tdsigma_dsp::window::Window;
 
 fn main() {
     let runner = BenchRunner::from_args();
@@ -27,4 +33,15 @@ fn main() {
             black_box(sim.run_tone(1e6, 0.1, 512))
         });
     }
+
+    // The per-candidate cost of one optimizer evaluation at sim kind:
+    // transient capture plus windowed spectrum (the SNDR path).
+    let spec = AdcSpec::paper_40nm().expect("spec");
+    runner.bench(&format!("adc_sim_transient_spectrum_{cycles}cyc"), || {
+        let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
+        let capture = sim.run_tone(1e6, 0.79, cycles);
+        black_box(capture.spectrum(Window::Hann))
+    });
+
+    runner.finish();
 }

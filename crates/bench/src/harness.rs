@@ -8,30 +8,68 @@
 //! iteration). `cargo test` runs each case exactly once — the same
 //! fast-smoke behavior criterion implements for its `--test` flag — so
 //! the tier-1 suite stays quick while still executing every bench body.
+//!
+//! `--save FILE` records every case's mean/min as a JSON baseline
+//! (see `BENCH_sim.json` / `BENCH_opt.json` at the repo root): a
+//! checked-in snapshot that future sessions diff against to catch
+//! performance regressions. Quick-mode numbers are marked as such in
+//! the file — a single unwarmed iteration is a smoke signal, not a
+//! baseline.
 
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// One finished case: name, mean and best per-iteration time.
+#[derive(Debug, Clone)]
+struct CaseResult {
+    name: String,
+    mean: Duration,
+    min: Duration,
+}
+
 /// Runs named benchmark cases according to the command line.
 ///
-/// Recognized arguments (the subset cargo actually passes):
+/// Recognized arguments (the subset cargo actually passes, plus ours):
 /// `--bench` (ignored marker), `--test` → quick mode (one iteration per
-/// case), and a free-standing string → substring filter on case names.
-#[derive(Debug, Clone)]
+/// case), `--save FILE` → write a JSON baseline of every measured case,
+/// and a free-standing string → substring filter on case names.
+#[derive(Debug)]
 pub struct BenchRunner {
     quick: bool,
     filter: Option<String>,
     budget: Duration,
+    save: Option<String>,
+    results: RefCell<Vec<CaseResult>>,
 }
 
 impl BenchRunner {
     /// A runner configured from `std::env::args`.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<_>>())
+    }
+
+    fn from_arg_list(args: &[String]) -> Self {
+        let mut save = None;
+        let mut filter = None;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--save" {
+                save = args.get(i + 1).cloned();
+                i += 2;
+                continue;
+            }
+            if !args[i].starts_with('-') && filter.is_none() {
+                filter = Some(args[i].clone());
+            }
+            i += 1;
+        }
         BenchRunner {
             quick: args.iter().any(|a| a == "--test"),
-            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+            filter,
             budget: Duration::from_millis(300),
+            save,
+            results: RefCell::new(Vec::new()),
         }
     }
 
@@ -41,6 +79,8 @@ impl BenchRunner {
             quick: true,
             filter: None,
             budget: Duration::from_millis(1),
+            save: None,
+            results: RefCell::new(Vec::new()),
         }
     }
 
@@ -57,6 +97,11 @@ impl BenchRunner {
             black_box(f());
             let once = start.elapsed();
             println!("{name:<44} {:>12} (1 iter, quick mode)", fmt_duration(once));
+            self.results.borrow_mut().push(CaseResult {
+                name: name.to_string(),
+                mean: once,
+                min: once,
+            });
             return Some(once);
         }
 
@@ -90,7 +135,39 @@ impl BenchRunner {
             fmt_duration(mean),
             fmt_duration(best_batch),
         );
+        self.results.borrow_mut().push(CaseResult {
+            name: name.to_string(),
+            mean,
+            min: best_batch,
+        });
         Some(mean)
+    }
+
+    /// Writes the JSON baseline if `--save FILE` was given. Call once at
+    /// the end of a bench `main`; a no-op without `--save`.
+    pub fn finish(&self) {
+        let Some(path) = &self.save else { return };
+        let results = self.results.borrow();
+        let cases: Vec<String> = results
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}}}",
+                    c.name,
+                    c.mean.as_nanos(),
+                    c.min.as_nanos()
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"quick\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+            self.quick,
+            cases.join(",\n")
+        );
+        match std::fs::write(path, body) {
+            Ok(()) => println!("saved {} case(s) → {path}", results.len()),
+            Err(e) => eprintln!("error: --save {path}: {e}"),
+        }
     }
 }
 
@@ -126,11 +203,58 @@ mod tests {
             quick: true,
             filter: Some("fft".into()),
             budget: Duration::from_millis(1),
+            save: None,
+            results: RefCell::new(Vec::new()),
         };
         let mut calls = 0;
         assert!(runner.bench("apr_route", || calls += 1).is_none());
         assert!(runner.bench("fft_16k", || calls += 1).is_some());
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn save_writes_a_json_baseline() {
+        let dir = std::env::temp_dir().join(format!("bench-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let runner = BenchRunner {
+            quick: true,
+            filter: None,
+            budget: Duration::from_millis(1),
+            save: Some(path.to_string_lossy().into_owned()),
+            results: RefCell::new(Vec::new()),
+        };
+        runner.bench("alpha", || 1 + 1);
+        runner.bench("beta", || 2 + 2);
+        runner.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"alpha\"") && text.contains("\"beta\""),
+            "{text}"
+        );
+        assert!(text.contains("\"quick\": true"));
+        assert!(text.contains("mean_ns"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_flag_does_not_become_the_filter() {
+        let args: Vec<String> = ["--bench", "--save", "out.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let runner = BenchRunner::from_arg_list(&args);
+        assert_eq!(runner.save.as_deref(), Some("out.json"));
+        assert!(runner.filter.is_none(), "a --save value is not a filter");
+
+        let args: Vec<String> = ["--test", "fft", "--save", "b.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let runner = BenchRunner::from_arg_list(&args);
+        assert!(runner.quick);
+        assert_eq!(runner.filter.as_deref(), Some("fft"));
+        assert_eq!(runner.save.as_deref(), Some("b.json"));
     }
 
     #[test]

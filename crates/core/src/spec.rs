@@ -239,6 +239,20 @@ impl AdcSpec {
         self.validated()
     }
 
+    /// Returns a copy with a different DAC branch resistance (the
+    /// paper's feedback-current knob: a smaller `Rdac` pushes more DAC
+    /// current, widening the full scale and the loop's slewing
+    /// authority at the cost of DAC power). The design-space optimizer
+    /// searches this dimension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn with_dac_resistance(mut self, rdac_ohm: f64) -> Result<Self, CoreError> {
+        self.rdac_ohm = rdac_ohm;
+        self.validated()
+    }
+
     /// Returns a copy with the loop gain scaled (the paper's "boost the
     /// loop gain by increasing either the DAC feedback current or the VCO
     /// tuning gain" knob).
@@ -287,6 +301,15 @@ mod tests {
         let base = s.kvco_hz_per_v;
         let hotter = s.with_loop_gain(2.0).unwrap();
         assert!((hotter.kvco_hz_per_v - 2.0 * base).abs() < 1.0);
+    }
+
+    #[test]
+    fn dac_resistance_knob_rescales_full_scale() {
+        let s = AdcSpec::paper_40nm().unwrap();
+        let fs0 = s.full_scale_v();
+        let hot = s.clone().with_dac_resistance(11_000.0).unwrap();
+        assert!((hot.full_scale_v() - 2.0 * fs0).abs() < 1e-12);
+        assert!(s.with_dac_resistance(-1.0).is_err());
     }
 
     #[test]

@@ -134,6 +134,20 @@ impl ResultCache {
         Some(report)
     }
 
+    /// Cheap presence probe: true if `key` is in the memory tier or an
+    /// artifact file exists on disk. Unlike [`ResultCache::get`] this
+    /// never reads, parses, quarantines or promotes — it is the
+    /// dry-run/planning primitive, so a preview of a 10k-job sweep costs
+    /// 10k `stat` calls, not 10k artifact parses. A corrupt artifact
+    /// therefore counts as present here and will only be quarantined
+    /// (and re-executed) by the real run.
+    pub fn contains(&self, key: &str) -> bool {
+        if self.mem.lock().expect("cache lock").contains_key(key) {
+            return true;
+        }
+        self.artifact_path(key).is_some_and(|p| p.exists())
+    }
+
     /// Stores a result under its own key, in memory and (if configured)
     /// on disk. The disk write is atomic (temp file + rename) so a
     /// concurrent reader never observes a torn artifact.

@@ -76,6 +76,9 @@ pub struct Job {
     pub loop_gain: f64,
     /// Ring-VCO stages per VCO; 0 → the spec default.
     pub vco_stages: usize,
+    /// DAC branch resistance, Ω (the feedback-current knob the design-
+    /// space optimizer searches); 0.0 → the spec default (22 kΩ).
+    pub rdac_ohm: f64,
     /// RNG seed for mismatch and noise draws (one seed = one die).
     pub seed: u64,
 }
@@ -96,6 +99,7 @@ impl Job {
             steps_per_cycle: 0,
             loop_gain: 1.0,
             vco_stages: 0,
+            rdac_ohm: 0.0,
             seed: 2017,
         }
     }
@@ -116,8 +120,8 @@ impl Job {
     /// no formatting or rounding ambiguity can alias distinct jobs.
     pub fn canonical(&self) -> String {
         format!(
-            "v1;kind={};node={:016x};slices={};fs={:016x};bw={:016x};samples={};amp={:016x};\
-             fin={};steps={};gain={:016x};stages={};seed={}",
+            "v2;kind={};node={:016x};slices={};fs={:016x};bw={:016x};samples={};amp={:016x};\
+             fin={};steps={};gain={:016x};stages={};rdac={:016x};seed={}",
             self.kind.as_str(),
             self.node_nm.to_bits(),
             self.slices,
@@ -130,6 +134,7 @@ impl Job {
             self.steps_per_cycle,
             self.loop_gain.to_bits(),
             self.vco_stages,
+            self.rdac_ohm.to_bits(),
             self.seed,
         )
     }
@@ -167,6 +172,11 @@ impl Job {
         if self.steps_per_cycle != 0 {
             spec.steps_per_cycle = self.steps_per_cycle;
         }
+        if self.rdac_ohm != 0.0 {
+            spec = spec
+                .with_dac_resistance(self.rdac_ohm)
+                .map_err(|e| invalid(&e))?;
+        }
         spec.seed = self.seed;
         spec.validated().map_err(|e| invalid(&e))
     }
@@ -197,6 +207,7 @@ impl Job {
             ),
             ("loop_gain".into(), Json::Num(self.loop_gain)),
             ("vco_stages".into(), Json::Num(self.vco_stages as f64)),
+            ("rdac_ohm".into(), Json::Num(self.rdac_ohm)),
             ("seed".into(), Json::Num(self.seed as f64)),
         ])
     }
@@ -229,6 +240,12 @@ impl Job {
             steps_per_cycle: int("steps_per_cycle")? as usize,
             loop_gain: num("loop_gain")?,
             vco_stages: int("vco_stages")? as usize,
+            // Absent in pre-v2 journals and requests: 0.0 = spec default,
+            // which is exactly what those jobs meant.
+            rdac_ohm: match v.get("rdac_ohm") {
+                Some(Json::Null) | None => 0.0,
+                Some(x) => x.as_f64().ok_or_else(|| missing("rdac_ohm"))?,
+            },
             seed: int("seed")?,
         })
     }
@@ -293,6 +310,25 @@ mod tests {
         assert_eq!(spec.seed, 99);
         let base = Job::sim(40.0, 750e6, 5e6).to_spec().unwrap();
         assert!((spec.kvco_hz_per_v / base.kvco_hz_per_v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rdac_knob_applies_and_rekeys() {
+        let mut job = Job::sim(40.0, 750e6, 5e6);
+        let base_key = job.key();
+        let base_fs = job.to_spec().unwrap().full_scale_v();
+        job.rdac_ohm = 11_000.0;
+        assert_ne!(job.key(), base_key, "rdac must change the address");
+        let spec = job.to_spec().unwrap();
+        assert_eq!(spec.rdac_ohm, 11_000.0);
+        assert!((spec.full_scale_v() - 2.0 * base_fs).abs() < 1e-12);
+        // Pre-v2 JSON without the field parses to the spec default.
+        let legacy = r#"{"kind":"sim","node_nm":40,"slices":8,"fs_hz":750000000,
+            "bw_hz":5000000,"samples":8192,"amplitude_rel":0.79,"fin_hz":null,
+            "steps_per_cycle":0,"loop_gain":1,"vco_stages":0,"seed":2017}"#;
+        let back = Job::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(back.rdac_ohm, 0.0);
+        assert_eq!(back.key(), base_key);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod job;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod plan;
 pub mod pool;
 pub mod remote;
 pub mod report;
@@ -62,6 +63,7 @@ pub use job::{Job, JobKind};
 pub use journal::{validate_run_id, Journal, JournalRecord, JournalReplay};
 pub use json::Json;
 pub use metrics::{BackendDispatchStats, BatchMetrics, DispatchSummary, StageTimes};
+pub use plan::{PlanPreview, PlanRow};
 pub use pool::{
     backoff_delay_ms, default_workers, JobOutcome, PoolConfig, Runner, WorkerHeartbeat, WorkerPool,
 };

@@ -523,7 +523,7 @@ fn obs_snapshot_json() -> Json {
 /// Builds a [`Job`] from a friendly-units request object. Unknown fields
 /// are rejected so a typo cannot silently fall back to a default.
 fn job_from_request(v: &Json) -> Result<Job, JobError> {
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "kind",
         "node",
         "slices",
@@ -535,6 +535,7 @@ fn job_from_request(v: &Json) -> Result<Job, JobError> {
         "steps",
         "loop_gain",
         "vco_stages",
+        "rdac_ohm",
         "seed",
     ];
     let Json::Obj(fields) = v else {
@@ -601,6 +602,9 @@ fn job_from_request(v: &Json) -> Result<Job, JobError> {
     }
     if let Some(x) = int("vco_stages")? {
         job.vco_stages = x as usize;
+    }
+    if let Some(x) = num("rdac_ohm")? {
+        job.rdac_ohm = x;
     }
     if let Some(x) = int("seed")? {
         job.seed = x;

@@ -10,6 +10,15 @@
 //!                [--no-cache] [--trace results/trace/sweep.jsonl] [--out results]
 //!                [--run-id ID] [--journal-dir results/journal] [--no-journal]
 //!                [--resume ID]
+//! tdsigma optimize [--space FILE] [--strategy cma|halving] [--kind flow|sim]
+//!                [--budget 32] [--seed 2017] [--sndr-floor 70] [--samples K]
+//!                [--population L] [--nodes 40,180] [--slices-range 2,16]
+//!                [--stages-range 3,5] [--gain-range 0.5,2.0]
+//!                [--rdac-range 11000,44000] [--fs-mhz F] [--bw-mhz B]
+//!                [--workers ...] [--retries 1] [--cache-dir results/cache]
+//!                [--no-cache] [--trace FILE] [--out results] [--run-id ID]
+//!                [--journal-dir results/journal] [--no-journal]
+//!                [--resume ID] [--dry-run]
 //! tdsigma serve  [--addr 127.0.0.1:4017] [--workers N] [--retries 1]
 //!                [--cache-dir results/cache] [--no-cache] [--trace FILE]
 //!                [--max-connections 64] [--allow-remote-shutdown]
@@ -38,6 +47,15 @@
 //! so distributed and local runs are byte-interchangeable and equally
 //! `--resume`-able.
 //!
+//! `optimize` runs a closed-loop design-space search (CMA-ES-like
+//! evolution or successive-halving racing, see `crates/opt`) over slice
+//! count, VCO sizing, DAC resistance and technology node. Candidates are
+//! evaluated through the same job engine as `sweep` — cache, journal,
+//! `--workers` fleet dispatch and `--resume` all apply — and the full
+//! generation history lands in `optimize.json`. `--dry-run` (both sweep
+//! and optimize) prints the planned jobs and predicted cache hits
+//! without executing anything.
+//!
 //! `serve` exposes the same engine over TCP — one JSON job request per
 //! line in, one JSON report per line out (see `crates/jobs/src/server.rs`
 //! or README for the protocol). The protocol `shutdown` command is
@@ -57,11 +75,12 @@ use std::sync::Arc;
 use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
 use tdsigma::jobs::{
     default_workers, execute, validate_run_id, DispatchConfig, Dispatcher, Engine, EngineConfig,
-    FaultPlan, Job, JobKind, Journal, JournalRecord, Json, PoolConfig, Runner, Server,
-    ServerConfig,
+    FaultPlan, Job, JobKind, Journal, JournalRecord, Json, PlanPreview, PoolConfig, ResultCache,
+    Runner, Server, ServerConfig,
 };
 use tdsigma::layout::physlib::PhysicalLibrary;
 use tdsigma::layout::{gds, lef, render};
+use tdsigma::opt::{initial_jobs, optimize, OptConfig, SearchSpace, Strategy};
 use tdsigma::tech::{NodeId, Technology};
 
 fn main() -> ExitCode {
@@ -78,6 +97,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("design") => dispatch(&args[1..], DESIGN_FLAGS, run_design),
         Some("sweep") => dispatch(&args[1..], SWEEP_FLAGS, run_sweep),
+        Some("optimize") => dispatch(&args[1..], OPTIMIZE_FLAGS, run_optimize),
         Some("serve") => dispatch(&args[1..], SERVE_FLAGS, run_serve),
         Some("nodes") => {
             println!("supported technology nodes:");
@@ -115,7 +135,15 @@ fn print_help() {
     println!("                 [--workers N | host:port,host:port[,local]] [--hedge-ms MS]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE] [--out DIR]");
     println!("                 [--run-id ID] [--journal-dir DIR] [--no-journal]");
-    println!("                 [--resume ID]                   run a cached parallel grid");
+    println!("                 [--resume ID] [--dry-run]       run a cached parallel grid");
+    println!("  tdsigma optimize [--space FILE] [--strategy cma|halving]");
+    println!("                 [--kind flow|sim] [--budget N] [--seed S]");
+    println!("                 [--sndr-floor DB] [--samples K] [--population L]");
+    println!("                 [--nodes 40,180] [--slices-range LO,HI]");
+    println!("                 [--stages-range LO,HI] [--gain-range LO,HI]");
+    println!("                 [--rdac-range LO,HI] [--fs-mhz F] [--bw-mhz B]");
+    println!("                 [engine flags as sweep] [--resume ID] [--dry-run]");
+    println!("                                                closed-loop design search");
     println!("  tdsigma serve  [--addr HOST:PORT] [--workers W] [--retries R]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE]");
     println!("                 [--max-connections N] [--allow-remote-shutdown]");
@@ -138,6 +166,12 @@ fn print_help() {
     println!("EXIT CODES (sweep): 0 = every job succeeded; 1 = degraded (some jobs");
     println!("  failed — sweep.json carries their structured failure records) or a");
     println!("  fatal setup/journal error.");
+    println!("DESIGN-SPACE SEARCH: `tdsigma optimize` explores slices × VCO sizing ×");
+    println!("  DAC resistance × node with a CMA-ES-like strategy or successive-halving");
+    println!("  racing; same seed → byte-identical optimize.json, and a killed run is");
+    println!("  finished by `tdsigma optimize --resume ID` through the result cache.");
+    println!("DRY RUN: `--dry-run` (sweep and optimize) prints the planned jobs and");
+    println!("  predicted cache hits vs misses, then exits without executing anything.");
 }
 
 /// Parsed command line: `--key value` pairs plus bare `--switch` flags.
@@ -147,7 +181,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 3] = ["no-cache", "no-journal", "allow-remote-shutdown"];
+const SWITCHES: [&str; 4] = ["no-cache", "no-journal", "allow-remote-shutdown", "dry-run"];
 
 /// The flags each subcommand accepts (anything else is an error).
 const DESIGN_FLAGS: &[&str] = &["node", "fs-mhz", "bw-mhz", "slices", "samples", "out"];
@@ -174,8 +208,42 @@ const SWEEP_FLAGS: &[&str] = &[
     // Distributed dispatch: only meaningful with a backend list in
     // --workers.
     "hedge-ms",
+    // Plan preview: print the grid and predicted cache hits, run nothing.
+    "dry-run",
     // Hidden: deterministic fault injection for resilience testing.
     // Not listed in `tdsigma help` on purpose.
+    "chaos-seed",
+];
+const OPTIMIZE_FLAGS: &[&str] = &[
+    // Search definition: a space file, or inline range flags on top.
+    "space",
+    "strategy",
+    "kind",
+    "budget",
+    "seed",
+    "sndr-floor",
+    "samples",
+    "population",
+    "nodes",
+    "slices-range",
+    "stages-range",
+    "gain-range",
+    "rdac-range",
+    "fs-mhz",
+    "bw-mhz",
+    // Execution: same engine knobs as sweep.
+    "workers",
+    "retries",
+    "cache-dir",
+    "no-cache",
+    "trace",
+    "out",
+    "run-id",
+    "journal-dir",
+    "resume",
+    "no-journal",
+    "hedge-ms",
+    "dry-run",
     "chaos-seed",
 ];
 const SERVE_FLAGS: &[&str] = &[
@@ -533,12 +601,31 @@ fn run_sweep(flags: &Flags) -> ExitCode {
 
 /// A fresh run id: unique enough for a journal filename, and valid under
 /// the journal's run-id rules.
-fn generate_run_id() -> String {
+fn generate_run_id(prefix: &str) -> String {
     let millis = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis())
         .unwrap_or(0);
-    format!("sweep-{millis}-{}", std::process::id())
+    format!("{prefix}-{millis}-{}", std::process::id())
+}
+
+/// Prints the dry-run plan: what the batch would submit, and what the
+/// current cache already answers. Runs nothing, writes nothing.
+fn print_dry_run(flags: &Flags, jobs: &[Job]) -> Result<(), Box<dyn std::error::Error>> {
+    let cache = if flags.switch("no-cache") {
+        None
+    } else {
+        // Opening the cache read-classifies only; `contains` never
+        // parses or quarantines artifacts.
+        Some(ResultCache::with_disk(
+            flags.str("cache-dir", "results/cache"),
+        )?)
+    };
+    let preview = PlanPreview::of(jobs, cache.as_ref());
+    print!("{}", preview.table());
+    println!("{}", preview.summary());
+    println!("dry run: nothing executed, nothing written");
+    Ok(())
 }
 
 fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
@@ -560,6 +647,9 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
 
     // Resume replaces the grid with the journaled plan; a fresh run
     // builds the grid and (unless --no-journal) opens a new journal.
+    // A dry run never touches the journal — it previews the exact job
+    // list the real invocation would submit, resumed or fresh.
+    let dry_run = flags.switch("dry-run");
     let resume_id = flags.values.get("resume").cloned();
     let (jobs, run_id, mut journal) = if let Some(run_id) = resume_id {
         validate_run_id(&run_id)?;
@@ -587,6 +677,10 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
             replay.degraded.len(),
             replay.resumes + 1
         );
+        if dry_run {
+            print_dry_run(flags, &replay.jobs)?;
+            return Ok(0);
+        }
         let mut journal = Journal::open_existing(&journal_dir, &run_id)?;
         journal.append(&JournalRecord::Resumed {
             completed: complete as u64,
@@ -611,7 +705,11 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
                 }
             }
         }
-        let run_id = flags.str("run-id", &generate_run_id());
+        if dry_run {
+            print_dry_run(flags, &jobs)?;
+            return Ok(0);
+        }
+        let run_id = flags.str("run-id", &generate_run_id("sweep"));
         validate_run_id(&run_id)?;
         let journal = if flags.switch("no-journal") {
             None
@@ -701,6 +799,228 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         );
     }
     Ok(failed)
+}
+
+fn run_optimize(flags: &Flags) -> ExitCode {
+    match try_run_optimize(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the optimizer config from `--space FILE` (if given) plus the
+/// inline range flags, which override the file.
+fn optimize_config(flags: &Flags) -> Result<OptConfig, Box<dyn std::error::Error>> {
+    let mut space = match flags.values.get("space") {
+        None => SearchSpace::default(),
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("--space {path}: {e}"))?;
+            SearchSpace::from_json(&Json::parse(&text).map_err(|e| format!("--space {path}: {e}"))?)
+                .map_err(|e| format!("--space {path}: {e}"))?
+        }
+    };
+    if flags.values.contains_key("nodes") {
+        space.nodes = flags.f64_list("nodes", &[])?;
+    }
+    let range_u = |key: &str, current: (usize, usize)| -> Result<(usize, usize), String> {
+        match flags.f64_list(key, &[])?.as_slice() {
+            [] => Ok(current),
+            [lo, hi] => Ok((*lo as usize, *hi as usize)),
+            other => Err(format!(
+                "--{key} needs exactly LO,HI (got {} values)",
+                other.len()
+            )),
+        }
+    };
+    let range_f = |key: &str, current: (f64, f64)| -> Result<(f64, f64), String> {
+        match flags.f64_list(key, &[])?.as_slice() {
+            [] => Ok(current),
+            [lo, hi] => Ok((*lo, *hi)),
+            other => Err(format!(
+                "--{key} needs exactly LO,HI (got {} values)",
+                other.len()
+            )),
+        }
+    };
+    space.slices = range_u("slices-range", space.slices)?;
+    space.vco_stages = range_u("stages-range", space.vco_stages)?;
+    space.loop_gain = range_f("gain-range", space.loop_gain)?;
+    space.rdac_ohm = range_f("rdac-range", space.rdac_ohm)?;
+    match (
+        flags.values.contains_key("fs-mhz"),
+        flags.values.contains_key("bw-mhz"),
+    ) {
+        (true, true) => {
+            space.fs_bw_hz = Some((
+                flags.f64("fs-mhz", 0.0)? * 1e6,
+                flags.f64("bw-mhz", 0.0)? * 1e6,
+            ));
+        }
+        (false, false) => {}
+        _ => return Err("--fs-mhz and --bw-mhz must be given together".into()),
+    }
+
+    let kind = match flags.str("kind", "flow").as_str() {
+        "sim" => JobKind::SimTone,
+        "flow" => JobKind::FullFlow,
+        other => return Err(format!("--kind must be sim or flow, got {other:?}").into()),
+    };
+    let defaults = OptConfig::flow(SearchSpace::default());
+    let config = OptConfig {
+        space,
+        strategy: Strategy::parse(&flags.str("strategy", "cma"))?,
+        kind,
+        budget: flags.usize("budget", defaults.budget)?,
+        seed: flags.usize("seed", defaults.seed as usize)? as u64,
+        sndr_floor_db: flags.f64("sndr-floor", defaults.sndr_floor_db)?,
+        samples: flags.usize(
+            "samples",
+            match kind {
+                JobKind::SimTone => 8_192,
+                JobKind::FullFlow => defaults.samples,
+            },
+        )?,
+        population: flags.usize("population", 0)?,
+    };
+    Ok(config.validated()?)
+}
+
+/// Where an optimize run's resume token lives: the config, persisted
+/// next to the journal so `--resume ID` can re-run it verbatim.
+fn opt_config_path(journal_dir: &str, run_id: &str) -> std::path::PathBuf {
+    Path::new(journal_dir).join(format!("{run_id}.opt.json"))
+}
+
+fn try_run_optimize(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let out = flags.str("out", "results");
+    let journal_dir = flags.str("journal-dir", "results/journal");
+    let trace = enable_trace(flags)?;
+
+    // Resume re-runs the persisted config; determinism + the result
+    // cache make the re-run skip everything that already finished. A
+    // fresh run builds the config from flags and persists it first.
+    let resume_id = flags.values.get("resume").cloned();
+    let (config, run_id, mut journal) = if let Some(run_id) = resume_id {
+        validate_run_id(&run_id)?;
+        let path = opt_config_path(&journal_dir, &run_id);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("no optimize config for {run_id} at {}: {e}", path.display()))?;
+        let config = OptConfig::from_json(&Json::parse(&text)?)?;
+        if flags.switch("dry-run") {
+            print_dry_run(flags, &initial_jobs(&config)?)?;
+            return Ok(());
+        }
+        let replay = Journal::replay(&journal_dir, &run_id)?;
+        println!(
+            "resuming optimize {run_id}: {} evaluation(s) journaled complete, resume #{}",
+            replay.finished.len(),
+            replay.resumes + 1
+        );
+        let mut journal = Journal::open_existing(&journal_dir, &run_id)?;
+        journal.append(&JournalRecord::Resumed {
+            completed: replay.finished.len() as u64,
+        })?;
+        (config, run_id, Some(journal))
+    } else {
+        let config = optimize_config(flags)?;
+        if flags.switch("dry-run") {
+            let first = initial_jobs(&config)?;
+            println!(
+                "optimize plan: strategy {}, budget {} evaluation(s); generation 0 below \
+                 (later generations adapt to results)",
+                config.strategy.as_str(),
+                config.budget
+            );
+            print_dry_run(flags, &first)?;
+            return Ok(());
+        }
+        let run_id = flags.str("run-id", &generate_run_id("opt"));
+        validate_run_id(&run_id)?;
+        let journal = if flags.switch("no-journal") {
+            None
+        } else {
+            fs::create_dir_all(&journal_dir)?;
+            fs::write(
+                opt_config_path(&journal_dir, &run_id),
+                config.to_json().to_text() + "\n",
+            )?;
+            Some(Journal::create(&journal_dir, &run_id)?)
+        };
+        (config, run_id, journal)
+    };
+
+    let (engine, dispatcher) = engine_from_flags(flags)?;
+    println!(
+        "optimize {run_id}: strategy {}, kind {}, budget {} on {} workers (journal: {})",
+        config.strategy.as_str(),
+        config.kind.as_str(),
+        config.budget,
+        engine.workers(),
+        journal
+            .as_ref()
+            .map_or("off".to_string(), |j| j.path().display().to_string()),
+    );
+
+    // The evaluation closure IS the jobs engine: every generation is an
+    // ordinary journaled batch, so caching, dedup, fleet dispatch and
+    // crash recovery apply to optimizer traffic unchanged.
+    let mut eval = |jobs: &[Job]| {
+        let batch = engine.run_batch_with_journal(jobs, journal.as_mut())?;
+        tdsigma::obs::counter("opt.cache_hits").add(batch.metrics.cache_hits as u64);
+        println!(
+            "  generation: {} job(s), {} cache hit(s), {} executed, {} failed",
+            jobs.len(),
+            batch.metrics.cache_hits,
+            batch.metrics.executed,
+            batch.metrics.failed
+        );
+        Ok(batch.results)
+    };
+    let report = optimize(&config, &mut eval)?;
+
+    let best = &report.best;
+    println!(
+        "best after {} evaluation(s) ({} improvement(s)):",
+        report.evals, report.improvements
+    );
+    println!(
+        "  {:.0} nm, {} slices, {} stages, gain {:.3}, rdac {:.0} Ω",
+        best.candidate.node_nm,
+        best.candidate.slices,
+        best.candidate.vco_stages,
+        best.candidate.loop_gain,
+        best.candidate.rdac_ohm
+    );
+    println!("{}", tdsigma::jobs::JobReport::table_header());
+    println!("{}", best.report.table_row());
+    if let Some(dispatcher) = &dispatcher {
+        println!("{}", dispatcher.summary());
+    }
+    print_stage_breakdown();
+    if let Some(path) = trace {
+        tdsigma::obs::disable_tracing();
+        println!("wrote trace → {path}");
+    }
+
+    // Like sweep.json, the artifact is a pure function of (run id,
+    // config, results): a resumed run writes bytes identical to an
+    // uninterrupted one.
+    let artifact = match report.to_json() {
+        Json::Obj(mut fields) => {
+            fields.insert(0, ("run_id".into(), Json::Str(run_id.clone())));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+    let out = Path::new(&out);
+    fs::create_dir_all(out)?;
+    let path = out.join("optimize.json");
+    fs::write(&path, artifact.to_text() + "\n")?;
+    println!("wrote optimization history → {}", path.display());
+    Ok(())
 }
 
 fn run_serve(flags: &Flags) -> ExitCode {

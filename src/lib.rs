@@ -18,4 +18,5 @@ pub use tdsigma_jobs as jobs;
 pub use tdsigma_layout as layout;
 pub use tdsigma_netlist as netlist;
 pub use tdsigma_obs as obs;
+pub use tdsigma_opt as opt;
 pub use tdsigma_tech as tech;

@@ -52,6 +52,37 @@ pub fn sweep_args(base: &Path, workers: &str, run_id: &str, samples: &str) -> Ve
     .collect()
 }
 
+/// Common optimize arguments rooted at `base`: a small sim-kind CMA run
+/// (fast, deterministic) with all state confined to that directory.
+pub fn optimize_args(base: &Path, run_id: &str, samples: &str) -> Vec<String> {
+    [
+        "optimize",
+        "--kind",
+        "sim",
+        "--nodes",
+        "40",
+        "--budget",
+        "16",
+        "--samples",
+        samples,
+        "--seed",
+        "7",
+        "--run-id",
+        run_id,
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([
+        "--journal-dir".into(),
+        base.join("journal").to_string_lossy().into_owned(),
+        "--cache-dir".into(),
+        base.join("cache").to_string_lossy().into_owned(),
+        "--out".into(),
+        base.to_string_lossy().into_owned(),
+    ])
+    .collect()
+}
+
 pub fn journal_path(base: &Path, run_id: &str) -> PathBuf {
     base.join("journal").join(format!("{run_id}.jsonl"))
 }
