@@ -16,6 +16,11 @@
 //!    moves to the next candidate. A job-class rejection
 //!    ([`RemoteError::Job`]) is deterministic — every backend would
 //!    answer the same — so it propagates without burning the fleet.
+//!    A structured busy/shed rejection ([`RemoteError::Busy`]) is
+//!    neither: the backend is demonstrably alive, just full. It counts
+//!    as breaker *success*, the advertised `retry_after_ms` becomes a
+//!    dispatch-side cooldown during which the rotation skips the
+//!    backend, and the job fails over like any transient miss.
 //! 3. **Circuit breaker.** After [`BreakerConfig::failure_threshold`]
 //!    consecutive failures a backend's breaker opens and the rotation
 //!    skips it; after [`BreakerConfig::cooldown_ms`] one half-open probe
@@ -49,6 +54,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Whole milliseconds elapsed since `start` (saturating u64 cast).
+fn elapsed_ms(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
 
 /// Circuit-breaker tuning.
 #[derive(Debug, Clone)]
@@ -194,6 +204,14 @@ pub struct DispatchConfig {
     pub breaker: BreakerConfig,
     /// Hedge delay, ms; 0 disables hedging.
     pub hedge_ms: u64,
+    /// Per-job wall-clock budget forwarded to backends as
+    /// `deadline_ms`; 0 disables deadline propagation. Each failover or
+    /// hedge attempt forwards only the *remaining* budget, so a backend
+    /// can refuse work the job has no time left for.
+    pub deadline_ms: u64,
+    /// Client id attached to every frame for per-client admission
+    /// quotas; empty uses a pid-derived default.
+    pub client_id: String,
     /// Deterministic network-fault injection for chaos runs.
     pub faults: FaultPlan,
 }
@@ -202,6 +220,10 @@ pub struct DispatchConfig {
 struct Backend {
     client: RemoteClient,
     breaker: CircuitBreaker,
+    /// Until when a busy/shed rejection asked us to stay away. Distinct
+    /// from the breaker: the backend is healthy, just full, so tripping
+    /// Closed→Open (and burning the failure streak) would be wrong.
+    cooldown_until: Mutex<Option<Instant>>,
 }
 
 impl Backend {
@@ -210,17 +232,44 @@ impl Backend {
             .set(self.breaker.state().gauge_value());
     }
 
+    /// Whether a `retry_after_ms` cooldown from a busy rejection is
+    /// still running.
+    fn cooling(&self) -> bool {
+        let guard = self
+            .cooldown_until
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.is_some_and(|until| Instant::now() < until)
+    }
+
+    fn set_cooldown(&self, retry_after_ms: u64) {
+        let mut guard = self
+            .cooldown_until
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(Instant::now() + Duration::from_millis(retry_after_ms));
+    }
+
     /// One full attempt: counters, RTT, breaker bookkeeping.
-    fn attempt(&self, job: &Job) -> Result<JobReport, RemoteError> {
+    fn attempt(&self, job: &Job, deadline_ms: Option<u64>) -> Result<JobReport, RemoteError> {
         let addr = self.client.addr();
         tdsigma_obs::counter(&format!("dispatch.{addr}.dispatched")).inc();
         let start = Instant::now();
-        let result = self.client.run_job(job);
+        let result = self.client.run_job_with_deadline(job, deadline_ms);
         tdsigma_obs::histogram(&format!("dispatch.{addr}.rtt")).record(start.elapsed());
         match &result {
             // A job-class rejection means the backend held up its end of
             // the protocol: the breaker records success.
             Ok(_) | Err(RemoteError::Job(_)) => self.breaker.record_success(),
+            // Busy is a healthy backend protecting itself: success for
+            // the breaker (it also resolves a half-open probe — the
+            // peer answered), plus a rotation cooldown for as long as
+            // it asked to be left alone.
+            Err(RemoteError::Busy { retry_after_ms, .. }) => {
+                tdsigma_obs::counter(&format!("dispatch.{addr}.shed_deferred")).inc();
+                self.set_cooldown(*retry_after_ms);
+                self.breaker.record_success();
+            }
             Err(RemoteError::Backend(_)) => {
                 tdsigma_obs::counter(&format!("dispatch.{addr}.failed")).inc();
                 self.breaker.record_failure();
@@ -237,12 +286,26 @@ enum Candidate {
     Local,
 }
 
+/// What one pass over the rotation produced. The definitive answer is
+/// boxed so the whole enum stays pointer-sized next to the flag-only
+/// variants.
+enum RoundOutcome {
+    /// A definitive answer (success, or a deterministic job error).
+    Done(Box<Result<(JobReport, StageTimes), JobError>>),
+    /// At least one backend said "busy, come back in `wait_ms`" (or was
+    /// still cooling from an earlier busy) and nothing succeeded.
+    Busy { wait_ms: u64, local_tried: bool },
+    /// Every candidate failed or was breaker-skipped.
+    Exhausted { local_tried: bool },
+}
+
 /// A fleet of backends behind a [`Runner`]-shaped interface.
 pub struct Dispatcher {
     backends: Vec<Arc<Backend>>,
     local: Arc<Runner>,
     local_in_rotation: bool,
     hedge_ms: u64,
+    deadline_ms: u64,
     rotation: AtomicUsize,
     fallback_warned: AtomicBool,
     local_fallbacks: AtomicUsize,
@@ -252,14 +315,21 @@ impl Dispatcher {
     /// Builds a dispatcher over `config.backends`, with `local` as the
     /// in-process runner (rotation member or last-resort fallback).
     pub fn new(config: &DispatchConfig, local: Arc<Runner>) -> Arc<Self> {
+        let client_id = if config.client_id.is_empty() {
+            format!("dispatch-{}", std::process::id())
+        } else {
+            config.client_id.clone()
+        };
         let backends = config
             .backends
             .iter()
             .map(|addr| {
                 Arc::new(Backend {
                     client: RemoteClient::with_config(addr.clone(), config.remote.clone())
+                        .with_client_id(client_id.clone())
                         .with_faults(config.faults),
                     breaker: CircuitBreaker::new(config.breaker.clone()),
+                    cooldown_until: Mutex::new(None),
                 })
             })
             .collect();
@@ -268,6 +338,7 @@ impl Dispatcher {
             local,
             local_in_rotation: config.local_in_rotation,
             hedge_ms: config.hedge_ms,
+            deadline_ms: config.deadline_ms,
             rotation: AtomicUsize::new(0),
             fallback_warned: AtomicBool::new(false),
             local_fallbacks: AtomicUsize::new(0),
@@ -313,39 +384,121 @@ impl Dispatcher {
     /// local runner's own failure after every backend was exhausted) —
     /// never "a backend was down".
     pub fn run_job(&self, job: &Job) -> Result<(JobReport, StageTimes), JobError> {
+        let started = Instant::now();
+        // An all-busy fleet is temporary by definition: honor the
+        // smallest advertised retry_after (bounded) for a couple of
+        // rounds before degrading to local execution.
+        const BUSY_ROUNDS: u32 = 3;
+        let mut round = 0;
+        loop {
+            match self.dispatch_round(job, started) {
+                RoundOutcome::Done(result) => return *result,
+                RoundOutcome::Busy {
+                    wait_ms,
+                    local_tried,
+                } => {
+                    round += 1;
+                    let wait_ms = wait_ms.clamp(10, 2_000);
+                    let within_budget =
+                        self.deadline_ms == 0 || elapsed_ms(started) + wait_ms < self.deadline_ms;
+                    if round < BUSY_ROUNDS && within_budget {
+                        std::thread::sleep(Duration::from_millis(wait_ms));
+                        continue;
+                    }
+                    if local_tried {
+                        return Err(JobError::Failed {
+                            attempts: round,
+                            message: "every backend stayed busy (local already failed)".into(),
+                        });
+                    }
+                    return self.local_fallback(job);
+                }
+                RoundOutcome::Exhausted { local_tried: true } => {
+                    // Local already ran (and failed retryably) as a
+                    // rotation member; re-running it cannot go better.
+                    return Err(JobError::Failed {
+                        attempts: 1,
+                        message: "every backend (including local) failed".into(),
+                    });
+                }
+                RoundOutcome::Exhausted { local_tried: false } => return self.local_fallback(job),
+            }
+        }
+    }
+
+    /// The remaining deadline budget to forward with an attempt, if
+    /// deadline propagation is on. Never reaches zero: a provably-late
+    /// job is the *server's* call to reject (structured, retryable),
+    /// not something to silently strip back to "no deadline".
+    fn remaining_budget(&self, started: Instant) -> Option<u64> {
+        if self.deadline_ms == 0 {
+            return None;
+        }
+        Some(self.deadline_ms.saturating_sub(elapsed_ms(started)).max(1))
+    }
+
+    /// One pass over the rotation: rotation → failover → breaker →
+    /// hedge, classifying how the pass ended.
+    fn dispatch_round(&self, job: &Job, started: Instant) -> RoundOutcome {
         let candidates = self.rotation(job);
         let mut local_tried = false;
+        let mut busy_wait: Option<u64> = None;
+        let mut note_busy = |wait: u64| {
+            busy_wait = Some(busy_wait.map_or(wait, |w| w.min(wait)));
+        };
         for (slot, candidate) in candidates.iter().enumerate() {
             match candidate {
                 Candidate::Local => {
                     local_tried = true;
                     match (self.local)(job) {
-                        Ok(out) => return Ok(out),
+                        Ok(out) => return RoundOutcome::Done(Box::new(Ok(out))),
                         // In rotation, a local failure fails over to the
                         // remotes like any other backend-class failure —
                         // unless it is deterministic.
                         Err(e) if e.is_retryable() => continue,
-                        Err(e) => return Err(e),
+                        Err(e) => return RoundOutcome::Done(Box::new(Err(e))),
                     }
                 }
                 Candidate::Remote(i) => {
                     let backend = &self.backends[*i];
+                    if backend.cooling() {
+                        // A busy rejection's retry_after is still
+                        // running; skip without waking the backend.
+                        note_busy(100);
+                        continue;
+                    }
                     if !backend.breaker.admit() {
                         backend.gauge();
                         continue;
                     }
+                    let deadline = self.remaining_budget(started);
                     let result = if self.hedge_ms > 0 {
                         self.hedged_attempt(
                             backend,
                             self.next_admitted(&candidates[slot + 1..]),
                             job,
+                            deadline,
                         )
                     } else {
-                        backend.attempt(job)
+                        backend.attempt(job, deadline)
                     };
                     match result {
-                        Ok(report) => return Ok((report, StageTimes::default())),
-                        Err(RemoteError::Job(e)) => return Err(e),
+                        Ok(report) => {
+                            return RoundOutcome::Done(Box::new(Ok((
+                                report,
+                                StageTimes::default(),
+                            ))))
+                        }
+                        Err(RemoteError::Job(e)) => return RoundOutcome::Done(Box::new(Err(e))),
+                        Err(RemoteError::Busy { retry_after_ms, .. }) => {
+                            tdsigma_obs::counter(&format!(
+                                "dispatch.{}.retried",
+                                backend.client.addr()
+                            ))
+                            .inc();
+                            note_busy(retry_after_ms);
+                            continue;
+                        }
                         Err(RemoteError::Backend(_)) => {
                             if slot + 1 < candidates.len() {
                                 tdsigma_obs::counter(&format!(
@@ -360,15 +513,13 @@ impl Dispatcher {
                 }
             }
         }
-        if local_tried {
-            // Local already ran (and failed retryably) as a rotation
-            // member; re-running it cannot go better.
-            return Err(JobError::Failed {
-                attempts: 1,
-                message: "every backend (including local) failed".into(),
-            });
+        match busy_wait {
+            Some(wait_ms) => RoundOutcome::Busy {
+                wait_ms,
+                local_tried,
+            },
+            None => RoundOutcome::Exhausted { local_tried },
         }
-        self.local_fallback(job)
     }
 
     /// Claims the first still-admissible backend among `rest` as a
@@ -377,7 +528,7 @@ impl Dispatcher {
         for candidate in rest {
             if let Candidate::Remote(i) = candidate {
                 let backend = &self.backends[*i];
-                if backend.breaker.admit() {
+                if !backend.cooling() && backend.breaker.admit() {
                     return Some(Arc::clone(backend));
                 }
             }
@@ -394,6 +545,7 @@ impl Dispatcher {
         primary: &Arc<Backend>,
         hedge: Option<Arc<Backend>>,
         job: &Job,
+        deadline_ms: Option<u64>,
     ) -> Result<JobReport, RemoteError> {
         let (tx, rx) = mpsc::channel();
         let spawn = |backend: Arc<Backend>, tx: mpsc::Sender<Result<JobReport, RemoteError>>| {
@@ -401,7 +553,7 @@ impl Dispatcher {
             std::thread::spawn(move || {
                 // The receiver may have taken an earlier answer and gone
                 // away; the loser's send failing is expected.
-                let _ = tx.send(backend.attempt(&job));
+                let _ = tx.send(backend.attempt(&job, deadline_ms));
             });
         };
         spawn(Arc::clone(primary), tx.clone());
@@ -481,6 +633,7 @@ impl Dispatcher {
                     failed: get("failed"),
                     retried: get("retried"),
                     hedged: get("hedged"),
+                    shed_deferred: get("shed_deferred"),
                     breaker_open: b.breaker.state() != BreakerState::Closed,
                 }
             })
@@ -564,6 +717,33 @@ mod tests {
             );
         }
         let _ = handle.join();
+    }
+
+    /// A backend that answers every request with a structured shed
+    /// rejection — alive, polite, and permanently full.
+    fn spawn_busy_backend(retry_after_ms: u64) -> std::net::SocketAddr {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_err() {
+                    continue;
+                }
+                let mut stream = stream;
+                let _ = stream.write_all(
+                    format!(
+                        "{{\"ok\":false,\"error\":\"server is at capacity\",\
+                         \"busy\":true,\"shed\":true,\"retry_after_ms\":{retry_after_ms}}}\n"
+                    )
+                    .as_bytes(),
+                );
+            }
+        });
+        addr
     }
 
     fn fast_config(backends: Vec<String>) -> DispatchConfig {
@@ -712,6 +892,68 @@ mod tests {
             0,
             "rotation membership is not degradation"
         );
+    }
+
+    #[test]
+    fn busy_rejections_cool_down_without_tripping_the_breaker() {
+        let busy = spawn_busy_backend(40);
+        let dispatcher = Dispatcher::new(&fast_config(vec![busy.to_string()]), local_runner());
+        for seed in 0..4u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            let (report, _) = dispatcher.run_job(&job).expect("local absorbs shed work");
+            assert_eq!(report.key, job.key());
+        }
+        assert_eq!(
+            dispatcher.backends[0].breaker.state(),
+            BreakerState::Closed,
+            "a healthy-but-full backend must never trip its breaker"
+        );
+        let summary = dispatcher.summary();
+        assert!(!summary.backends[0].breaker_open);
+        assert_eq!(
+            summary.backends[0].failed, 0,
+            "busy is not a backend-class failure"
+        );
+        assert!(
+            summary.backends[0].shed_deferred >= 1,
+            "cooldowns must be counted: {summary}"
+        );
+        assert_eq!(summary.local_fallbacks, 4, "every job still completed");
+    }
+
+    #[test]
+    fn busy_backend_fails_over_to_a_healthy_peer() {
+        let busy = spawn_busy_backend(30_000); // cools for the whole test
+        let (live, handle) = spawn_backend();
+        let dispatcher = Dispatcher::new(
+            &fast_config(vec![busy.to_string(), live.to_string()]),
+            local_runner(),
+        );
+        for seed in 0..4u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            let (report, _) = dispatcher.run_job(&job).expect("failover from busy");
+            assert_eq!(report.key, job.key());
+        }
+        let summary = dispatcher.summary();
+        assert_eq!(summary.local_fallbacks, 0, "the healthy peer took it all");
+        assert!(
+            summary.backends.iter().all(|b| !b.breaker_open),
+            "{summary}"
+        );
+        let live_stats = summary.backends.iter().find(|b| b.addr == live.to_string());
+        assert_eq!(live_stats.expect("live backend").dispatched, 4);
+        let busy_stats = summary.backends.iter().find(|b| b.addr == busy.to_string());
+        assert!(
+            busy_stats.expect("busy backend").dispatched <= 1,
+            "the 30s cooldown must keep the rotation away after one rejection"
+        );
+        stop_backend(live, handle);
     }
 
     #[test]

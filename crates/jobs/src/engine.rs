@@ -352,6 +352,22 @@ impl Engine {
     ///
     /// Propagates the job's execution error.
     pub fn submit_one(&self, job: &Job) -> Result<JobReport, JobError> {
+        self.submit_one_with_deadline(job, 0)
+    }
+
+    /// [`Engine::submit_one`] with a per-job soft deadline in ms
+    /// (0 = pool policy). The deadline bounds attempt wall time only; it
+    /// never reaches the job key or the report, so a deadline-carrying
+    /// request that completes produces the same bytes as one without.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the job's execution error.
+    pub fn submit_one_with_deadline(
+        &self,
+        job: &Job,
+        deadline_ms: u64,
+    ) -> Result<JobReport, JobError> {
         let key = job.key();
         if let Some(hit) = self.cache.get(&key) {
             let mut totals = crate::pool::lock_unpoisoned(&self.totals);
@@ -363,7 +379,7 @@ impl Engine {
         obs::counter("jobs.cache_misses").inc();
         let outcome = self
             .pool
-            .submit(job.clone())
+            .submit_with_deadline(job.clone(), deadline_ms)
             .recv()
             .map_err(|_| JobError::PoolClosed)?;
         let mut totals = crate::pool::lock_unpoisoned(&self.totals);

@@ -29,6 +29,9 @@ enum Site {
     ConnDrop = 6,
     NetStall = 7,
     Response = 8,
+    SlowClient = 9,
+    Flood = 10,
+    ChildKill = 11,
 }
 
 /// A fault injected before a job attempt runs.
@@ -97,6 +100,22 @@ pub struct FaultPlan {
     /// Stall injected before a remote dispatch response is read, ms
     /// (applied to ~30 % of exchanges when non-zero; 0 disables).
     pub net_stall_ms: u64,
+    /// Chance a chaos client writes its frame one byte at a time with a
+    /// pause after each chunk — a *slow client* holding a server
+    /// connection open (the overload analogue of a frame stall).
+    pub slow_client_permille: u16,
+    /// Per-chunk pause of a slow client, ms (0 disables the class).
+    pub slow_client_ms: u64,
+    /// Chance one chaos frame is amplified into a burst of duplicates —
+    /// a request *flood* that admission control must shed, not queue.
+    pub flood_permille: u16,
+    /// How many extra duplicate requests one flood decision fires.
+    pub flood_burst: u32,
+    /// Chance the fleet supervisor's chaos hook kills a serve child
+    /// after a health poll (exercises crash + restart + re-dispatch).
+    /// Not part of [`FaultPlan::chaos`]: killing real processes is the
+    /// fleet's own opt-in.
+    pub child_kill_permille: u16,
 }
 
 impl FaultPlan {
@@ -120,6 +139,11 @@ impl FaultPlan {
             conn_drop_permille: 150,
             response_corrupt_permille: 150,
             net_stall_ms: 5,
+            slow_client_permille: 150,
+            slow_client_ms: 2,
+            flood_permille: 100,
+            flood_burst: 3,
+            child_kill_permille: 0,
         }
     }
 
@@ -134,6 +158,10 @@ impl FaultPlan {
             && self.conn_drop_permille == 0
             && self.response_corrupt_permille == 0
             && self.net_stall_ms == 0
+            && self.slow_client_permille == 0
+            && self.slow_client_ms == 0
+            && self.flood_permille == 0
+            && self.child_kill_permille == 0
     }
 
     /// The fault (if any) to inject into attempt `attempt` of the job
@@ -220,6 +248,45 @@ impl FaultPlan {
         None
     }
 
+    /// Per-chunk pause (ms) a chaos client should apply to its
+    /// `index`-th frame when playing a slow client, `None` to send the
+    /// frame normally. A slow client dribbles the frame byte-wise with
+    /// this pause after each chunk, holding the connection open.
+    pub fn slow_client_stall(&self, index: u64) -> Option<u64> {
+        if self.slow_client_ms == 0 {
+            return None;
+        }
+        let key = format!("frame-{index}");
+        if self.hit(Site::SlowClient, &key, 0, self.slow_client_permille) {
+            Some(self.slow_client_ms)
+        } else {
+            None
+        }
+    }
+
+    /// How many *extra* duplicate requests a chaos client should fire
+    /// alongside its `index`-th frame (0 = no flood here). Duplicates
+    /// are harmless to correctness — jobs are deterministic and cached —
+    /// so this purely pressures admission control.
+    pub fn flood_at(&self, index: u64) -> u32 {
+        if self.flood_burst == 0 {
+            return 0;
+        }
+        let key = format!("frame-{index}");
+        if self.hit(Site::Flood, &key, 0, self.flood_permille) {
+            self.flood_burst
+        } else {
+            0
+        }
+    }
+
+    /// Whether the fleet supervisor's chaos hook should kill child
+    /// `child` after health poll number `poll`.
+    pub fn child_kill(&self, child: usize, poll: u32) -> bool {
+        let key = format!("child-{child}");
+        self.hit(Site::ChildKill, &key, poll, self.child_kill_permille)
+    }
+
     /// One permille draw from the decision stream for `(site, key,
     /// attempt)`.
     fn hit(&self, site: Site, key: &str, attempt: u32, permille: u16) -> bool {
@@ -270,6 +337,9 @@ mod tests {
         assert_eq!(plan.corrupt_artifact("abc123", "{}"), None);
         assert_eq!(plan.frame_fault(7), None);
         assert_eq!(plan.net_fault("peer|abc123", 1), None);
+        assert_eq!(plan.slow_client_stall(7), None);
+        assert_eq!(plan.flood_at(7), 0);
+        assert!(!plan.child_kill(0, 1));
     }
 
     #[test]
@@ -356,6 +426,39 @@ mod tests {
         assert!(drops > 20, "conn-drop class silent: {drops}");
         assert!(stalls > 50, "net-stall class silent: {stalls}");
         assert!(garbles > 20, "corrupt-response class silent: {garbles}");
+        let slow = (0..500)
+            .filter(|&i| plan.slow_client_stall(i).is_some())
+            .count();
+        let floods = (0..500).filter(|&i| plan.flood_at(i) > 0).count();
+        assert!(slow > 20, "slow-client class silent: {slow}");
+        assert!(floods > 10, "flood class silent: {floods}");
+        assert_eq!(
+            plan.child_kill_permille, 0,
+            "process killing must stay opt-in, not part of default chaos"
+        );
+    }
+
+    #[test]
+    fn child_kill_fires_deterministically_when_enabled() {
+        let plan = FaultPlan {
+            seed: 31,
+            child_kill_permille: 400,
+            ..FaultPlan::default()
+        };
+        let hits: Vec<(usize, u32)> = (0..4)
+            .flat_map(|c| (0..50).map(move |p| (c, p)))
+            .filter(|&(c, p)| plan.child_kill(c, p))
+            .collect();
+        assert!(!hits.is_empty(), "enabled child-kill must fire");
+        let again: Vec<(usize, u32)> = (0..4)
+            .flat_map(|c| (0..50).map(move |p| (c, p)))
+            .filter(|&(c, p)| plan.child_kill(c, p))
+            .collect();
+        assert_eq!(hits, again, "decisions must be pure");
+        assert!(
+            !FaultPlan::chaos(31).is_empty(),
+            "chaos plan is never empty"
+        );
     }
 
     #[test]

@@ -437,6 +437,94 @@ fn journal_path(dir: &Path, run_id: &str) -> PathBuf {
     dir.join(format!("{run_id}.jsonl"))
 }
 
+/// Outcome of one [`gc_finished`] pass over a journal directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalGc {
+    /// Run ids whose journals (and `.opt.json` side files) were removed.
+    pub pruned: Vec<String>,
+    /// Journals left in place (unfinished, protected, retained, or
+    /// unreadable — GC never guesses).
+    pub kept: usize,
+}
+
+/// Prunes journals of *finished* runs from `dir`, keeping the journal
+/// directory bounded the way the cache's quarantine prune bounds the
+/// cache. A run counts as finished only when its replay proves it:
+/// a batch plan exists, every planned job has a `job_finished` record,
+/// and the tail is not torn. Anything else — unfinished, corrupt,
+/// unreadable, foreign files — is kept; deleting evidence is worse than
+/// keeping a stale journal.
+///
+/// The newest `keep_newest` finished journals (by modification time)
+/// survive for post-mortems, as does any run id listed in `protect`
+/// (conventionally the run that is executing right now). A pruned run
+/// also drops its `<run-id>.opt.json` resume token, and each removal
+/// bumps the `jobs.journal_pruned` counter.
+///
+/// # Errors
+///
+/// Returns [`JobError::Io`] only if the directory itself cannot be
+/// listed; per-file read or remove failures just leave that file in
+/// place (it will be retried by the next pass).
+pub fn gc_finished(
+    dir: impl AsRef<Path>,
+    keep_newest: usize,
+    protect: &[&str],
+) -> Result<JournalGc, JobError> {
+    let dir = dir.as_ref();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        // A journal directory that was never created holds nothing to GC.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalGc::default()),
+        Err(e) => return Err(JobError::io_at(dir, &e)),
+    };
+    let mut finished: Vec<(String, std::time::SystemTime)> = Vec::new();
+    let mut kept = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(run_id) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_suffix(".jsonl"))
+        else {
+            continue; // not a journal (e.g. an .opt.json side file)
+        };
+        if validate_run_id(run_id).is_err() || protect.contains(&run_id) {
+            kept += 1;
+            continue;
+        }
+        let complete = Journal::replay(dir, run_id)
+            .map(|r| !r.jobs.is_empty() && !r.torn_tail && r.incomplete_jobs().is_empty())
+            .unwrap_or(false);
+        if !complete {
+            kept += 1;
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::UNIX_EPOCH);
+        finished.push((run_id.to_string(), modified));
+    }
+    // Newest finished journals survive for post-mortems.
+    finished.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut gc = JournalGc {
+        pruned: Vec::new(),
+        kept: kept + finished.len().min(keep_newest),
+    };
+    for (run_id, _) in finished.into_iter().skip(keep_newest) {
+        if fs::remove_file(journal_path(dir, &run_id)).is_err() {
+            gc.kept += 1;
+            continue;
+        }
+        let _ = fs::remove_file(dir.join(format!("{run_id}.opt.json")));
+        tdsigma_obs::counter("jobs.journal_pruned").inc();
+        gc.pruned.push(run_id);
+    }
+    gc.pruned.sort();
+    Ok(gc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +678,84 @@ mod tests {
         let mut j = Journal::create(&dir, "run-e").unwrap();
         j.append_all(&[]).unwrap();
         assert_eq!(fs::read_to_string(j.path()).unwrap(), "");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Writes a journal for `run_id` with both jobs planned and
+    /// `finished_of_two` of them recorded finished.
+    fn write_run(dir: &Path, run_id: &str, finished_of_two: usize) {
+        let jobs = two_jobs();
+        let mut j = Journal::create(dir, run_id).unwrap();
+        let mut recs = vec![JournalRecord::BatchPlanned {
+            run_id: run_id.into(),
+            jobs: jobs.clone(),
+        }];
+        for job in jobs.iter().take(finished_of_two) {
+            recs.push(JournalRecord::JobFinished { key: job.key() });
+        }
+        j.append_all(&recs).unwrap();
+    }
+
+    #[test]
+    fn gc_prunes_only_provably_finished_runs() {
+        let dir = temp_dir("gc");
+        write_run(&dir, "done-1", 2);
+        write_run(&dir, "done-2", 2);
+        write_run(&dir, "partial", 1);
+        write_run(&dir, "current", 2);
+        fs::write(dir.join("done-1.opt.json"), "{}").unwrap();
+        fs::write(dir.join("stray.txt"), "not a journal").unwrap();
+
+        let gc = gc_finished(&dir, 0, &["current"]).unwrap();
+        assert_eq!(gc.pruned, vec!["done-1".to_string(), "done-2".to_string()]);
+        assert!(!journal_path(&dir, "done-1").exists());
+        assert!(
+            !dir.join("done-1.opt.json").exists(),
+            "resume token goes with its journal"
+        );
+        assert!(journal_path(&dir, "partial").exists(), "unfinished kept");
+        assert!(journal_path(&dir, "current").exists(), "protected kept");
+        assert!(dir.join("stray.txt").exists(), "foreign files untouched");
+        assert_eq!(gc.kept, 2);
+
+        // Idempotent: a second pass finds nothing new to prune.
+        let again = gc_finished(&dir, 0, &["current"]).unwrap();
+        assert!(again.pruned.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_retains_the_newest_finished_journals() {
+        let dir = temp_dir("gc_retain");
+        for i in 0..4 {
+            write_run(&dir, &format!("run-{i}"), 2);
+        }
+        let gc = gc_finished(&dir, 3, &[]).unwrap();
+        assert_eq!(gc.pruned.len(), 1, "only the overflow goes: {gc:?}");
+        assert_eq!(gc.kept, 3);
+        let survivors = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(survivors, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_corrupt_and_torn_journals() {
+        let dir = temp_dir("gc_corrupt");
+        write_run(&dir, "torn", 2);
+        let mut raw = fs::OpenOptions::new()
+            .append(true)
+            .open(journal_path(&dir, "torn"))
+            .unwrap();
+        raw.write_all(b"{\"crc64\":\"dead").unwrap();
+        drop(raw);
+        fs::write(journal_path(&dir, "garbage"), "not json at all\n").unwrap();
+
+        let gc = gc_finished(&dir, 0, &[]).unwrap();
+        assert!(gc.pruned.is_empty(), "evidence is never deleted: {gc:?}");
+        assert_eq!(gc.kept, 2);
+
+        let missing = gc_finished(dir.join("never-created"), 0, &[]).unwrap();
+        assert_eq!(missing, JournalGc::default());
         let _ = fs::remove_dir_all(&dir);
     }
 

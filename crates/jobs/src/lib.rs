@@ -52,6 +52,7 @@ pub mod pool;
 pub mod remote;
 pub mod report;
 pub mod server;
+pub mod supervise;
 
 pub use cache::ResultCache;
 pub use dispatch::{BreakerConfig, BreakerState, CircuitBreaker, DispatchConfig, Dispatcher};
@@ -60,7 +61,7 @@ pub use error::JobError;
 pub use execute::execute;
 pub use faults::{AttemptFault, FaultPlan, FrameFault, NetFault};
 pub use job::{Job, JobKind};
-pub use journal::{validate_run_id, Journal, JournalRecord, JournalReplay};
+pub use journal::{gc_finished, validate_run_id, Journal, JournalGc, JournalRecord, JournalReplay};
 pub use json::Json;
 pub use metrics::{BackendDispatchStats, BatchMetrics, DispatchSummary, StageTimes};
 pub use plan::{PlanPreview, PlanRow};
@@ -70,3 +71,4 @@ pub use pool::{
 pub use remote::{BackendHealth, RemoteClient, RemoteConfig, RemoteError};
 pub use report::JobReport;
 pub use server::{Server, ServerConfig};
+pub use supervise::{install_stop_handler, Fleet, FleetConfig};

@@ -182,6 +182,9 @@ pub struct BackendDispatchStats {
     pub retried: u64,
     /// Hedge duplicates sent to this backend.
     pub hedged: u64,
+    /// Structured busy/shed rejections honored as cooldowns (never
+    /// counted toward the breaker — the backend was alive, just full).
+    pub shed_deferred: u64,
     /// Whether the breaker was anything but closed at snapshot time.
     pub breaker_open: bool,
 }
@@ -221,6 +224,9 @@ impl fmt::Display for DispatchSummary {
                 b.hedged,
                 if b.breaker_open { "OPEN" } else { "closed" },
             )?;
+            if b.shed_deferred > 0 {
+                write!(f, ", {} shed (deferred)", b.shed_deferred)?;
+            }
         }
         if self.local_in_rotation {
             write!(f, "\n  local — rotation member")?;
@@ -303,6 +309,7 @@ mod tests {
                 failed: 3,
                 retried: 3,
                 hedged: 1,
+                shed_deferred: 2,
                 breaker_open: true,
             }],
             local_fallbacks: 2,
@@ -312,6 +319,7 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("10.0.0.7:4000"), "{text}");
         assert!(text.contains("breaker OPEN"), "{text}");
+        assert!(text.contains("2 shed (deferred)"), "{text}");
         assert!(text.contains("DEGRADED: 2 job(s)"), "{text}");
         let healthy = DispatchSummary::default();
         assert!(!healthy.degraded());

@@ -145,6 +145,12 @@ struct Task {
     /// When the task entered the queue — dequeue-time minus this is the
     /// queue latency the `jobs.queue_wait` histogram records.
     submitted: Instant,
+    /// Per-job soft deadline override, ms. 0 falls back to
+    /// [`PoolConfig::soft_deadline_ms`]. This is how a propagated client
+    /// deadline (see `server.rs`) reaches the retry machinery: an attempt
+    /// that overruns the remaining budget dies as a retryable
+    /// [`JobError::Timeout`] instead of burning a worker on dead work.
+    deadline_ms: u64,
 }
 
 /// Liveness state one worker publishes for the watchdog: the time of its
@@ -272,6 +278,14 @@ impl WorkerPool {
     /// Submits a job; the returned receiver yields exactly one
     /// [`JobOutcome`] (immediately, if the pool is already closed).
     pub fn submit(&self, job: Job) -> mpsc::Receiver<JobOutcome> {
+        self.submit_with_deadline(job, 0)
+    }
+
+    /// Like [`WorkerPool::submit`], but with a per-job soft deadline in
+    /// ms that overrides [`PoolConfig::soft_deadline_ms`] when non-zero.
+    /// The deadline never enters the job itself (the content address and
+    /// the report are deadline-blind); it only bounds attempt wall time.
+    pub fn submit_with_deadline(&self, job: Job, deadline_ms: u64) -> mpsc::Receiver<JobOutcome> {
         let (reply, rx) = mpsc::channel();
         obs::counter("jobs.submitted").inc();
         match &*lock_unpoisoned(&self.tx) {
@@ -280,6 +294,7 @@ impl WorkerPool {
                     job,
                     reply,
                     submitted: Instant::now(),
+                    deadline_ms,
                 };
                 if let Err(mpsc::SendError(task)) = tx.send(task) {
                     let _ = task
@@ -388,6 +403,13 @@ fn worker_loop(
             continue;
         }
         let key = task.job.key();
+        // The effective soft deadline: a per-task override (propagated
+        // client budget) beats the pool-wide policy.
+        let soft_deadline_ms = if task.deadline_ms > 0 {
+            task.deadline_ms
+        } else {
+            config.soft_deadline_ms
+        };
         let started = Instant::now();
         let mut attempts = 0u32;
         let mut backoff_ms = 0.0f64;
@@ -437,15 +459,12 @@ fn worker_loop(
             // injected latency or a stalled resource released late).
             let attempt = match attempt {
                 Ok(Ok(ok))
-                    if config.soft_deadline_ms > 0
-                        && attempt_started.elapsed().as_millis() as u64
-                            > config.soft_deadline_ms =>
+                    if soft_deadline_ms > 0
+                        && attempt_started.elapsed().as_millis() as u64 > soft_deadline_ms =>
                 {
                     drop(ok);
                     timeouts_ctr.inc();
-                    Ok(Err(JobError::Timeout {
-                        soft_deadline_ms: config.soft_deadline_ms,
-                    }))
+                    Ok(Err(JobError::Timeout { soft_deadline_ms }))
                 }
                 other => other,
             };
@@ -803,6 +822,37 @@ mod tests {
             soft_deadline_ms: 10
         }
         .is_retryable());
+    }
+
+    #[test]
+    fn per_job_deadline_overrides_pool_soft_deadline() {
+        // Pool policy is unbounded; the submitted deadline is not.
+        let pool = WorkerPool::new(
+            PoolConfig {
+                workers: 1,
+                retries: 0,
+                soft_deadline_ms: 0,
+                ..PoolConfig::default()
+            },
+            Arc::new(|job: &Job| {
+                std::thread::sleep(Duration::from_millis(40));
+                Ok((dummy_report(job), StageTimes::default()))
+            }),
+        );
+        let outcome = pool
+            .submit_with_deadline(job_with_seed(1), 10)
+            .recv()
+            .unwrap();
+        match outcome.result {
+            Err(JobError::Timeout { soft_deadline_ms }) => assert_eq!(soft_deadline_ms, 10),
+            other => panic!("expected Timeout from the per-job deadline, got {other:?}"),
+        }
+        // A generous per-job deadline leaves the job alone.
+        let outcome = pool
+            .submit_with_deadline(job_with_seed(2), 60_000)
+            .recv()
+            .unwrap();
+        assert!(outcome.result.is_ok());
     }
 
     #[test]

@@ -69,6 +69,17 @@ pub enum RemoteError {
     /// missed, connection dropped, malformed or misrouted response.
     /// The job is untainted — retry it on another backend or locally.
     Backend(String),
+    /// The backend is healthy but full: it answered a structured
+    /// overload rejection (`busy`/`shed`/quota) with a computed
+    /// `retry_after_ms`. Not a failure — the peer executed the protocol
+    /// perfectly — so this must cool the backend down for the hinted
+    /// interval rather than count toward its circuit breaker.
+    Busy {
+        /// The rejection message (`shedding load: …`, `quota exceeded…`).
+        message: String,
+        /// The backend's own estimate of when to come back, ms.
+        retry_after_ms: u64,
+    },
     /// The backend executed the protocol correctly and rejected the job
     /// itself. Deterministic: every backend would answer the same, so
     /// this propagates to the caller instead of failing over.
@@ -79,6 +90,13 @@ impl fmt::Display for RemoteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RemoteError::Backend(m) => write!(f, "backend error: {m}"),
+            RemoteError::Busy {
+                message,
+                retry_after_ms,
+            } => write!(
+                f,
+                "backend busy: {message} (retry after {retry_after_ms} ms)"
+            ),
             RemoteError::Job(e) => write!(f, "{e}"),
         }
     }
@@ -111,6 +129,9 @@ pub struct RemoteClient {
     addr: String,
     config: RemoteConfig,
     faults: FaultPlan,
+    /// Client id sent with every `run` frame, feeding the backend's
+    /// per-client quota buckets. `None` → the shared anonymous bucket.
+    client_id: Option<String>,
 }
 
 impl RemoteClient {
@@ -125,6 +146,7 @@ impl RemoteClient {
             addr: addr.into(),
             config,
             faults: FaultPlan::none(),
+            client_id: None,
         }
     }
 
@@ -132,6 +154,14 @@ impl RemoteClient {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Names this client toward the backend's admission control. The id
+    /// rides as a `"client"` sibling of the job — never inside it.
+    #[must_use]
+    pub fn with_client_id(mut self, id: impl Into<String>) -> Self {
+        self.client_id = Some(id.into());
         self
     }
 
@@ -145,14 +175,42 @@ impl RemoteClient {
     /// # Errors
     ///
     /// [`RemoteError::Backend`] when the peer or network failed (retry
-    /// elsewhere); [`RemoteError::Job`] when the backend rejected the
-    /// job itself (deterministic — do not fail over).
+    /// elsewhere); [`RemoteError::Busy`] when the backend shed the
+    /// request (cool down, then retry); [`RemoteError::Job`] when the
+    /// backend rejected the job itself (deterministic — do not fail
+    /// over).
     pub fn run_job(&self, job: &Job) -> Result<JobReport, RemoteError> {
+        self.run_job_with_deadline(job, None)
+    }
+
+    /// [`RemoteClient::run_job`] with the remaining time budget for this
+    /// job attached as `deadline_ms`. The backend refuses work it
+    /// provably cannot finish inside the budget and cuts off admitted
+    /// work that overruns it — so a hedged duplicate whose caller has
+    /// moved on stops burning a remote worker. The deadline is a sibling
+    /// of the job in the frame: cache keys and report bytes are
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteClient::run_job`].
+    pub fn run_job_with_deadline(
+        &self,
+        job: &Job,
+        deadline_ms: Option<u64>,
+    ) -> Result<JobReport, RemoteError> {
         let key = job.key();
-        let request = Json::Obj(vec![
+        let mut fields = vec![
             ("cmd".into(), Json::Str("run".into())),
             ("job".into(), job.to_json()),
-        ]);
+        ];
+        if let Some(id) = &self.client_id {
+            fields.push(("client".into(), Json::Str(id.clone())));
+        }
+        if let Some(d) = deadline_ms {
+            fields.push(("deadline_ms".into(), Json::Num(d as f64)));
+        }
+        let request = Json::Obj(fields);
         let response = self.exchange(&request.to_text(), &format!("{}|{key}", self.addr))?;
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
             return Err(classify_protocol_error(&response));
@@ -210,6 +268,28 @@ impl RemoteClient {
     pub fn ready(&self) -> Result<bool, RemoteError> {
         let response = self.exchange(r#"{"cmd":"ready"}"#, &format!("{}|ready", self.addr))?;
         Ok(response.get("ready").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// Asks the backend to drain and exit (`shutdown` op; the server
+    /// must have been started with `--allow-remote-shutdown`). Used by
+    /// the fleet supervisor's rolling drain.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Backend`] when the peer is unreachable or refused
+    /// the shutdown.
+    pub fn shutdown(&self) -> Result<(), RemoteError> {
+        let response =
+            self.exchange(r#"{"cmd":"shutdown"}"#, &format!("{}|shutdown", self.addr))?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            return Ok(());
+        }
+        let message = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("shutdown refused")
+            .to_string();
+        Err(RemoteError::Backend(message))
     }
 
     /// One request/response exchange on a fresh connection. `fault_key`
@@ -317,7 +397,8 @@ impl RemoteClient {
     }
 }
 
-/// Classifies a `{"ok":false,…}` protocol answer. A `busy` rejection and
+/// Classifies a `{"ok":false,…}` protocol answer. A `busy` rejection is
+/// a healthy-but-full backend (cool it down for `retry_after_ms`);
 /// infrastructure-flavored messages are the backend's problem; a
 /// validation rejection is the job's own and must not fail over.
 fn classify_protocol_error(response: &Json) -> RemoteError {
@@ -327,7 +408,19 @@ fn classify_protocol_error(response: &Json) -> RemoteError {
         .unwrap_or("backend answered ok=false with no error message")
         .to_string();
     if response.get("busy").and_then(Json::as_bool) == Some(true) {
-        return RemoteError::Backend(format!("busy: {message}"));
+        return RemoteError::Busy {
+            message,
+            retry_after_ms: response
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(250),
+        };
+    }
+    if response.get("deadline_exceeded").and_then(Json::as_bool) == Some(true) {
+        // The backend refused the remaining budget. Job-class and
+        // retryable: the retry re-dispatches (rotation may land on an
+        // idler backend) without counting against this peer's breaker.
+        return RemoteError::Job(JobError::Transient(message));
     }
     if message.starts_with("invalid job:") {
         return RemoteError::Job(JobError::Invalid(
@@ -488,6 +581,197 @@ mod tests {
         // The faults were client-side: the backend is still healthy.
         let clean = RemoteClient::new(addr.to_string());
         assert!(clean.ready().expect("ready after injected faults"));
+        shutdown(addr);
+        handle.join().unwrap();
+    }
+
+    /// A hostile "backend" for wire-level edge cases: accepts one
+    /// connection, reads the request line, then runs `script` against
+    /// the raw socket (write a partial frame, stall, hang up…).
+    fn hostile_backend(
+        script: impl FnOnce(std::net::TcpStream) + Send + 'static,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let _ = reader.read_line(&mut line);
+            script(stream);
+        });
+        (addr, handle)
+    }
+
+    fn fast_client(addr: std::net::SocketAddr) -> RemoteClient {
+        RemoteClient::with_config(
+            addr.to_string(),
+            RemoteConfig {
+                read_timeout_ms: 300,
+                connect_attempts: 1,
+                ..RemoteConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn short_frame_without_newline_is_a_backend_error() {
+        // The peer sends half a response frame and closes: no newline
+        // ever arrives, read_line returns the fragment, and parsing the
+        // truncated JSON must be classified Backend (retry elsewhere).
+        let (addr, handle) = hostile_backend(|mut stream| {
+            let _ = stream.write_all(br#"{"ok":true,"repo"#);
+            // dropping the stream closes it mid-frame
+        });
+        match fast_client(addr).run_job(&Job::sim(40.0, 750e6, 5e6)) {
+            Err(RemoteError::Backend(m)) => {
+                assert!(m.contains("malformed"), "short frame must fail parse: {m}");
+            }
+            other => panic!("expected Backend error, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn empty_close_without_response_is_a_backend_error() {
+        let (addr, handle) = hostile_backend(drop);
+        match fast_client(addr).run_job(&Job::sim(40.0, 750e6, 5e6)) {
+            Err(RemoteError::Backend(m)) => {
+                assert!(m.contains("without responding"), "{m}");
+            }
+            other => panic!("expected Backend error, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mid_frame_stall_hits_the_read_deadline() {
+        // The peer writes half a frame then goes silent far past the
+        // client's read deadline: the exchange must fail in bounded time
+        // with a Backend-class error, never hang the dispatcher.
+        let (addr, handle) = hostile_backend(|mut stream| {
+            let _ = stream.write_all(br#"{"ok":true,"#);
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(2_000));
+        });
+        let started = std::time::Instant::now();
+        match fast_client(addr).run_job(&Job::sim(40.0, 750e6, 5e6)) {
+            Err(RemoteError::Backend(m)) => {
+                assert!(
+                    m.contains("reading response") || m.contains("malformed"),
+                    "stall must surface as a read failure: {m}"
+                );
+            }
+            other => panic!("expected Backend error, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(1_500),
+            "a mid-frame stall must be bounded by the read deadline, took {:?}",
+            started.elapsed()
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn frame_split_across_many_writes_still_assembles() {
+        // The converse case: a slow-but-live peer dribbling one valid
+        // frame in many small writes must still be understood.
+        let report_line = {
+            let job = Job::sim(40.0, 750e6, 5e6);
+            let report = JobReport {
+                key: job.key(),
+                job: job.clone(),
+                fin_hz: job.input_frequency_hz(),
+                sndr_db: 61.0,
+                enob: 9.7,
+                power_mw: None,
+                digital_fraction: None,
+                area_mm2: None,
+                fom_fj: None,
+                timing_slack_ps: None,
+            };
+            let mut obj = Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("report".into(), report.to_json()),
+            ])
+            .to_text();
+            obj.push('\n');
+            obj
+        };
+        let (addr, handle) = hostile_backend(move |mut stream| {
+            for chunk in report_line.as_bytes().chunks(7) {
+                let _ = stream.write_all(chunk);
+                let _ = stream.flush();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let report = fast_client(addr)
+            .run_job(&Job::sim(40.0, 750e6, 5e6))
+            .expect("dribbled frame must assemble");
+        assert_eq!(report.sndr_db, 61.0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn busy_rejection_classifies_with_retry_hint() {
+        let (addr, handle) = hostile_backend(|mut stream| {
+            let _ = stream.write_all(
+                b"{\"ok\":false,\"error\":\"shedding load: 9 request(s) in flight (limit 8)\",\
+                  \"busy\":true,\"retry_after_ms\":450,\"shed\":true}\n",
+            );
+        });
+        match fast_client(addr).run_job(&Job::sim(40.0, 750e6, 5e6)) {
+            Err(RemoteError::Busy {
+                message,
+                retry_after_ms,
+            }) => {
+                assert!(message.contains("shedding"), "{message}");
+                assert_eq!(retry_after_ms, 450);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_rejection_classifies_as_retryable_job_error() {
+        let (addr, handle) = hostile_backend(|mut stream| {
+            let _ = stream.write_all(
+                b"{\"ok\":false,\"error\":\"deadline of 1 ms cannot be met \
+                  (estimated queue wait 40 ms)\",\"deadline_exceeded\":true}\n",
+            );
+        });
+        match fast_client(addr).run_job(&Job::sim(40.0, 750e6, 5e6)) {
+            Err(RemoteError::Job(e)) => {
+                assert!(e.is_retryable(), "deadline rejection must be retryable");
+                assert!(e.to_string().contains("deadline"), "{e}");
+            }
+            other => panic!("expected Job error, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn client_id_and_deadline_ride_outside_the_job() {
+        // Against a real server: the identified, deadline-carrying
+        // request must produce byte-identical report JSON to a bare one.
+        let (addr, handle) = test_server();
+        let job = Job {
+            seed: 6,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let bare = RemoteClient::new(addr.to_string())
+            .run_job(&job)
+            .expect("bare run");
+        let dressed = RemoteClient::new(addr.to_string())
+            .with_client_id("sweep-42")
+            .run_job_with_deadline(&job, Some(120_000))
+            .expect("identified run");
+        assert_eq!(
+            bare.to_json().to_text(),
+            dressed.to_json().to_text(),
+            "admission metadata must never reach the report"
+        );
         shutdown(addr);
         handle.join().unwrap();
     }

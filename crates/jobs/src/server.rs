@@ -34,15 +34,32 @@
 //! `--allow-remote-shutdown`); otherwise the command answers
 //! `{"ok":false,"error":"shutdown disabled"}` and the server keeps
 //! serving.
+//!
+//! **Admission control.** Every job request passes a three-stage gate
+//! before touching the engine: a per-client token-bucket quota (clients
+//! name themselves with a `"client"` field; [`ServerConfig::quota_burst`]),
+//! queue-depth/stalled-worker–aware load shedding
+//! ([`ServerConfig::max_queue_per_worker`]), and a deadline feasibility
+//! check (`"deadline_ms"`, the client's remaining budget). Overload
+//! rejections are structured — `{"ok":false,"busy":true,
+//! "retry_after_ms":N,…}` with `quota` or `shed` markers — so a client
+//! can distinguish "you are over quota" from "everyone must back off"
+//! and knows exactly when to come back. An admitted deadline becomes the
+//! job's soft deadline in the pool, so work whose client has given up is
+//! cut off instead of burning a worker. `client` and `deadline_ms` never
+//! enter the job itself: cache keys and reports are byte-identical with
+//! or without them.
 
 use crate::engine::Engine;
 use crate::error::JobError;
 use crate::job::{Job, JobKind};
 use crate::json::Json;
+use crate::pool::lock_unpoisoned;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -70,6 +87,19 @@ pub struct ServerConfig {
     /// backend must not be killable by one of them. When off, the
     /// command answers `{"ok":false,"error":"shutdown disabled"}`.
     pub allow_remote_shutdown: bool,
+    /// Per-client token-bucket quota: burst capacity in requests. A job
+    /// request names its client with a `"client"` field (anonymous
+    /// requests share the `"anon"` bucket). 0 disables quotas.
+    pub quota_burst: u32,
+    /// Token-bucket refill rate, requests per second per client. Only
+    /// meaningful when `quota_burst > 0`.
+    pub quota_refill_per_sec: f64,
+    /// Load shedding: maximum job requests in flight (queued or
+    /// executing) per *live* worker before new work is shed with a
+    /// structured `retry_after_ms` rejection. Stalled workers do not
+    /// count as live, so a wedged pool sheds earlier. 0 disables
+    /// shedding.
+    pub max_queue_per_worker: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,8 +110,240 @@ impl Default for ServerConfig {
             max_connections: 64,
             stall_threshold_ms: 30_000,
             allow_remote_shutdown: false,
+            quota_burst: 0,
+            quota_refill_per_sec: 8.0,
+            max_queue_per_worker: 16,
         }
     }
+}
+
+/// Hard bound on distinct client buckets held in memory: beyond it,
+/// stale buckets are pruned, and if every bucket is live the request is
+/// rejected — an adversary inventing client ids cannot grow the map
+/// without bound.
+const MAX_CLIENT_BUCKETS: usize = 1024;
+
+/// A classic token bucket: capacity `burst`, refilled continuously at
+/// `refill_per_sec`.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn full(burst: u32) -> Self {
+        TokenBucket {
+            tokens: burst as f64,
+            last: Instant::now(),
+        }
+    }
+
+    /// Takes one token if available; otherwise says how long until the
+    /// next token exists, ms.
+    fn take(&mut self, burst: u32, refill_per_sec: f64) -> Result<(), u64> {
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * refill_per_sec;
+        self.tokens = (self.tokens + refill).min(burst as f64);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait_s = (1.0 - self.tokens) / refill_per_sec.max(1e-9);
+            Err((wait_s * 1e3).ceil() as u64)
+        }
+    }
+}
+
+/// Shared admission state: who is asking for how much, how deep the
+/// work queue is, and how long a job has been taking lately. One
+/// instance per server, visible to every connection thread.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    quota_burst: u32,
+    quota_refill_per_sec: f64,
+    max_queue_per_worker: usize,
+    /// Job requests accepted and not yet answered (queued + executing).
+    inflight: AtomicUsize,
+    /// EWMA of recent job service time, µs (0 = no sample yet). Feeds
+    /// the `retry_after_ms` hints and the deadline feasibility check.
+    avg_service_us: AtomicU64,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// Lifetime rejection counts, mirrored onto the obs registry and
+    /// reported by `health`.
+    shed: AtomicU64,
+    quota_rejected: AtomicU64,
+    deadline_rejected: AtomicU64,
+}
+
+/// RAII claim on one admission slot: holds the in-flight count up while
+/// the job runs and folds the observed service time into the EWMA on
+/// release.
+#[derive(Debug)]
+pub(crate) struct AdmissionTicket<'a> {
+    admission: &'a Admission,
+    started: Instant,
+}
+
+impl Drop for AdmissionTicket<'_> {
+    fn drop(&mut self) {
+        let n = self.admission.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        tdsigma_obs::gauge("serve.admission_queue_depth").set(n as f64);
+        self.admission.observe_service(self.started.elapsed());
+    }
+}
+
+impl Admission {
+    fn new(config: &ServerConfig) -> Self {
+        Admission {
+            quota_burst: config.quota_burst,
+            quota_refill_per_sec: config.quota_refill_per_sec,
+            max_queue_per_worker: config.max_queue_per_worker,
+            inflight: AtomicUsize::new(0),
+            avg_service_us: AtomicU64::new(0),
+            buckets: Mutex::new(HashMap::new()),
+            shed: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_service(&self, elapsed: Duration) {
+        let sample = elapsed.as_micros() as u64;
+        let old = self.avg_service_us.load(Ordering::Relaxed);
+        // EWMA with α = 1/8; racy read-modify-write is fine for a hint.
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.avg_service_us.store(new, Ordering::Relaxed);
+    }
+
+    /// The smoothed service time, ms (0 = no sample yet).
+    fn avg_service_ms(&self) -> u64 {
+        self.avg_service_us.load(Ordering::Relaxed) / 1000
+    }
+
+    /// Job requests currently queued or executing.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// How long a turned-away peer should wait before retrying: roughly
+    /// one backlog-drain interval, bounded so the hint is never absurd.
+    fn retry_after_ms(&self, live_workers: usize) -> u64 {
+        let per_job = self.avg_service_ms().max(25);
+        let depth = self.queue_depth() as u64;
+        (per_job * (depth + 1) / live_workers.max(1) as u64).clamp(50, 30_000)
+    }
+
+    /// Admission decision for one job request. `Err` carries the
+    /// complete structured rejection to send back.
+    fn admit(
+        &self,
+        client: &str,
+        deadline_ms: Option<u64>,
+        workers: usize,
+        stalled: usize,
+    ) -> Result<AdmissionTicket<'_>, Json> {
+        let live_workers = workers.saturating_sub(stalled);
+        // 1. Quota: a client out of tokens is rejected regardless of how
+        // idle the server is — the bucket is the contract.
+        if self.quota_burst > 0 {
+            if let Err(wait_ms) = self.take_token(client) {
+                self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                tdsigma_obs::counter("serve.quota_rejected").inc();
+                return Err(busy_response(
+                    &format!("quota exceeded for client {client:?}"),
+                    wait_ms.max(1),
+                    &[("quota", Json::Bool(true))],
+                ));
+            }
+        }
+        // 2. Load shedding: bound the backlog by live workers, so a
+        // stalled pool sheds earlier and a dead pool sheds everything.
+        let depth = self.queue_depth();
+        let cap = self.max_queue_per_worker * live_workers;
+        if self.max_queue_per_worker > 0 && (live_workers == 0 || depth >= cap) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            tdsigma_obs::counter("serve.shed").inc();
+            let message = if live_workers == 0 {
+                format!("shedding load: all {workers} worker(s) stalled")
+            } else {
+                format!("shedding load: {depth} request(s) in flight (limit {cap})")
+            };
+            return Err(busy_response(
+                &message,
+                self.retry_after_ms(live_workers),
+                &[("shed", Json::Bool(true))],
+            ));
+        }
+        // 3. Deadline feasibility: reject work whose remaining budget
+        // cannot cover even the estimated queue wait — running it would
+        // only produce a report nobody is still waiting for.
+        if let Some(deadline) = deadline_ms {
+            let est_wait_ms = self.avg_service_ms() * (depth as u64) / live_workers.max(1) as u64;
+            if deadline == 0 || deadline <= est_wait_ms {
+                self.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+                tdsigma_obs::counter("serve.deadline_rejected").inc();
+                return Err(Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    (
+                        "error".into(),
+                        Json::Str(format!(
+                            "deadline of {deadline} ms cannot be met \
+                             (estimated queue wait {est_wait_ms} ms)"
+                        )),
+                    ),
+                    ("deadline_exceeded".into(), Json::Bool(true)),
+                ]));
+            }
+        }
+        let n = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        tdsigma_obs::gauge("serve.admission_queue_depth").set(n as f64);
+        Ok(AdmissionTicket {
+            admission: self,
+            started: Instant::now(),
+        })
+    }
+
+    fn take_token(&self, client: &str) -> Result<(), u64> {
+        let mut buckets = lock_unpoisoned(&self.buckets);
+        if !buckets.contains_key(client) && buckets.len() >= MAX_CLIENT_BUCKETS {
+            // Prune buckets idle long enough to have fully refilled —
+            // forgetting one of those loses no state.
+            let refill_s =
+                (self.quota_burst as f64 / self.quota_refill_per_sec.max(1e-9)).min(60.0);
+            buckets.retain(|_, b| b.last.elapsed().as_secs_f64() < refill_s);
+            if buckets.len() >= MAX_CLIENT_BUCKETS {
+                return Err(1_000); // every bucket live: back off, not OOM
+            }
+        }
+        buckets
+            .entry(client.to_string())
+            .or_insert_with(|| TokenBucket::full(self.quota_burst))
+            .take(self.quota_burst, self.quota_refill_per_sec)
+    }
+}
+
+/// A structured overload rejection: always `busy:true` and always a
+/// computed `retry_after_ms`, plus caller-specific markers.
+fn busy_response(message: &str, retry_after_ms: u64, extra: &[(&str, Json)]) -> Json {
+    let mut obj = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.into())),
+        ("busy".to_string(), Json::Bool(true)),
+        (
+            "retry_after_ms".to_string(),
+            Json::Num(retry_after_ms as f64),
+        ),
+    ];
+    for (k, v) in extra {
+        obj.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(obj)
 }
 
 /// The supervision state `health`/`ready`/`stats` report from: the live
@@ -96,6 +358,7 @@ struct Supervision {
     stall_threshold_ms: u64,
     allow_remote_shutdown: bool,
     started: Instant,
+    admission: Arc<Admission>,
 }
 
 /// A running line-protocol server. One thread per connection; all
@@ -107,6 +370,7 @@ pub struct Server {
     config: ServerConfig,
     active: Arc<AtomicUsize>,
     started: Instant,
+    admission: Arc<Admission>,
 }
 
 impl Server {
@@ -130,6 +394,7 @@ impl Server {
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        let admission = Arc::new(Admission::new(&config));
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine,
@@ -137,6 +402,7 @@ impl Server {
             config,
             active: Arc::new(AtomicUsize::new(0)),
             started: Instant::now(),
+            admission,
         })
     }
 
@@ -177,18 +443,15 @@ impl Server {
                 && self.active.load(Ordering::SeqCst) >= self.config.max_connections
             {
                 tdsigma_obs::counter("serve.busy_rejected").inc();
-                let busy = Json::Obj(vec![
-                    ("ok".into(), Json::Bool(false)),
-                    (
-                        "error".into(),
-                        Json::Str(format!(
-                            "server busy: {} connections active (limit {})",
-                            self.active.load(Ordering::SeqCst),
-                            self.config.max_connections
-                        )),
+                let busy = busy_response(
+                    &format!(
+                        "server busy: {} connections active (limit {})",
+                        self.active.load(Ordering::SeqCst),
+                        self.config.max_connections
                     ),
-                    ("busy".into(), Json::Bool(true)),
-                ]);
+                    self.admission.retry_after_ms(self.engine.workers().max(1)),
+                    &[],
+                );
                 let _ = stream.write_all(busy.to_text().as_bytes());
                 let _ = stream.write_all(b"\n");
                 continue; // dropping the stream closes it
@@ -200,8 +463,11 @@ impl Server {
             let stop = Arc::clone(&self.stop);
             let config = self.config.clone();
             let started = self.started;
+            let admission = Arc::clone(&self.admission);
             handles.push(thread::spawn(move || {
-                let _ = serve_connection(stream, &engine, &stop, addr, &config, &active, started);
+                let _ = serve_connection(
+                    stream, &engine, &stop, addr, &config, &active, started, &admission,
+                );
                 let n = active.fetch_sub(1, Ordering::SeqCst) - 1;
                 tdsigma_obs::gauge("serve.active_connections").set(n as f64);
             }));
@@ -251,6 +517,7 @@ fn read_frame(reader: &mut BufReader<TcpStream>, max_line_bytes: usize) -> io::R
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     engine: &Engine,
@@ -259,6 +526,7 @@ fn serve_connection(
     config: &ServerConfig,
     active: &Arc<AtomicUsize>,
     started: Instant,
+    admission: &Arc<Admission>,
 ) -> io::Result<()> {
     let supervision = Supervision {
         active: Arc::clone(active),
@@ -266,6 +534,7 @@ fn serve_connection(
         stall_threshold_ms: config.stall_threshold_ms,
         allow_remote_shutdown: config.allow_remote_shutdown,
         started,
+        admission: Arc::clone(admission),
     };
     if config.idle_timeout_ms > 0 {
         let timeout = Some(Duration::from_millis(config.idle_timeout_ms));
@@ -323,7 +592,7 @@ fn handle_line(line: &str, engine: &Engine, supervision: &Supervision) -> (Json,
             Some("stats") => (stats_response(engine, supervision), false),
             Some("health") => (health_response(engine, supervision), false),
             Some("ready") => (ready_response(engine, supervision), false),
-            Some("run") => (run_response(&request, engine), false),
+            Some("run") => (run_response(&request, engine, supervision), false),
             Some("shutdown") if supervision.allow_remote_shutdown => {
                 (ok_response(vec![("bye".into(), Json::Bool(true))]), true)
             }
@@ -337,24 +606,29 @@ fn handle_line(line: &str, engine: &Engine, supervision: &Supervision) -> (Json,
             ),
         };
     }
+    // Friendly-units job request: `client`/`deadline_ms` are admission
+    // metadata, not job parameters — peel them off before the strict
+    // field check so they never reach the job (or its cache key).
+    let (client, deadline_ms, request) = match admission_fields(request) {
+        Ok(x) => x,
+        Err(e) => return (error_response(&e.to_string()), false),
+    };
     let job = match job_from_request(&request) {
         Ok(job) => job,
         Err(e) => return (error_response(&e.to_string()), false),
     };
-    match engine.submit_one(&job) {
-        Ok(report) => (
-            ok_response(vec![("report".into(), report.to_json())]),
-            false,
-        ),
-        Err(e) => (error_response(&e.to_string()), false),
-    }
+    (
+        admitted_run(engine, supervision, &client, deadline_ms, &job),
+        false,
+    )
 }
 
 /// Executes a `{"cmd":"run","job":{…}}` request: the job arrives in its
 /// canonical Hz-units JSON form ([`Job::to_json`]), so no unit
 /// conversion happens between a dispatcher and this backend — the cache
 /// key computed here is identical to the one the dispatcher computed.
-fn run_response(request: &Json, engine: &Engine) -> Json {
+/// `client` and `deadline_ms` ride as siblings of `job`, never inside it.
+fn run_response(request: &Json, engine: &Engine, supervision: &Supervision) -> Json {
     let Some(job_json) = request.get("job") else {
         return error_response("run request needs a \"job\" object");
     };
@@ -362,10 +636,76 @@ fn run_response(request: &Json, engine: &Engine) -> Json {
         Ok(job) => job,
         Err(e) => return error_response(&e.to_string()),
     };
-    match engine.submit_one(&job) {
+    let (client, deadline_ms) = match (client_field(request), deadline_field(request)) {
+        (Ok(c), Ok(d)) => (c, d),
+        (Err(e), _) | (_, Err(e)) => return error_response(&e.to_string()),
+    };
+    admitted_run(engine, supervision, &client, deadline_ms, &job)
+}
+
+/// The admission gate plus the actual execution: quota → shed → deadline
+/// checks, then the job runs with any remaining budget mapped onto the
+/// pool's soft-deadline machinery.
+fn admitted_run(
+    engine: &Engine,
+    supervision: &Supervision,
+    client: &str,
+    deadline_ms: Option<u64>,
+    job: &Job,
+) -> Json {
+    let stalled = engine.stalled_workers(supervision.stall_threshold_ms);
+    let ticket = match supervision
+        .admission
+        .admit(client, deadline_ms, engine.workers(), stalled)
+    {
+        Ok(ticket) => ticket,
+        Err(rejection) => return rejection,
+    };
+    let result = engine.submit_one_with_deadline(job, deadline_ms.unwrap_or(0));
+    drop(ticket);
+    match result {
         Ok(report) => ok_response(vec![("report".into(), report.to_json())]),
         Err(e) => error_response(&e.to_string()),
     }
+}
+
+/// Extracts and validates the optional `client` field (default `anon`).
+fn client_field(request: &Json) -> Result<String, JobError> {
+    match request.get("client") {
+        None | Some(Json::Null) => Ok("anon".into()),
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(JobError::Invalid(
+            "field \"client\" must be a string".into(),
+        )),
+    }
+}
+
+/// Extracts and validates the optional `deadline_ms` field: the client's
+/// remaining budget for this request, in ms.
+fn deadline_field(request: &Json) -> Result<Option<u64>, JobError> {
+    match request.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            JobError::Invalid("field \"deadline_ms\" must be a non-negative integer".into())
+        }),
+    }
+}
+
+/// Splits the admission metadata off a friendly-units request, returning
+/// `(client, deadline_ms, request-without-those-fields)`.
+fn admission_fields(request: Json) -> Result<(String, Option<u64>, Json), JobError> {
+    let client = client_field(&request)?;
+    let deadline_ms = deadline_field(&request)?;
+    let stripped = match request {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "client" && k != "deadline_ms")
+                .collect(),
+        ),
+        other => other,
+    };
+    Ok((client, deadline_ms, stripped))
 }
 
 fn ok_response(mut fields: Vec<(String, Json)>) -> Json {
@@ -425,6 +765,27 @@ fn health_response(engine: &Engine, supervision: &Supervision) -> Json {
                 Json::Num(supervision.started.elapsed().as_millis() as f64),
             ),
             ("served_jobs".into(), Json::Num(totals.jobs as f64)),
+            (
+                "queue_depth".into(),
+                Json::Num(supervision.admission.queue_depth() as f64),
+            ),
+            (
+                "shed".into(),
+                Json::Num(supervision.admission.shed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "quota_rejected".into(),
+                Json::Num(supervision.admission.quota_rejected.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "deadline_rejected".into(),
+                Json::Num(
+                    supervision
+                        .admission
+                        .deadline_rejected
+                        .load(Ordering::Relaxed) as f64,
+                ),
+            ),
         ]),
     )])
 }
@@ -697,6 +1058,7 @@ mod tests {
             stall_threshold_ms: 30_000,
             allow_remote_shutdown: true,
             started: Instant::now(),
+            admission: Arc::new(Admission::new(&ServerConfig::default())),
         }
     }
 
@@ -908,6 +1270,182 @@ mod tests {
             .get("reason")
             .and_then(Json::as_str)
             .is_some_and(|m| m.contains("connection limit")));
+    }
+
+    #[test]
+    fn quota_rejections_are_structured_and_recover_after_refill() {
+        let engine = test_engine();
+        let sup = Supervision {
+            admission: Arc::new(Admission::new(&ServerConfig {
+                quota_burst: 2,
+                quota_refill_per_sec: 50.0,
+                ..ServerConfig::default()
+            })),
+            ..test_supervision()
+        };
+        let ask = |seed: u64| {
+            handle_line(
+                &format!(r#"{{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":{seed},"client":"alice"}}"#),
+                &engine,
+                &sup,
+            )
+            .0
+        };
+        assert_eq!(ask(1).get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ask(2).get("ok").and_then(Json::as_bool), Some(true));
+        let rejected = ask(3);
+        assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(rejected.get("busy").and_then(Json::as_bool), Some(true));
+        assert_eq!(rejected.get("quota").and_then(Json::as_bool), Some(true));
+        let retry = rejected
+            .get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .expect("quota rejection must carry retry_after_ms");
+        assert!(retry >= 1, "retry hint must be positive, got {retry}");
+        // A different client has its own bucket.
+        let (r, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":9,"client":"bob"}"#,
+            &engine,
+            &sup,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        // After the refill interval the original client is served again.
+        std::thread::sleep(Duration::from_millis(retry + 50));
+        assert_eq!(ask(4).get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn shedding_trips_on_queue_depth_and_reports_retry_after() {
+        let engine = test_engine();
+        let sup = Supervision {
+            admission: Arc::new(Admission::new(&ServerConfig {
+                max_queue_per_worker: 1,
+                ..ServerConfig::default()
+            })),
+            ..test_supervision()
+        };
+        // Fill the admission window by hand: 2 workers × 1 = 2 slots.
+        let t1 = sup.admission.admit("anon", None, 2, 0).unwrap();
+        let _t2 = sup.admission.admit("anon", None, 2, 0).unwrap();
+        let shed = match sup.admission.admit("anon", None, 2, 0) {
+            Err(r) => r,
+            Ok(_) => panic!("third request must be shed"),
+        };
+        assert_eq!(shed.get("busy").and_then(Json::as_bool), Some(true));
+        assert_eq!(shed.get("shed").and_then(Json::as_bool), Some(true));
+        assert!(shed.get("retry_after_ms").and_then(Json::as_u64).is_some());
+        // With every worker stalled, even an empty queue sheds.
+        drop(t1);
+        let stalled = sup.admission.admit("anon", None, 2, 2);
+        assert!(stalled.is_err(), "a fully stalled pool must shed");
+        // Through the wire-level path the rejection reaches the client.
+        let (r, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}"#,
+            &engine,
+            &sup,
+        );
+        assert_eq!(
+            r.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "one free slot admits the request: {}",
+            r.to_text()
+        );
+    }
+
+    #[test]
+    fn hopeless_deadlines_are_rejected_and_feasible_ones_run() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        // deadline_ms: 0 is provably unmeetable.
+        let (r, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":1,"deadline_ms":0}"#,
+            &engine,
+            &sup,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            r.get("deadline_exceeded").and_then(Json::as_bool),
+            Some(true)
+        );
+        // A generous deadline runs normally, and the report is identical
+        // to a deadline-free request (the field never reaches the job).
+        let (with, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":5,"deadline_ms":60000}"#,
+            &engine,
+            &sup,
+        );
+        let (without, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"seed":5}"#,
+            &engine,
+            &sup,
+        );
+        assert_eq!(with.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            with.get("report").map(Json::to_text),
+            without.get("report").map(Json::to_text),
+            "deadline metadata must not change the report bytes"
+        );
+        // Malformed deadline is a validation error, not a crash.
+        let (r, _) = handle_line(
+            r#"{"node":40,"fs_mhz":750,"bw_mhz":5,"deadline_ms":"soon"}"#,
+            &engine,
+            &sup,
+        );
+        assert!(r
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("deadline_ms")));
+    }
+
+    #[test]
+    fn run_command_accepts_sibling_deadline_and_client_fields() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        let job = Job {
+            seed: 8,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let request = Json::Obj(vec![
+            ("cmd".into(), Json::Str("run".into())),
+            ("job".into(), job.to_json()),
+            ("client".into(), Json::Str("sweeper-1".into())),
+            ("deadline_ms".into(), Json::Num(60_000.0)),
+        ]);
+        let (r, _) = handle_line(&request.to_text(), &engine, &sup);
+        assert_eq!(
+            r.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            r.to_text()
+        );
+        assert_eq!(
+            r.get("report")
+                .and_then(|x| x.get("key"))
+                .and_then(Json::as_str),
+            Some(job.key().as_str()),
+            "admission metadata must not perturb the cache key"
+        );
+    }
+
+    #[test]
+    fn health_reports_admission_counters() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        sup.admission
+            .admit("anon", Some(0), engine.workers(), 0)
+            .unwrap_err();
+        let (r, _) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+        let health = r.get("health").expect("health object");
+        assert_eq!(health.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(health.get("shed").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            health.get("deadline_rejected").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            health.get("quota_rejected").and_then(Json::as_f64),
+            Some(0.0)
+        );
     }
 
     #[test]

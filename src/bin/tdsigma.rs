@@ -22,6 +22,10 @@
 //! tdsigma serve  [--addr 127.0.0.1:4017] [--workers N] [--retries 1]
 //!                [--cache-dir results/cache] [--no-cache] [--trace FILE]
 //!                [--max-connections 64] [--allow-remote-shutdown]
+//!                [--quota-burst N] [--quota-rps R] [--max-queue Q]
+//! tdsigma fleet  [--children 2] [--workers W] [--cache-dir DIR]
+//!                [--max-connections N] [--restart-max 5]
+//!                [--health-interval-ms 500]
 //! tdsigma nodes
 //! tdsigma help
 //! ```
@@ -60,6 +64,22 @@
 //! line in, one JSON report per line out (see `crates/jobs/src/server.rs`
 //! or README for the protocol). The protocol `shutdown` command is
 //! refused unless the server was started with `--allow-remote-shutdown`.
+//! Admission control is built in: `--quota-burst`/`--quota-rps` cap each
+//! client id with a token bucket, `--max-queue` sheds work when the
+//! queue outgrows the live workers, and every rejection is structured
+//! with a computed `retry_after_ms`. Sweep clients can attach a per-job
+//! wall-clock budget with `--deadline-ms`: the remaining budget rides
+//! each frame and a backend refuses work it provably cannot finish.
+//!
+//! `fleet` runs a self-healing fleet of serve children: it spawns
+//! `--children` servers on auto-picked ports (printed at startup),
+//! restarts any child that crashes or stops answering `ready` (with
+//! deterministic-jitter backoff and a restart-storm cap), and drains
+//! the fleet gracefully, one child at a time, on SIGTERM/SIGINT.
+//!
+//! `sweep --journal-gc` prunes journals of provably-finished runs (a
+//! bounded `results/journal/`, like the cache quarantine prune);
+//! successful sweeps also auto-prune, keeping the newest 32.
 //!
 //! `--trace FILE` (sweep and serve) turns on the observability layer's
 //! JSON-lines trace sink: one line per flow stage span, job attempt and
@@ -74,9 +94,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tdsigma::core::{flow::DesignFlow, spec::AdcSpec};
 use tdsigma::jobs::{
-    default_workers, execute, validate_run_id, DispatchConfig, Dispatcher, Engine, EngineConfig,
-    FaultPlan, Job, JobKind, Journal, JournalRecord, Json, PlanPreview, PoolConfig, ResultCache,
-    Runner, Server, ServerConfig,
+    default_workers, execute, gc_finished, install_stop_handler, validate_run_id, DispatchConfig,
+    Dispatcher, Engine, EngineConfig, FaultPlan, Fleet, FleetConfig, Job, JobKind, Journal,
+    JournalRecord, Json, PlanPreview, PoolConfig, ResultCache, Runner, Server, ServerConfig,
 };
 use tdsigma::layout::physlib::PhysicalLibrary;
 use tdsigma::layout::{gds, lef, render};
@@ -99,6 +119,7 @@ fn main() -> ExitCode {
         Some("sweep") => dispatch(&args[1..], SWEEP_FLAGS, run_sweep),
         Some("optimize") => dispatch(&args[1..], OPTIMIZE_FLAGS, run_optimize),
         Some("serve") => dispatch(&args[1..], SERVE_FLAGS, run_serve),
+        Some("fleet") => dispatch(&args[1..], FLEET_FLAGS, run_fleet),
         Some("nodes") => {
             println!("supported technology nodes:");
             for id in NodeId::ALL {
@@ -147,7 +168,12 @@ fn print_help() {
     println!("  tdsigma serve  [--addr HOST:PORT] [--workers W] [--retries R]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE]");
     println!("                 [--max-connections N] [--allow-remote-shutdown]");
+    println!("                 [--quota-burst N] [--quota-rps R] [--max-queue Q]");
     println!("                                                JSON-lines job server");
+    println!("  tdsigma fleet  [--children 2] [--workers W] [--cache-dir DIR]");
+    println!("                 [--max-connections N] [--restart-max 5]");
+    println!("                 [--health-interval-ms 500] [serve admission flags]");
+    println!("                                                self-healing serve fleet");
     println!("  tdsigma nodes                                 list technology nodes");
     println!("  tdsigma help | --help | -h                    this message");
     println!("  tdsigma version | --version | -V              print the version");
@@ -172,6 +198,13 @@ fn print_help() {
     println!("  finished by `tdsigma optimize --resume ID` through the result cache.");
     println!("DRY RUN: `--dry-run` (sweep and optimize) prints the planned jobs and");
     println!("  predicted cache hits vs misses, then exits without executing anything.");
+    println!("OVERLOAD: serve sheds work it cannot take (`--quota-burst`/`--quota-rps`");
+    println!("  per-client quotas, `--max-queue` depth cap) with structured busy");
+    println!("  rejections carrying retry_after_ms; sweep `--deadline-ms MS` attaches a");
+    println!("  per-job wall-clock budget that backends enforce. `tdsigma fleet` keeps");
+    println!("  N serve children alive (crash/stall restart with backoff and a storm");
+    println!("  cap) and drains them gracefully on SIGTERM. `sweep --journal-gc`");
+    println!("  prunes journals of finished runs; successful sweeps keep the newest 32.");
 }
 
 /// Parsed command line: `--key value` pairs plus bare `--switch` flags.
@@ -181,7 +214,13 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 4] = ["no-cache", "no-journal", "allow-remote-shutdown", "dry-run"];
+const SWITCHES: [&str; 5] = [
+    "no-cache",
+    "no-journal",
+    "allow-remote-shutdown",
+    "dry-run",
+    "journal-gc",
+];
 
 /// The flags each subcommand accepts (anything else is an error).
 const DESIGN_FLAGS: &[&str] = &["node", "fs-mhz", "bw-mhz", "slices", "samples", "out"];
@@ -208,6 +247,10 @@ const SWEEP_FLAGS: &[&str] = &[
     // Distributed dispatch: only meaningful with a backend list in
     // --workers.
     "hedge-ms",
+    // Per-job wall-clock budget forwarded to backends as deadline_ms.
+    "deadline-ms",
+    // Journal GC: prune journals of provably-finished runs.
+    "journal-gc",
     // Plan preview: print the grid and predicted cache hits, run nothing.
     "dry-run",
     // Hidden: deterministic fault injection for resilience testing.
@@ -243,6 +286,7 @@ const OPTIMIZE_FLAGS: &[&str] = &[
     "resume",
     "no-journal",
     "hedge-ms",
+    "deadline-ms",
     "dry-run",
     "chaos-seed",
 ];
@@ -255,6 +299,29 @@ const SERVE_FLAGS: &[&str] = &[
     "trace",
     "max-connections",
     "allow-remote-shutdown",
+    // Admission control: per-client token buckets and queue-depth shedding.
+    "quota-burst",
+    "quota-rps",
+    "max-queue",
+    "chaos-seed",
+];
+const FLEET_FLAGS: &[&str] = &[
+    // Fleet shape.
+    "children",
+    "workers",
+    "retries",
+    "cache-dir",
+    "no-cache",
+    "max-connections",
+    // Supervision knobs.
+    "restart-max",
+    "restart-window-ms",
+    "health-interval-ms",
+    // Admission knobs forwarded to each serve child.
+    "quota-burst",
+    "quota-rps",
+    "max-queue",
+    // Hidden: deterministic fault injection (enables child kills).
     "chaos-seed",
 ];
 
@@ -502,6 +569,7 @@ fn engine_from_flags(flags: &Flags) -> Result<EngineSetup, Box<dyn std::error::E
                 backends,
                 local_in_rotation: local,
                 hedge_ms: flags.usize("hedge-ms", 0)? as u64,
+                deadline_ms: flags.usize("deadline-ms", 0)? as u64,
                 faults: fault_plan(flags)?,
                 ..DispatchConfig::default()
             };
@@ -798,6 +866,28 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
             jobs.len()
         );
     }
+
+    // Journal GC: an explicit --journal-gc prunes every provably-finished
+    // journal; a clean sweep quietly prunes old finished runs but keeps a
+    // recent window so `--resume` stays useful. The current run is always
+    // protected (it may still be referenced by the degraded hint above).
+    let gc_requested = flags.switch("journal-gc");
+    if !flags.switch("no-journal") && (gc_requested || failed == 0) {
+        let keep = if gc_requested { 0 } else { 32 };
+        match gc_finished(Path::new(&journal_dir), keep, &[run_id.as_str()]) {
+            Ok(gc) if !gc.pruned.is_empty() => println!(
+                "journal gc: pruned {} finished journal(s), {} kept",
+                gc.pruned.len(),
+                gc.kept
+            ),
+            Ok(_) => {
+                if gc_requested {
+                    println!("journal gc: nothing to prune");
+                }
+            }
+            Err(e) => eprintln!("warning: journal gc failed: {e}"),
+        }
+    }
     Ok(failed)
 }
 
@@ -1044,13 +1134,20 @@ fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         return Err("serve takes a numeric --workers (a backend cannot itself dispatch)".into());
     }
     let engine = Arc::new(engine);
+    let defaults = ServerConfig::default();
     let server_config = ServerConfig {
-        max_connections: flags.usize("max-connections", ServerConfig::default().max_connections)?,
+        max_connections: flags.usize("max-connections", defaults.max_connections)?,
         allow_remote_shutdown: flags.switch("allow-remote-shutdown"),
+        quota_burst: flags.usize("quota-burst", defaults.quota_burst as usize)? as u32,
+        quota_refill_per_sec: flags.f64("quota-rps", defaults.quota_refill_per_sec)?,
+        max_queue_per_worker: flags.usize("max-queue", defaults.max_queue_per_worker)?,
         ..ServerConfig::default()
     };
     let max_connections = server_config.max_connections;
     let allow_remote_shutdown = server_config.allow_remote_shutdown;
+    let quota_burst = server_config.quota_burst;
+    let quota_refill_per_sec = server_config.quota_refill_per_sec;
+    let max_queue_per_worker = server_config.max_queue_per_worker;
     let server = Server::bind_with(addr.as_str(), Arc::clone(&engine), server_config)?;
     println!(
         "tdsigma serve: listening on {} ({} workers, cache: {}, max {} connections)",
@@ -1065,6 +1162,22 @@ fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     println!("protocol: one JSON job request per line, one JSON report per line back");
     println!(r#"example: {{"kind":"sim","node":40,"fs_mhz":750,"bw_mhz":5,"seed":1}}"#);
     println!(r#"supervision: {{"cmd":"health"}} and {{"cmd":"ready"}} report liveness"#);
+    match (quota_burst, max_queue_per_worker) {
+        (0, 0) => println!("admission: open (no per-client quota, no queue cap)"),
+        (burst, cap) => println!(
+            "admission: quota {} (burst {burst}), queue cap {}",
+            if burst == 0 {
+                "off".to_string()
+            } else {
+                format!("{quota_refill_per_sec:.1}/s per client")
+            },
+            if cap == 0 {
+                "off".to_string()
+            } else {
+                format!("{cap} per worker")
+            },
+        ),
+    }
     if allow_remote_shutdown {
         println!("remote shutdown: ENABLED (any client can stop this server)");
     } else {
@@ -1085,6 +1198,94 @@ fn try_run_serve(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         println!("wrote trace → {path}");
     }
     Ok(totals.failed)
+}
+
+fn run_fleet(flags: &Flags) -> ExitCode {
+    match try_run_fleet(flags) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Spawns and supervises N `tdsigma serve` children, restarting crashed
+/// or stalled ones with deterministic-jitter backoff. Blocks until
+/// SIGTERM/SIGINT, then drains the fleet gracefully.
+fn try_run_fleet(flags: &Flags) -> Result<i32, Box<dyn std::error::Error>> {
+    let children = flags.usize("children", 2)?;
+    if children == 0 {
+        return Err("--children must be at least 1".into());
+    }
+    let workers = flags.usize("workers", default_workers().min(4))?;
+    let program = std::env::current_exe()?
+        .to_str()
+        .ok_or("fleet: executable path is not valid UTF-8")?
+        .to_string();
+
+    // Each child is a full serve process on its own pre-picked address;
+    // {addr} is substituted by the supervisor. Remote shutdown is on so
+    // the supervisor's rolling drain can stop children over the wire.
+    let mut child_args = vec![
+        "serve".to_string(),
+        "--addr".to_string(),
+        "{addr}".to_string(),
+        "--workers".to_string(),
+        workers.to_string(),
+        "--allow-remote-shutdown".to_string(),
+    ];
+    if flags.switch("no-cache") {
+        child_args.push("--no-cache".to_string());
+    } else if let Some(dir) = flags.values.get("cache-dir") {
+        child_args.push("--cache-dir".to_string());
+        child_args.push(dir.clone());
+    }
+    for key in [
+        "retries",
+        "max-connections",
+        "quota-burst",
+        "quota-rps",
+        "max-queue",
+    ] {
+        if let Some(value) = flags.values.get(key) {
+            child_args.push(format!("--{key}"));
+            child_args.push(value.clone());
+        }
+    }
+
+    // Chaos: the shared plan leaves child kills off (killing processes
+    // is the supervisor's business, not the engine's); a fleet run with
+    // a chaos seed opts in so restarts actually get exercised.
+    let mut faults = fault_plan(flags)?;
+    if !faults.is_empty() {
+        faults.child_kill_permille = 150;
+    }
+
+    let defaults = FleetConfig::default();
+    let config = FleetConfig {
+        program,
+        child_args,
+        children,
+        max_restarts: flags.usize("restart-max", defaults.max_restarts as usize)? as u32,
+        restart_window_ms: flags.usize("restart-window-ms", defaults.restart_window_ms as usize)?
+            as u64,
+        health_interval_ms: flags
+            .usize("health-interval-ms", defaults.health_interval_ms as usize)?
+            as u64,
+        faults,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::spawn(config)?;
+    println!(
+        "tdsigma fleet: {} child(ren) serving on {}",
+        children,
+        fleet.addrs().join(","),
+    );
+    println!("fleet: send SIGTERM (or Ctrl-C) for a graceful rolling drain");
+    let stop = install_stop_handler();
+    Ok(fleet.run(stop))
 }
 
 /// Hand-rolled JSON (flat object, numeric fields) — no serialization
