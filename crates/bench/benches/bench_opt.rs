@@ -2,8 +2,10 @@
 //! synthetic evaluator (no flows), and the real per-candidate
 //! evaluation cost the loop pays through the jobs runner.
 //!
-//! `cargo bench --bench bench_opt -- --save BENCH_opt.json` refreshes
-//! the checked-in baseline.
+//! `cargo bench --bench bench_opt -- --save ../../BENCH_opt.json`
+//! refreshes the checked-in baseline and `-- --compare
+//! ../../BENCH_opt.json` gates against it (paths are relative to
+//! `crates/bench`; the CI `perf` job runs the gate).
 
 use std::hint::black_box;
 use tdsigma_bench::harness::BenchRunner;

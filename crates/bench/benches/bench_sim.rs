@@ -3,13 +3,17 @@
 //! transient + spectrum path a design-space evaluation pays per
 //! candidate.
 //!
-//! `cargo bench --bench bench_sim -- --save BENCH_sim.json` refreshes
-//! the checked-in baseline.
+//! `cargo bench --bench bench_sim -- --save ../../BENCH_sim.json`
+//! refreshes the checked-in baseline and `-- --compare
+//! ../../BENCH_sim.json` gates the current build against it (paths are
+//! relative to `crates/bench`, where cargo runs bench binaries; the CI
+//! `perf` job runs the gate).
 
 use std::hint::black_box;
 use tdsigma_bench::harness::BenchRunner;
 use tdsigma_core::sim::AdcSimulator;
 use tdsigma_core::spec::AdcSpec;
+use tdsigma_dsp::spectrum::SpectrumScratch;
 use tdsigma_dsp::window::Window;
 
 fn main() {
@@ -35,13 +39,18 @@ fn main() {
     }
 
     // The per-candidate cost of one optimizer evaluation at sim kind:
-    // transient capture plus windowed spectrum (the SNDR path).
+    // transient capture plus windowed spectrum (the SNDR path), at three
+    // capture sizes so both the per-step and the FFT-bound regimes are
+    // visible in the baseline.
     let spec = AdcSpec::paper_40nm().expect("spec");
-    runner.bench(&format!("adc_sim_transient_spectrum_{cycles}cyc"), || {
-        let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
-        let capture = sim.run_tone(1e6, 0.79, cycles);
-        black_box(capture.spectrum(Window::Hann))
-    });
+    let mut scratch = SpectrumScratch::new();
+    for n in [512usize, 2_048, 8_192] {
+        runner.bench(&format!("adc_sim_transient_spectrum_{n}cyc"), || {
+            let mut sim = AdcSimulator::new(spec.clone()).expect("simulator");
+            let capture = sim.run_tone(1e6, 0.79, n);
+            black_box(capture.spectrum_with(Window::Hann, &mut scratch))
+        });
+    }
 
     runner.finish();
 }

@@ -1,0 +1,58 @@
+//! Dumps bit-level checksums of simulator captures — the regeneration
+//! tool for the golden bit-exactness fixtures in
+//! `crates/core/tests/golden.rs`.
+//!
+//! For 3 seeds × 2 paper nodes it runs a tone capture and prints one
+//! line per case: FNV-1a checksums over the output-word bit patterns
+//! and the slice codes, every integer activity counter, and the bit
+//! patterns of the float accumulators. Any engine change that alters a
+//! single bit of the transient shows up here.
+
+use tdsigma_core::sim::AdcSimulator;
+use tdsigma_core::spec::AdcSpec;
+use tdsigma_dsp::window::Window;
+
+/// FNV-1a over a byte stream (the same checksum the golden test uses).
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    for (node, spec) in [
+        ("40nm", AdcSpec::paper_40nm().expect("spec")),
+        ("180nm", AdcSpec::paper_180nm().expect("spec")),
+    ] {
+        for seed in [2017u64, 1, 42] {
+            let mut spec = spec.clone();
+            spec.steps_per_cycle = 8;
+            spec.seed = seed;
+            let n = 1024usize;
+            let fin = 11.0 * spec.fs_hz / n as f64;
+            let amp = 0.79 * spec.full_scale_v();
+            let mut sim = AdcSimulator::new(spec).expect("sim");
+            let cap = sim.run_tone(fin, amp, n);
+            let out_sum = fnv1a(cap.output.iter().flat_map(|v| v.to_bits().to_le_bytes()));
+            let code_sum = fnv1a(cap.slice_codes.iter().copied());
+            let psd = cap.spectrum(Window::Hann);
+            let psd_sum = fnv1a(psd.powers().iter().flat_map(|v| v.to_bits().to_le_bytes()));
+            let a = &cap.activity;
+            println!(
+                "{node} seed={seed} output={out_sum:016x} codes={code_sum:016x} \
+                 spectrum={psd_sum:016x} vco={} clk={} dac={} d={} cmp={} \
+                 energy={:016x} dur={:016x}",
+                a.vco_edges,
+                a.clk_cycles,
+                a.dac_toggles,
+                a.d_toggles,
+                a.comparator_decisions,
+                a.resistor_energy_j.to_bits(),
+                a.duration_s.to_bits(),
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Quick hot-path cost breakdown: times the transient with individual
+//! noise sources toggled, plus the raw RNG draw rate — the numbers that
+//! motivate where `sim.rs` optimisation effort goes.
+
+use std::time::Instant;
+use tdsigma_circuit::noise::SimRng;
+use tdsigma_core::sim::AdcSimulator;
+use tdsigma_core::spec::AdcSpec;
+use tdsigma_dsp::window::Window;
+
+fn time_case(label: &str, mut spec: AdcSpec, f: impl Fn(&mut AdcSpec)) {
+    f(&mut spec);
+    let mut sim = AdcSimulator::new(spec.clone()).expect("sim");
+    let n = 2048usize;
+    let t0 = Instant::now();
+    let cap = sim.run_tone(1e6, 0.1, n);
+    let dt = t0.elapsed();
+    let steps = n * spec.steps_per_cycle;
+    println!(
+        "{label:28} {:8.2} ms  ({:.0} ns/step)  mean={:.2}",
+        dt.as_secs_f64() * 1e3,
+        dt.as_secs_f64() * 1e9 / steps as f64,
+        cap.mean_code()
+    );
+}
+
+fn main() {
+    let spec = AdcSpec::paper_40nm().expect("spec");
+
+    let t0 = Instant::now();
+    let mut rng = SimRng::new(1);
+    let mut acc = 0.0;
+    let draws = 10_000_000usize;
+    for _ in 0..draws {
+        acc += rng.standard_normal();
+    }
+    println!(
+        "raw standard_normal          {:8.2} ns/draw (acc {acc:.3})",
+        t0.elapsed().as_secs_f64() * 1e9 / draws as f64
+    );
+
+    // Micro: rem_euclid(2π) on large unwrapped phases (the per-side
+    // level check), f64 division, and sin — per-op costs.
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let n = 10_000_000usize;
+    let mut x = 1.234e6f64;
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..n {
+        x += 0.37;
+        if x.rem_euclid(two_pi) < std::f64::consts::PI {
+            hits += 1;
+        }
+    }
+    println!(
+        "rem_euclid(2pi)              {:8.2} ns/op (hits {hits})",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+    let mut acc2 = 0.0f64;
+    let mut y = 1.0f64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        y += 1.0;
+        acc2 += 1.0 / y;
+    }
+    println!(
+        "f64 divide (serial)          {:8.2} ns/op (acc {acc2:.3})",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+    let mut acc3 = 0.0f64;
+    let mut z = 0.0f64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        z += 0.73;
+        acc3 += z.sin();
+    }
+    println!(
+        "f64 sin (serial)             {:8.2} ns/op (acc {acc3:.3})",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+
+    // Is libm's sincos bit-identical to separate sin/cos here, and how
+    // much cheaper is it? (Gates whether the batched Box–Muller may use
+    // sin_cos.)
+    {
+        let mut rng = SimRng::new(9);
+        let mut mismatches = 0u64;
+        let m = 2_000_000usize;
+        let thetas: Vec<f64> = (0..m).map(|_| rng.uniform() * two_pi).collect();
+        for &t in &thetas {
+            let (s, c) = t.sin_cos();
+            if s.to_bits() != t.sin().to_bits() || c.to_bits() != t.cos().to_bits() {
+                mismatches += 1;
+            }
+        }
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for &t in &thetas {
+            let (s, c) = t.sin_cos();
+            acc += s + c;
+        }
+        let sincos_ns = t0.elapsed().as_secs_f64() * 1e9 / m as f64;
+        let t0 = Instant::now();
+        let mut acc2 = 0.0;
+        for &t in &thetas {
+            acc2 += t.sin() + t.cos();
+        }
+        let sep_ns = t0.elapsed().as_secs_f64() * 1e9 / m as f64;
+        println!(
+            "sincos: {mismatches} mismatches/{m}, {sincos_ns:.2} ns vs sin+cos {sep_ns:.2} ns  ({acc:.3}/{acc2:.3})"
+        );
+    }
+
+    time_case("default", spec.clone(), |_| {});
+    time_case("no thermal", spec.clone(), |s| s.thermal_noise = false);
+    time_case("no phase noise", spec.clone(), |s| {
+        s.phase_noise_per_sqrt_hz = 0.0;
+    });
+    time_case("no noise at all", spec.clone(), |s| {
+        s.thermal_noise = false;
+        s.phase_noise_per_sqrt_hz = 0.0;
+        s.clock_jitter_rms_s = 0.0;
+        s.comparator_noise_v = 0.0;
+    });
+
+    let mut sim = AdcSimulator::new(spec).expect("sim");
+    let cap = sim.run_tone(1e6, 0.1, 2048);
+    let t0 = Instant::now();
+    let reps = 20;
+    for _ in 0..reps {
+        std::hint::black_box(cap.spectrum(Window::Hann));
+    }
+    println!(
+        "spectrum 2048                {:8.2} ms",
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    );
+}

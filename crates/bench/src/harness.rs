@@ -9,22 +9,25 @@
 //! fast-smoke behavior criterion implements for its `--test` flag — so
 //! the tier-1 suite stays quick while still executing every bench body.
 //!
-//! `--save FILE` records every case's mean/min as a JSON baseline
-//! (see `BENCH_sim.json` / `BENCH_opt.json` at the repo root): a
-//! checked-in snapshot that future sessions diff against to catch
-//! performance regressions. Quick-mode numbers are marked as such in
-//! the file — a single unwarmed iteration is a smoke signal, not a
-//! baseline.
+//! `--save FILE` records every case's mean/median/min as a JSON
+//! baseline (see `BENCH_sim.json` / `BENCH_opt.json` at the repo
+//! root): a checked-in snapshot that future sessions diff against to
+//! catch performance regressions. `--compare FILE` turns the run into
+//! a regression gate: any shared case whose median exceeds the
+//! baseline's by more than 25 % fails the process (the CI `perf` job).
+//! Quick-mode numbers are marked as such in the file — a single
+//! unwarmed iteration is a smoke signal, not a baseline.
 
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// One finished case: name, mean and best per-iteration time.
+/// One finished case: name, mean, median and best per-iteration time.
 #[derive(Debug, Clone)]
 struct CaseResult {
     name: String,
     mean: Duration,
+    median: Duration,
     min: Duration,
 }
 
@@ -33,15 +36,25 @@ struct CaseResult {
 /// Recognized arguments (the subset cargo actually passes, plus ours):
 /// `--bench` (ignored marker), `--test` → quick mode (one iteration per
 /// case), `--save FILE` → write a JSON baseline of every measured case,
-/// and a free-standing string → substring filter on case names.
+/// `--compare FILE` → gate measured medians against a saved baseline
+/// (>25 % regression on any shared case exits non-zero), and a
+/// free-standing string → substring filter on case names.
 #[derive(Debug)]
 pub struct BenchRunner {
     quick: bool,
     filter: Option<String>,
     budget: Duration,
     save: Option<String>,
+    compare: Option<String>,
     results: RefCell<Vec<CaseResult>>,
 }
+
+/// Regression gate: fail if a case's median exceeds the baseline median
+/// by more than this factor. Medians (not means or mins) are compared
+/// because shared CI runners and laptop thermal states skew the tails;
+/// the quarter margin absorbs ordinary scheduler noise while still
+/// catching real hot-path regressions.
+const REGRESSION_LIMIT: f64 = 1.25;
 
 impl BenchRunner {
     /// A runner configured from `std::env::args`.
@@ -51,11 +64,17 @@ impl BenchRunner {
 
     fn from_arg_list(args: &[String]) -> Self {
         let mut save = None;
+        let mut compare = None;
         let mut filter = None;
         let mut i = 0;
         while i < args.len() {
             if args[i] == "--save" {
                 save = args.get(i + 1).cloned();
+                i += 2;
+                continue;
+            }
+            if args[i] == "--compare" {
+                compare = args.get(i + 1).cloned();
                 i += 2;
                 continue;
             }
@@ -67,8 +86,16 @@ impl BenchRunner {
         BenchRunner {
             quick: args.iter().any(|a| a == "--test"),
             filter,
-            budget: Duration::from_millis(300),
+            // Gated runs buy a stabler median with a longer budget: the
+            // 25 % limit needs more than a handful of batches on a noisy
+            // shared runner.
+            budget: if compare.is_some() {
+                Duration::from_millis(1500)
+            } else {
+                Duration::from_millis(300)
+            },
             save,
+            compare,
             results: RefCell::new(Vec::new()),
         }
     }
@@ -80,6 +107,7 @@ impl BenchRunner {
             filter: None,
             budget: Duration::from_millis(1),
             save: None,
+            compare: None,
             results: RefCell::new(Vec::new()),
         }
     }
@@ -100,6 +128,7 @@ impl BenchRunner {
             self.results.borrow_mut().push(CaseResult {
                 name: name.to_string(),
                 mean: once,
+                median: once,
                 min: once,
             });
             return Some(once);
@@ -116,6 +145,7 @@ impl BenchRunner {
 
         let mut iters = 0u128;
         let mut best_batch = Duration::MAX;
+        let mut batch_times = Vec::new();
         let started = Instant::now();
         while started.elapsed() < self.budget {
             let t = Instant::now();
@@ -125,50 +155,144 @@ impl BenchRunner {
             let elapsed = t.elapsed();
             iters += batch;
             let per_iter = elapsed / batch as u32;
+            batch_times.push(per_iter);
             if per_iter < best_batch {
                 best_batch = per_iter;
             }
         }
         let mean = started.elapsed() / iters.max(1) as u32;
+        batch_times.sort_unstable();
+        let median = batch_times
+            .get(batch_times.len() / 2)
+            .copied()
+            .unwrap_or(mean);
         println!(
-            "{name:<44} mean {:>12}   min {:>12}   ({iters} iters)",
+            "{name:<44} mean {:>12}   median {:>12}   min {:>12}   ({iters} iters)",
             fmt_duration(mean),
+            fmt_duration(median),
             fmt_duration(best_batch),
         );
         self.results.borrow_mut().push(CaseResult {
             name: name.to_string(),
             mean,
+            median,
             min: best_batch,
         });
         Some(mean)
     }
 
-    /// Writes the JSON baseline if `--save FILE` was given. Call once at
-    /// the end of a bench `main`; a no-op without `--save`.
+    /// Writes the JSON baseline (`--save FILE`) and runs the regression
+    /// gate (`--compare FILE`). Call once at the end of a bench `main`.
+    ///
+    /// The gate compares each measured case's median against the
+    /// baseline's `median_ns` (older baselines without medians fall back
+    /// to `mean_ns`) and **exits the process with status 1** if any case
+    /// regressed past `REGRESSION_LIMIT` (25 %). Quick mode (`--test`) never
+    /// gates — a single unwarmed iteration is a smoke signal, not a
+    /// measurement.
     pub fn finish(&self) {
-        let Some(path) = &self.save else { return };
-        let results = self.results.borrow();
-        let cases: Vec<String> = results
-            .iter()
-            .map(|c| {
-                format!(
-                    "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}}}",
+        if let Some(path) = &self.save {
+            let results = self.results.borrow();
+            let cases: Vec<String> = results
+                .iter()
+                .map(|c| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"mean_ns\": {}, \"median_ns\": {}, \"min_ns\": {}}}",
+                        c.name,
+                        c.mean.as_nanos(),
+                        c.median.as_nanos(),
+                        c.min.as_nanos()
+                    )
+                })
+                .collect();
+            let body = format!(
+                "{{\n  \"quick\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+                self.quick,
+                cases.join(",\n")
+            );
+            match std::fs::write(path, body) {
+                Ok(()) => println!("saved {} case(s) → {path}", results.len()),
+                Err(e) => eprintln!("error: --save {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.compare {
+            if self.quick {
+                println!("--compare {path}: skipped in quick mode");
+                return;
+            }
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: --compare {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let baseline = parse_baseline(&text);
+            let mut regressions = Vec::new();
+            let mut shared = 0usize;
+            for c in self.results.borrow().iter() {
+                let Some(&base_ns) = baseline.iter().find(|(n, _)| n == &c.name).map(|(_, v)| v)
+                else {
+                    continue;
+                };
+                shared += 1;
+                let ratio = c.median.as_nanos() as f64 / base_ns as f64;
+                let verdict = if ratio > REGRESSION_LIMIT {
+                    regressions.push(c.name.clone());
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:<44} baseline {:>12}   now {:>12}   {:>5.2}x  {verdict}",
                     c.name,
-                    c.mean.as_nanos(),
-                    c.min.as_nanos()
-                )
-            })
-            .collect();
-        let body = format!(
-            "{{\n  \"quick\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
-            self.quick,
-            cases.join(",\n")
-        );
-        match std::fs::write(path, body) {
-            Ok(()) => println!("saved {} case(s) → {path}", results.len()),
-            Err(e) => eprintln!("error: --save {path}: {e}"),
+                    fmt_duration(Duration::from_nanos(base_ns as u64)),
+                    fmt_duration(c.median),
+                    ratio,
+                );
+            }
+            if shared == 0 {
+                eprintln!("error: --compare {path}: no measured case matches the baseline");
+                std::process::exit(1);
+            }
+            if !regressions.is_empty() {
+                eprintln!(
+                    "perf gate: {} case(s) regressed >{:.0}% vs {path}: {}",
+                    regressions.len(),
+                    (REGRESSION_LIMIT - 1.0) * 100.0,
+                    regressions.join(", ")
+                );
+                std::process::exit(1);
+            }
+            println!("perf gate: {shared} case(s) within {REGRESSION_LIMIT}x of {path}");
         }
     }
+}
+
+/// Extracts `(name, median_ns-or-mean_ns)` pairs from a baseline written
+/// by [`BenchRunner::finish`]. Hand-rolled for that exact shape (one
+/// case object per line) — the harness is std-only by design.
+fn parse_baseline(text: &str) -> Vec<(String, u128)> {
+    let field = |line: &str, key: &str| -> Option<u128> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let digits: String = rest
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit())
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name_at = line.find("\"name\"")?;
+            let rest = &line[name_at + 6..];
+            let open = rest.find('"')?;
+            let close = rest[open + 1..].find('"')?;
+            let name = rest[open + 1..open + 1 + close].to_string();
+            let ns = field(line, "\"median_ns\"").or_else(|| field(line, "\"mean_ns\""))?;
+            Some((name, ns))
+        })
+        .collect()
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -204,6 +328,7 @@ mod tests {
             filter: Some("fft".into()),
             budget: Duration::from_millis(1),
             save: None,
+            compare: None,
             results: RefCell::new(Vec::new()),
         };
         let mut calls = 0;
@@ -222,6 +347,7 @@ mod tests {
             filter: None,
             budget: Duration::from_millis(1),
             save: Some(path.to_string_lossy().into_owned()),
+            compare: None,
             results: RefCell::new(Vec::new()),
         };
         runner.bench("alpha", || 1 + 1);
@@ -234,7 +360,30 @@ mod tests {
         );
         assert!(text.contains("\"quick\": true"));
         assert!(text.contains("mean_ns"));
+        assert!(text.contains("median_ns"));
+        // The baseline round-trips through the comparison parser.
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "alpha");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_flag_is_parsed_and_baselines_parse() {
+        let args: Vec<String> = ["--bench", "--compare", "BENCH_sim.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let runner = BenchRunner::from_arg_list(&args);
+        assert_eq!(runner.compare.as_deref(), Some("BENCH_sim.json"));
+        assert!(runner.filter.is_none(), "a --compare value is not a filter");
+
+        // Pre-median baselines fall back to mean_ns.
+        let legacy =
+            "{\n  \"cases\": [\n    {\"name\": \"a\", \"mean_ns\": 120, \"min_ns\": 100}\n  ]\n}\n";
+        assert_eq!(parse_baseline(legacy), vec![("a".to_string(), 120)]);
+        let current = "    {\"name\": \"b\", \"mean_ns\": 9, \"median_ns\": 8, \"min_ns\": 7}";
+        assert_eq!(parse_baseline(current), vec![("b".to_string(), 8)]);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::fmt;
 use tdsigma_dsp::decimate::CicDecimator;
 use tdsigma_dsp::fir::FirFilter;
 use tdsigma_dsp::metrics::ToneAnalysis;
-use tdsigma_dsp::spectrum::Spectrum;
+use tdsigma_dsp::spectrum::{Spectrum, SpectrumScratch};
 use tdsigma_dsp::window::Window;
 
 /// The decimated, filtered output of the ADC.
@@ -39,20 +39,37 @@ impl DecimatedSignal {
     ///
     /// Panics if fewer than 64 output samples are available.
     pub fn spectrum(&self) -> Spectrum {
+        self.spectrum_with(&mut SpectrumScratch::new())
+    }
+
+    /// [`Self::spectrum`] with caller-owned DSP scratch buffers;
+    /// bit-identical, no per-call window/twiddle setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 64 output samples are available.
+    pub fn spectrum_with(&self, scratch: &mut SpectrumScratch) -> Spectrum {
         let n = self.samples.len();
         assert!(n >= 64, "need at least 64 decimated samples");
         let pow2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
-        Spectrum::from_samples_with_full_scale(
+        Spectrum::from_samples_scratch(
             &self.samples[n - pow2..],
             self.rate_hz,
             Window::BlackmanHarris,
             self.full_scale,
+            scratch,
         )
     }
 
     /// Single-tone analysis of the decimated output up to `bw_hz`.
     pub fn analyze(&self, bw_hz: f64) -> ToneAnalysis {
-        ToneAnalysis::of(&self.spectrum(), Some(bw_hz))
+        self.analyze_with(bw_hz, &mut SpectrumScratch::new())
+    }
+
+    /// [`Self::analyze`] with caller-owned DSP scratch buffers;
+    /// bit-identical to [`Self::analyze`].
+    pub fn analyze_with(&self, bw_hz: f64, scratch: &mut SpectrumScratch) -> ToneAnalysis {
+        ToneAnalysis::of(&self.spectrum_with(scratch), Some(bw_hz))
     }
 }
 

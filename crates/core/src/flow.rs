@@ -18,9 +18,18 @@ use crate::sim::{AdcSimulator, SimCapture};
 use crate::spec::AdcSpec;
 use std::fmt;
 use tdsigma_dsp::metrics::ToneAnalysis;
+use tdsigma_dsp::spectrum::SpectrumScratch;
 use tdsigma_layout::{analyze_timing, synthesize, AprOptions, LayoutResult, TimingReport};
 use tdsigma_netlist::{verilog, Design, PowerPlan};
 use tdsigma_obs as obs;
+
+std::thread_local! {
+    /// Per-thread DSP scratch for the flow's capture analysis: window
+    /// coefficients, windowed buffer, and FFT twiddles survive across the
+    /// many flow runs a sweep worker executes.
+    static DSP_SCRATCH: std::cell::RefCell<SpectrumScratch> =
+        std::cell::RefCell::new(SpectrumScratch::new());
+}
 
 /// Everything a flow run produces.
 #[derive(Debug)]
@@ -168,7 +177,11 @@ impl DesignFlow {
         let fin = self.input_frequency_hz();
         let amplitude = self.amplitude_rel * self.spec.full_scale_v();
         let capture = sim.run_tone(fin, amplitude, self.sim_samples);
-        let analysis = capture.analyze(self.spec.bw_hz);
+        // Sweep/optimizer loops run many flows per worker thread; the
+        // thread-local scratch makes every analysis after the first
+        // allocation-free (bit-identical — see `SpectrumScratch`).
+        let analysis =
+            DSP_SCRATCH.with(|s| capture.analyze_with(self.spec.bw_hz, &mut s.borrow_mut()));
 
         // 5. Power and the Table-3 row.
         let _span = obs::span("flow.power_report");

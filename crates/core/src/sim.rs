@@ -25,12 +25,11 @@ use std::f64::consts::PI;
 use std::fmt;
 use tdsigma_circuit::comparator::{ClockedComparator, CommonModeWindow, ComparatorParams};
 use tdsigma_circuit::mismatch::MismatchModel;
-use tdsigma_circuit::network::{BranchId, SummingNode};
 use tdsigma_circuit::noise::SimRng;
 use tdsigma_circuit::transient::{Clock, EdgeKind};
-use tdsigma_circuit::vco::{RingVco, VcoParams};
+use tdsigma_circuit::vco::VcoParams;
 use tdsigma_dsp::metrics::ToneAnalysis;
-use tdsigma_dsp::spectrum::Spectrum;
+use tdsigma_dsp::spectrum::{Spectrum, SpectrumScratch};
 use tdsigma_dsp::window::Window;
 use tdsigma_layout::Parasitics;
 use tdsigma_obs as obs;
@@ -94,27 +93,97 @@ impl fmt::Display for ComparatorFlavor {
     }
 }
 
-struct Slice {
-    node_p: SummingNode,
-    node_n: SummingNode,
-    in_p: BranchId,
-    in_n: BranchId,
-    dac_p: BranchId,
-    dac_n: BranchId,
-    /// Thevenin drive voltage per thermometer code, per side (includes
-    /// the drawn resistor mismatch of each DAC branch).
-    dac_drive_p: Vec<f64>,
-    dac_drive_n: Vec<f64>,
-    vco_p: RingVco,
-    vco_n: RingVco,
-    /// One SAFF per ring tap per VCO (multi-phase quantizer).
-    cmp_p: Vec<ClockedComparator>,
-    cmp_n: Vec<ClockedComparator>,
-    code: u8,
-    retimed_code: u8,
-    dac_code: u8,
-    dac_toggles: u64,
-    d_toggles: u64,
+// The per-timestep state lives in structure-of-arrays form (see the
+// fields of [`AdcSimulator`]): contiguous `Vec<f64>` per quantity,
+// interleaved `[p0, n0, p1, n1, …]` over the 2N node/VCO "sides" so the
+// layout matches the scalar engine's per-slice p-then-n order — which
+// is also the RNG draw-order contract (below). The old array-of-structs
+// `Vec<Slice>` walked six heap objects per slice per step; the SoA form
+// keeps the node and phase updates in straight-line array arithmetic
+// the compiler can vectorize, and hoists every per-step-constant
+// (RC decay factor, thermal σ, phase-noise σ, f0·(1+δ)) out of the loop.
+//
+// # RNG draw-order contract
+//
+// Bit-exactness across engine refactors hinges on consuming the
+// `SimRng` stream in a fixed documented order. Per time step:
+//
+// 1. For each slice `i` ascending, when thermal noise is enabled:
+//    one standard normal for node P, one for node N.
+//    When phase noise is enabled: one standard normal for VCO P, one
+//    for VCO N. (Interleaved per slice: `nodeP, nodeN, vcoP, vcoN`.)
+// 2. On a rising clock edge: one Gaussian jitter draw when
+//    `clock_jitter_rms_s > 0`, then for each slice `i` ascending, for
+//    each tap: the P comparator's draws, then the N comparator's
+//    (a comparator draws per its own noise/metastability rules).
+//
+// Build-time order (per slice `i` ascending): VCO P mismatch, VCO N
+// mismatch, P comparator offsets (one per tap), N comparator offsets,
+// P DAC resistor mismatches (one per tap), N DAC resistor mismatches.
+
+const TWO_PI: f64 = 2.0 * PI;
+
+/// Incremental tracker for the VCO tap-0 level predicate
+/// `phase.rem_euclid(2π) < π` — bit-identical to calling `rem_euclid`,
+/// but ~10× cheaper on the hot path.
+///
+/// `fmod` is exact, so the predicate depends only on where the exact
+/// remainder falls relative to {0, π, 2π}. We track an approximate
+/// remainder plus a conservative error bound: while the approximation
+/// sits clear of every boundary by more than the bound, its comparison
+/// result is provably the exact one; when it gets close (or the phase
+/// jumps by ≥2π in one step), we fall back to the exact `rem_euclid`
+/// and reset the bound. The fallback triggers only within ~1e-14 rad of
+/// a boundary — measure-zero territory the sim hits essentially never,
+/// but correctness never depends on that.
+#[derive(Debug, Clone, Copy)]
+struct PhaseWrap {
+    rem: f64,
+    err: f64,
+}
+
+impl PhaseWrap {
+    fn new(phase: f64) -> Self {
+        PhaseWrap {
+            rem: phase.rem_euclid(TWO_PI),
+            err: 0.0,
+        }
+    }
+
+    /// Level of `phase`, where `inc` is the realized float increment
+    /// from the previously passed phase (`ph_new - ph_old`).
+    #[inline]
+    fn level(&mut self, phase: f64, inc: f64) -> bool {
+        // Per-step error growth: the realized-increment subtraction and
+        // the remainder addition each round to ≤½ ulp of an O(2π)
+        // quantity; 1e-15 over-covers both.
+        let e = self.err + 1e-15;
+        if inc.abs() < TWO_PI {
+            let mut r = self.rem + inc;
+            if r >= TWO_PI {
+                r -= TWO_PI;
+            } else if r < 0.0 {
+                r += TWO_PI;
+            }
+            // Margin: doubled bound plus a flat guard so the threshold
+            // arithmetic's own rounding can never un-conservative us.
+            let m = 2e-14 + 2.0 * e;
+            if r >= m && r < PI - m {
+                self.rem = r;
+                self.err = e;
+                return true;
+            }
+            if r >= PI + m && r < TWO_PI - m {
+                self.rem = r;
+                self.err = e;
+                return false;
+            }
+        }
+        let r = phase.rem_euclid(TWO_PI);
+        self.rem = r;
+        self.err = 0.0;
+        r < PI
+    }
 }
 
 /// Switching-activity counters accumulated during a run (the inputs to the
@@ -158,12 +227,22 @@ impl SimCapture {
     /// The output spectrum, normalised so a full-scale input tone reads
     /// 0 dBFS.
     pub fn spectrum(&self, window: Window) -> Spectrum {
+        self.spectrum_with(window, &mut SpectrumScratch::new())
+    }
+
+    /// [`Self::spectrum`] with caller-owned DSP scratch buffers — the
+    /// window coefficients, windowed copy, and FFT twiddles are reused
+    /// across captures instead of reallocated. Bit-identical to
+    /// [`Self::spectrum`]; sweeps and optimizer loops that analyze many
+    /// captures of the same length should hold one scratch.
+    pub fn spectrum_with(&self, window: Window, scratch: &mut SpectrumScratch) -> Spectrum {
         let _span = obs::span("flow.spectrum").attr("samples", self.output.len());
-        Spectrum::from_samples_with_full_scale(
+        Spectrum::from_samples_scratch(
             &self.output,
             self.fs_hz,
             window,
             (self.n_slices * self.taps_per_slice) as f64 / 2.0,
+            scratch,
         )
     }
 
@@ -179,7 +258,13 @@ impl SimCapture {
 
     /// Single-tone analysis limited to `bw_hz`.
     pub fn analyze(&self, bw_hz: f64) -> ToneAnalysis {
-        let spectrum = self.spectrum(Window::Hann);
+        self.analyze_with(bw_hz, &mut SpectrumScratch::new())
+    }
+
+    /// [`Self::analyze`] with caller-owned DSP scratch buffers (see
+    /// [`Self::spectrum_with`]). Bit-identical to [`Self::analyze`].
+    pub fn analyze_with(&self, bw_hz: f64, scratch: &mut SpectrumScratch) -> ToneAnalysis {
+        let spectrum = self.spectrum_with(Window::Hann, scratch);
         let _span = obs::span("flow.tone_metrics");
         ToneAnalysis::of(&spectrum, Some(bw_hz))
     }
@@ -218,12 +303,59 @@ impl fmt::Display for SimCapture {
 pub struct AdcSimulator {
     spec: AdcSpec,
     flavor: ComparatorFlavor,
-    slices: Vec<Slice>,
     clock: Clock,
     rng: SimRng,
     time_s: f64,
     buf_swing_v: f64,
     buf_cm_v: f64,
+    /// Node thermal draws happen (spec flag and C > 0).
+    thermal: bool,
+    /// VCO phase-noise draws happen (σ_f > 0).
+    phase_noise: bool,
+    /// White-FM frequency σ per step, `pn·f0/√dt` — one scalar, the
+    /// phase-noise spec is uniform across VCOs.
+    sigma_f: f64,
+    // --- SoA state over the 2N "sides", interleaved [p0, n0, p1, n1, …].
+    /// Summing-node voltages.
+    node_v: Vec<f64>,
+    /// Per-step RC decay factor `exp(−dt/τ)` (constants of the grid).
+    node_decay: Vec<f64>,
+    /// Per-step thermal σ, `√(kT/C·(1−a²))`.
+    node_sigma: Vec<f64>,
+    /// Total node conductance `Σ 1/R`.
+    node_gsum: Vec<f64>,
+    /// Thevenin resistance of the slice DAC bank.
+    dac_r: Vec<f64>,
+    /// Current DAC Thevenin drive voltage.
+    dac_drive: Vec<f64>,
+    /// Cached `dac_drive/dac_r` current term (refreshed only when the
+    /// retimed code changes on a falling edge).
+    dac_term: Vec<f64>,
+    /// Code→drive tables, stride `stages+1`, side-major.
+    dac_table: Vec<f64>,
+    /// Unwrapped VCO phases, radians.
+    phase: Vec<f64>,
+    /// Mismatch-shifted centre frequencies `f0·(1+δ)`.
+    fbase: Vec<f64>,
+    /// Tap-0 logic level (edge-count bookkeeping).
+    vco_level: Vec<bool>,
+    /// Incremental `rem_euclid(2π)` trackers for the level predicate.
+    wrap: Vec<PhaseWrap>,
+    // --- per-step scratch (allocated once, reused every step).
+    z_node: Vec<f64>,
+    z_vco: Vec<f64>,
+    z_all: Vec<f64>,
+    pow: Vec<f64>,
+    // --- per-slice digital state (length N).
+    code: Vec<u8>,
+    dac_code: Vec<u8>,
+    // --- activity counters (cumulative since construction).
+    vco_edges: u64,
+    dac_toggles: u64,
+    d_toggles: u64,
+    /// SAFFs, flattened `[slice·stages + tap]`, one bank per side.
+    cmp_p: Vec<ClockedComparator>,
+    cmp_n: Vec<ClockedComparator>,
 }
 
 impl AdcSimulator {
@@ -269,6 +401,7 @@ impl AdcSimulator {
         // Extracted VCTRL wire capacitance is distributed over the slices'
         // 2·N control nodes.
         let node_cap = spec.node_cap_f + extra_node_cap_f / spec.n_slices as f64;
+        let dt = 1.0 / spec.fs_hz / spec.steps_per_cycle as f64;
 
         let vco_params = VcoParams {
             f0_hz: spec.vco_f0_hz,
@@ -276,12 +409,20 @@ impl AdcSimulator {
             vcm_v: spec.vctrl_cm_v,
             n_stages: spec.vco_stages,
             phase_noise_per_sqrt_hz: spec.phase_noise_per_sqrt_hz,
-        };
+        }
+        .validated();
         let vco_mm = MismatchModel::new(spec.vco_mismatch_sigma);
         let cm_window = flavor.cm_window(vdd);
 
         let n = spec.n_slices;
-        let mut slices = Vec::with_capacity(n);
+        let stages = spec.vco_stages;
+        let sides = 2 * n;
+        let mut phase = Vec::with_capacity(sides);
+        let mut fbase = Vec::with_capacity(sides);
+        let mut dac_r = Vec::with_capacity(sides);
+        let mut dac_table = Vec::with_capacity(sides * (stages + 1));
+        let mut cmp_p = Vec::with_capacity(n * stages);
+        let mut cmp_n = Vec::with_capacity(n * stages);
         for i in 0..n {
             // Staggered initial phases: the common phase spreads over 2π
             // and the per-slice phase difference spreads over the XOR
@@ -289,16 +430,15 @@ impl AdcSimulator {
             // quantisation errors so the summed output averages them.
             let common = 2.0 * PI * i as f64 / n as f64;
             let ladder = PI * (i as f64 + 0.5) / n as f64;
-            let mut node_p = SummingNode::new(node_cap, spec.vctrl_cm_v);
-            let mut node_n = SummingNode::new(node_cap, spec.vctrl_cm_v);
-            if spec.thermal_noise && node_cap > 0.0 {
-                node_p = node_p.with_thermal_noise();
-                node_n = node_n.with_thermal_noise();
-            }
-            let in_p = node_p.add_branch(spec.rin_ohm, spec.input_cm_v);
-            let in_n = node_n.add_branch(spec.rin_ohm, spec.input_cm_v);
-            let vco_p = RingVco::with_mismatch(vco_params, &vco_mm, &mut rng, common + ladder);
-            let vco_n = RingVco::with_mismatch(vco_params, &vco_mm, &mut rng, common);
+            phase.push(common + ladder);
+            phase.push(common);
+            // Build-time RNG order (see the draw-order contract above):
+            // VCO P, VCO N, comparator offsets P then N, DAC mismatch
+            // P then N.
+            let delta_p = vco_mm.draw(&mut rng);
+            let delta_n = vco_mm.draw(&mut rng);
+            fbase.push(vco_params.f0_hz * (1.0 + delta_p));
+            fbase.push(vco_params.f0_hz * (1.0 + delta_n));
             let mk_cmp = |rng: &mut SimRng| {
                 ClockedComparator::new(ComparatorParams {
                     offset_v: rng.gaussian(spec.comparator_offset_sigma_v),
@@ -307,10 +447,12 @@ impl AdcSimulator {
                     cm_window,
                 })
             };
-            let cmp_p: Vec<ClockedComparator> =
-                (0..spec.vco_stages).map(|_| mk_cmp(&mut rng)).collect();
-            let cmp_n: Vec<ClockedComparator> =
-                (0..spec.vco_stages).map(|_| mk_cmp(&mut rng)).collect();
+            for _ in 0..stages {
+                cmp_p.push(mk_cmp(&mut rng));
+            }
+            for _ in 0..stages {
+                cmp_n.push(mk_cmp(&mut rng));
+            }
             // Thermometer DAC: `stages` parallel inverter+resistor branches
             // per side — Thevenin equivalent driven at the conductance-
             // weighted mix of VREFP/ground. Each branch resistance carries
@@ -339,39 +481,96 @@ impl AdcSimulator {
                     .collect();
                 (r_thev, drives)
             };
-            let (r_thev_p, dac_drive_p) = mk_dac(&mut rng, true);
-            let (r_thev_n, dac_drive_n) = mk_dac(&mut rng, false);
-            let mid = spec.vco_stages / 2;
-            let dac_p = node_p.add_branch(r_thev_p, dac_drive_p[mid]);
-            let dac_n = node_n.add_branch(r_thev_n, dac_drive_n[mid]);
-            slices.push(Slice {
-                node_p,
-                node_n,
-                in_p,
-                in_n,
-                dac_p,
-                dac_n,
-                dac_drive_p,
-                dac_drive_n,
-                vco_p,
-                vco_n,
-                cmp_p,
-                cmp_n,
-                code: 0,
-                retimed_code: 0,
-                dac_code: 0,
-                dac_toggles: 0,
-                d_toggles: 0,
-            });
+            let (r_thev_p, drives_p) = mk_dac(&mut rng, true);
+            let (r_thev_n, drives_n) = mk_dac(&mut rng, false);
+            dac_r.push(r_thev_p);
+            dac_r.push(r_thev_n);
+            dac_table.extend_from_slice(&drives_p);
+            dac_table.extend_from_slice(&drives_n);
         }
 
-        let clock = Clock::new(spec.fs_hz);
+        // Hoisted per-step constants. The expression shapes mirror
+        // `SummingNode::advance` term by term (sum order, division vs
+        // reciprocal) so the SoA engine is bit-identical to stepping the
+        // node objects: `gsum = 0 + g_in + g_dac`, `τ = (1/gsum)·C`,
+        // `a = exp(−dt/τ)`, `σ² = kT/C·(1−a²)`.
+        let thermal = spec.thermal_noise && node_cap > 0.0;
+        let g_in = 1.0 / spec.rin_ohm;
+        let mid = stages / 2;
+        let stride = stages + 1;
+        let mut node_gsum = Vec::with_capacity(sides);
+        let mut node_decay = Vec::with_capacity(sides);
+        let mut node_sigma = Vec::with_capacity(sides);
+        let mut dac_drive = Vec::with_capacity(sides);
+        let mut dac_term = Vec::with_capacity(sides);
+        for j in 0..sides {
+            let gsum = 0.0 + g_in + 1.0 / dac_r[j];
+            let tau = if node_cap == 0.0 {
+                0.0
+            } else {
+                1.0 / gsum * node_cap
+            };
+            // τ = 0 (capacitance-free node) settles instantly: decay 0
+            // reproduces `v = target` exactly, and no thermal draw.
+            let a = if tau == 0.0 { 0.0 } else { (-dt / tau).exp() };
+            let sigma = if thermal {
+                let kt_over_c = tdsigma_tech::units::BOLTZMANN
+                    * tdsigma_tech::units::NOMINAL_TEMPERATURE_K
+                    / node_cap;
+                (kt_over_c * (1.0 - a * a)).sqrt()
+            } else {
+                0.0
+            };
+            node_gsum.push(gsum);
+            node_decay.push(a);
+            node_sigma.push(sigma);
+            let drive = dac_table[j * stride + mid];
+            dac_drive.push(drive);
+            dac_term.push(drive / dac_r[j]);
+        }
+        let sigma_f = if spec.phase_noise_per_sqrt_hz > 0.0 {
+            spec.phase_noise_per_sqrt_hz * spec.vco_f0_hz / dt.sqrt()
+        } else {
+            0.0
+        };
+        let wrap: Vec<PhaseWrap> = phase.iter().map(|&ph| PhaseWrap::new(ph)).collect();
+        let vco_level = wrap.iter().map(|w| w.rem < PI).collect();
+
+        // Fixed step grid: `steps_per_cycle` equal steps per clock
+        // period, so edges are derived from the integer step index and
+        // can neither skip nor double-fire from FP drift (ISSUE 8).
+        let clock = Clock::new(spec.fs_hz).with_steps_per_period(spec.steps_per_cycle as u64);
         Ok(AdcSimulator {
             buf_swing_v: 0.5 * vdd,
             buf_cm_v: 0.23 * vdd,
+            thermal,
+            phase_noise: sigma_f > 0.0,
+            sigma_f,
+            node_v: vec![spec.vctrl_cm_v; sides],
+            node_decay,
+            node_sigma,
+            node_gsum,
+            dac_r,
+            dac_drive,
+            dac_term,
+            dac_table,
+            phase,
+            fbase,
+            vco_level,
+            wrap,
+            z_node: vec![0.0; sides],
+            z_vco: vec![0.0; sides],
+            z_all: vec![0.0; 2 * sides],
+            pow: vec![0.0; sides],
+            code: vec![0; n],
+            dac_code: vec![0; n],
+            vco_edges: 0,
+            dac_toggles: 0,
+            d_toggles: 0,
+            cmp_p,
+            cmp_n,
             spec,
             flavor,
-            slices,
             clock,
             rng,
             time_s: 0.0,
@@ -388,6 +587,16 @@ impl AdcSimulator {
         self.flavor
     }
 
+    /// Fixed-grid steps taken since construction (drift diagnostics).
+    pub fn clock_steps(&self) -> u64 {
+        self.clock.step_count()
+    }
+
+    /// Rising clock edges seen since construction.
+    pub fn clock_rising_edges(&self) -> u64 {
+        self.clock.rising_edge_count()
+    }
+
     /// Runs the modulator for `n_samples` clock cycles with the given
     /// differential input voltage as a function of time (seconds).
     ///
@@ -396,101 +605,192 @@ impl AdcSimulator {
     /// negligible fraction.
     pub fn run<F: Fn(f64) -> f64>(&mut self, input: F, n_samples: usize) -> SimCapture {
         let _span = obs::span("flow.transient").attr("samples", n_samples);
-        let dt = 1.0 / self.spec.fs_hz / self.spec.steps_per_cycle as f64;
+        // Borrow-split the SoA state into locals once, so the hot loops
+        // below index plain slices.
+        let Self {
+            spec,
+            clock,
+            rng,
+            time_s,
+            buf_swing_v,
+            buf_cm_v,
+            thermal,
+            phase_noise,
+            sigma_f,
+            node_v,
+            node_decay,
+            node_sigma,
+            node_gsum,
+            dac_r,
+            dac_drive,
+            dac_term,
+            dac_table,
+            phase,
+            fbase,
+            vco_level,
+            wrap,
+            z_node,
+            z_vco,
+            z_all,
+            pow,
+            code,
+            dac_code,
+            vco_edges,
+            dac_toggles,
+            d_toggles,
+            cmp_p,
+            cmp_n,
+            ..
+        } = self;
+        let (thermal, phase_noise, sigma_f) = (*thermal, *phase_noise, *sigma_f);
+        let n = spec.n_slices;
+        let stages = spec.vco_stages;
+        let sides = 2 * n;
+        let stride = stages + 1;
+        let dt = 1.0 / spec.fs_hz / spec.steps_per_cycle as f64;
+        let r_in = spec.rin_ohm;
+        let kvco = spec.kvco_hz_per_v;
+        let vcm = spec.vctrl_cm_v;
+        let half = *buf_swing_v / 2.0;
+        let buf_cm = *buf_cm_v;
         let mut output = Vec::with_capacity(n_samples);
-        let mut slice_codes = Vec::with_capacity(n_samples * self.spec.n_slices);
+        let mut slice_codes = Vec::with_capacity(n_samples * n);
         let mut resistor_energy = 0.0f64;
-        let start_time = self.time_s;
+        let start_time = *time_s;
+        // Time is derived from the integer step index (`start + k·dt`),
+        // never accumulated `time += dt` — repeated FP addition drifts
+        // by an ulp every few steps, which over a 10⁷-step run is
+        // enough to move a clock edge by a whole step (ISSUE 8).
+        let mut step: u64 = 0;
 
         while output.len() < n_samples {
-            self.time_s += dt;
-            let vin = input(self.time_s);
-            let drive_p = self.spec.input_cm_v + vin / 2.0;
-            let drive_n = self.spec.input_cm_v - vin / 2.0;
-            for slice in &mut self.slices {
-                slice.node_p.set_drive(slice.in_p, drive_p);
-                slice.node_n.set_drive(slice.in_n, drive_n);
-                slice.node_p.advance(dt, &mut self.rng);
-                slice.node_n.advance(dt, &mut self.rng);
-                resistor_energy +=
-                    (slice.node_p.dissipated_power_w() + slice.node_n.dissipated_power_w()) * dt;
-                let vp = slice.node_p.voltage();
-                let vn = slice.node_n.voltage();
-                slice.vco_p.advance(dt, vp, &mut self.rng);
-                slice.vco_n.advance(dt, vn, &mut self.rng);
+            step += 1;
+            *time_s = start_time + step as f64 * dt;
+            let vin = input(*time_s);
+            let drives = [spec.input_cm_v + vin / 2.0, spec.input_cm_v - vin / 2.0];
+            let in_term = [drives[0] / r_in, drives[1] / r_in];
+
+            // Batched noise draws, honouring the per-slice draw order
+            // of the RNG contract: node P, node N, VCO P, VCO N.
+            if thermal && phase_noise {
+                rng.fill_standard_normals(z_all);
+                for i in 0..n {
+                    z_node[2 * i] = z_all[4 * i];
+                    z_node[2 * i + 1] = z_all[4 * i + 1];
+                    z_vco[2 * i] = z_all[4 * i + 2];
+                    z_vco[2 * i + 1] = z_all[4 * i + 3];
+                }
+            } else if thermal {
+                rng.fill_standard_normals(z_node);
+            } else if phase_noise {
+                rng.fill_standard_normals(z_vco);
             }
 
-            match self.clock.advance(dt) {
+            // Node pass: exact exponential RC update toward the
+            // conductance-weighted target, discretised OU thermal noise.
+            for j in 0..sides {
+                let isum = in_term[j & 1] + dac_term[j];
+                let target = isum / node_gsum[j];
+                let mut v = target + (node_v[j] - target) * node_decay[j];
+                if thermal {
+                    v += z_node[j] * node_sigma[j];
+                }
+                node_v[j] = v;
+                let dv_in = drives[j & 1] - v;
+                let dv_dac = dac_drive[j] - v;
+                pow[j] = dv_in * dv_in / r_in + dv_dac * dv_dac / dac_r[j];
+            }
+            // Energy accumulates in slice order (P+N per slice, then ·dt)
+            // to keep the rounding sequence of the scalar engine.
+            for i in 0..n {
+                resistor_energy += (pow[2 * i] + pow[2 * i + 1]) * dt;
+            }
+
+            // VCO pass: dφ = 2π·f·dt with white-FM noise on f.
+            for j in 0..sides {
+                let mut f = (fbase[j] + kvco * (node_v[j] - vcm)).max(0.0);
+                if phase_noise {
+                    f += z_vco[j] * sigma_f;
+                }
+                let ph_old = phase[j];
+                let ph = ph_old + 2.0 * PI * f * dt;
+                phase[j] = ph;
+                let level = wrap[j].level(ph, ph - ph_old);
+                if level != vco_level[j] {
+                    *vco_edges += 1;
+                    vco_level[j] = level;
+                }
+            }
+
+            match clock.advance(dt) {
                 EdgeKind::Rising => {
                     let mut sum = 0.0;
-                    let stages = self.spec.vco_stages;
-                    let half = self.buf_swing_v / 2.0;
                     // Clock jitter is common to every SAFF (one clock
                     // tree); each VCO's sampled phase shifts by 2π·f·δt,
                     // so the XOR sees only the *difference* frequency
                     // times δt — the TD architecture's jitter tolerance.
-                    let jitter_s = if self.spec.clock_jitter_rms_s > 0.0 {
-                        self.rng.gaussian(self.spec.clock_jitter_rms_s)
+                    let jitter_s = if spec.clock_jitter_rms_s > 0.0 {
+                        rng.gaussian(spec.clock_jitter_rms_s)
                     } else {
                         0.0
                     };
-                    for slice in self.slices.iter_mut() {
+                    for i in 0..n {
                         // Multi-phase quantizer: every differential tap
                         // pair of both rings is buffered and sampled, and
                         // the per-tap XORs are summed — the slice code
                         // resolves the phase difference to π/stages.
-                        let mut code = 0u8;
-                        let jp =
-                            2.0 * PI * slice.vco_p.frequency_hz(slice.node_p.voltage()) * jitter_s;
-                        let jn =
-                            2.0 * PI * slice.vco_n.frequency_hz(slice.node_n.voltage()) * jitter_s;
+                        let mut c = 0u8;
+                        let fp = (fbase[2 * i] + kvco * (node_v[2 * i] - vcm)).max(0.0);
+                        let fnn = (fbase[2 * i + 1] + kvco * (node_v[2 * i + 1] - vcm)).max(0.0);
+                        let jp = 2.0 * PI * fp * jitter_s;
+                        let jn = 2.0 * PI * fnn * jitter_s;
                         for tap in 0..stages {
                             let offset = PI * tap as f64 / stages as f64;
                             // Buffer output: soft-clipped sine around the
                             // low common mode (the VCO slews through its
                             // transitions, where offset and noise act).
-                            let sp =
-                                ((slice.vco_p.phase() + jp + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let sp = ((phase[2 * i] + jp + offset).sin() * 3.0).clamp(-1.0, 1.0);
                             let sn =
-                                ((slice.vco_n.phase() + jn + offset).sin() * 3.0).clamp(-1.0, 1.0);
-                            let q1 = slice.cmp_p[tap].sample(
-                                self.buf_cm_v + half * sp,
-                                self.buf_cm_v - half * sp,
-                                &mut self.rng,
+                                ((phase[2 * i + 1] + jn + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let q1 = cmp_p[i * stages + tap].sample(
+                                buf_cm + half * sp,
+                                buf_cm - half * sp,
+                                rng,
                             );
-                            let q2 = slice.cmp_n[tap].sample(
-                                self.buf_cm_v + half * sn,
-                                self.buf_cm_v - half * sn,
-                                &mut self.rng,
+                            let q2 = cmp_n[i * stages + tap].sample(
+                                buf_cm + half * sn,
+                                buf_cm - half * sn,
+                                rng,
                             );
                             if q1 ^ q2 {
-                                code += 1;
+                                c += 1;
                             }
                         }
-                        if code != slice.code {
-                            slice.d_toggles += 1;
+                        if c != code[i] {
+                            *d_toggles += 1;
                         }
-                        slice.code = code;
-                        sum += code as f64;
+                        code[i] = c;
+                        sum += c as f64;
                     }
                     output.push(sum);
-                    slice_codes.extend(self.slices.iter().map(|s| s.code));
+                    slice_codes.extend_from_slice(code);
                 }
                 EdgeKind::Falling => {
                     // The retiming latches are transparent in the low
                     // phase: the thermometer code reaches the DAC half a
                     // cycle after the decision (excess loop delay).
-                    for slice in &mut self.slices {
-                        slice.retimed_code = slice.code;
-                        if slice.retimed_code != slice.dac_code {
-                            slice.dac_toggles += slice.retimed_code.abs_diff(slice.dac_code) as u64;
-                            slice.dac_code = slice.retimed_code;
+                    for i in 0..n {
+                        if code[i] != dac_code[i] {
+                            *dac_toggles += code[i].abs_diff(dac_code[i]) as u64;
+                            dac_code[i] = code[i];
                             // code high → pull VCTRLP down, VCTRLN up
                             // (negative feedback through the inverters);
                             // drive tables include the resistor mismatch.
-                            let code = slice.dac_code as usize;
-                            slice.node_p.set_drive(slice.dac_p, slice.dac_drive_p[code]);
-                            slice.node_n.set_drive(slice.dac_n, slice.dac_drive_n[code]);
+                            let c = dac_code[i] as usize;
+                            for j in [2 * i, 2 * i + 1] {
+                                dac_drive[j] = dac_table[j * stride + c];
+                                dac_term[j] = dac_drive[j] / dac_r[j];
+                            }
                         }
                     }
                 }
@@ -499,27 +799,17 @@ impl AdcSimulator {
         }
 
         let activity = Activity {
-            vco_edges: self
-                .slices
-                .iter()
-                .map(|s| s.vco_p.edge_count() + s.vco_n.edge_count())
-                .sum(),
+            vco_edges: *vco_edges,
             clk_cycles: n_samples as u64,
-            dac_toggles: self.slices.iter().map(|s| s.dac_toggles).sum(),
-            d_toggles: self.slices.iter().map(|s| s.d_toggles).sum(),
-            comparator_decisions: self
-                .slices
+            dac_toggles: *dac_toggles,
+            d_toggles: *d_toggles,
+            comparator_decisions: cmp_p
                 .iter()
-                .map(|s| {
-                    s.cmp_p
-                        .iter()
-                        .chain(&s.cmp_n)
-                        .map(|c| c.decision_count())
-                        .sum::<u64>()
-                })
+                .chain(cmp_n.iter())
+                .map(|c| c.decision_count())
                 .sum(),
             resistor_energy_j: resistor_energy,
-            duration_s: self.time_s - start_time,
+            duration_s: *time_s - start_time,
         };
 
         SimCapture {
@@ -543,7 +833,7 @@ impl AdcSimulator {
 impl fmt::Debug for AdcSimulator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AdcSimulator")
-            .field("slices", &self.slices.len())
+            .field("slices", &self.spec.n_slices)
             .field("fs_hz", &self.spec.fs_hz)
             .field("flavor", &self.flavor)
             .finish()
@@ -715,6 +1005,61 @@ mod tests {
         let ca = a.run(|t| 0.1 * (1e7 * t).sin(), 512);
         let cb = b.run(|t| 0.1 * (1e7 * t).sin(), 512);
         assert_eq!(ca.output, cb.output);
+    }
+
+    #[test]
+    fn phase_wrap_filter_matches_rem_euclid_exactly() {
+        use tdsigma_circuit::noise::SimRng;
+        // The incremental level tracker must agree with the direct
+        // predicate on every step of phase-like random walks: typical
+        // sim increments, near-boundary grazing, negative excursions,
+        // and ≥2π jumps (the exact-resync path).
+        for seed in 0..8u64 {
+            let mut rng = SimRng::new(seed);
+            let mut phase = rng.uniform() * 10.0;
+            let mut w = PhaseWrap::new(phase);
+            for step in 0..200_000 {
+                let inc = match step % 7 {
+                    // Typical: ~2π·f·dt ≈ 0.08 rad, noise-modulated.
+                    0..=3 => 0.078 + 0.02 * rng.standard_normal(),
+                    // Grazing: tiny increments that creep across π.
+                    4 => 1e-9 * rng.uniform(),
+                    // Backwards (phase noise can make f negative).
+                    5 => -0.05 * rng.uniform(),
+                    // Jump: exercises the |inc| ≥ 2π fallback.
+                    _ => TWO_PI * (1.0 + rng.uniform()),
+                };
+                let old = phase;
+                phase += inc;
+                let got = w.level(phase, phase - old);
+                let expect = phase.rem_euclid(TWO_PI) < PI;
+                assert_eq!(got, expect, "seed {seed} step {step} phase {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn clock_edges_are_exact_over_ten_million_steps() {
+        // ISSUE 8 regression: with accumulated `time += dt` the clock
+        // phase drifted by an ulp every few steps, enough to skip or
+        // double-fire an edge over a long run. Edges now derive from the
+        // integer step index, so the counts must be *exact*. Noise is
+        // disabled to keep the debug-mode runtime sane; the clock path
+        // is identical either way.
+        let mut spec = AdcSpec::paper_40nm().unwrap();
+        spec.steps_per_cycle = 4;
+        spec.thermal_noise = false;
+        spec.phase_noise_per_sqrt_hz = 0.0;
+        spec.clock_jitter_rms_s = 0.0;
+        spec.comparator_noise_v = 0.0;
+        let spc = spec.steps_per_cycle as u64;
+        let n_samples = 2_500_000usize; // 10^7 steps at 4 steps/cycle
+        let mut sim = AdcSimulator::new(spec).unwrap();
+        let cap = sim.run(|_| 0.0, n_samples);
+        assert_eq!(cap.output.len(), n_samples);
+        assert_eq!(sim.clock_rising_edges(), n_samples as u64);
+        assert_eq!(sim.clock_steps(), n_samples as u64 * spc);
+        assert_eq!(cap.activity.clk_cycles, n_samples as u64);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Scalar-reference equivalence: the SoA hot loop vs the original
+//! array-of-structs engine, bit for bit.
+//!
+//! `RefSim` below is a frozen copy of the pre-SoA engine (pointer-chasing
+//! `Slice` structs, one `advance` call per component per step) with only
+//! the integer-step clock fix applied. It exercises the *component*
+//! implementations (`SummingNode`, `RingVco`, `ClockedComparator`)
+//! exactly the way `AdcSimulator::run` did before the restructure, and
+//! consumes the RNG stream through the same documented draw order. If
+//! the SoA engine ever reorders an operation, hoists a computation past
+//! a rounding step, or drops/duplicates a draw, these comparisons fail
+//! on the first divergent output word.
+//!
+//! Unlike the checksum fixtures in `golden.rs` (which freeze specific
+//! values), this suite proves the equivalence *construction* — including
+//! the post-layout path, where extracted parasitics land as extra node
+//! capacitance.
+
+use std::f64::consts::PI;
+use tdsigma_circuit::comparator::ComparatorParams;
+use tdsigma_circuit::mismatch::MismatchModel;
+use tdsigma_circuit::network::{BranchId, SummingNode};
+use tdsigma_circuit::noise::SimRng;
+use tdsigma_circuit::transient::{Clock, EdgeKind};
+use tdsigma_circuit::vco::{RingVco, VcoParams};
+use tdsigma_circuit::ClockedComparator;
+use tdsigma_core::netgen;
+use tdsigma_core::sim::{AdcSimulator, ComparatorFlavor};
+use tdsigma_core::spec::AdcSpec;
+use tdsigma_layout::{synthesize, AprOptions};
+use tdsigma_netlist::PowerPlan;
+
+struct RefSlice {
+    node_p: SummingNode,
+    node_n: SummingNode,
+    in_p: BranchId,
+    in_n: BranchId,
+    dac_p: BranchId,
+    dac_n: BranchId,
+    dac_drive_p: Vec<f64>,
+    dac_drive_n: Vec<f64>,
+    vco_p: RingVco,
+    vco_n: RingVco,
+    cmp_p: Vec<ClockedComparator>,
+    cmp_n: Vec<ClockedComparator>,
+    code: u8,
+    retimed_code: u8,
+    dac_code: u8,
+}
+
+struct RefSim {
+    spec: AdcSpec,
+    slices: Vec<RefSlice>,
+    clock: Clock,
+    rng: SimRng,
+    time_s: f64,
+    buf_swing_v: f64,
+    buf_cm_v: f64,
+}
+
+impl RefSim {
+    fn build(spec: AdcSpec, extra_node_cap_f: f64) -> RefSim {
+        let spec = spec.validated().unwrap();
+        let mut rng = SimRng::new(spec.seed);
+        let vdd = spec.tech.vdd().value();
+        let node_cap = spec.node_cap_f + extra_node_cap_f / spec.n_slices as f64;
+        let vco_params = VcoParams {
+            f0_hz: spec.vco_f0_hz,
+            kvco_hz_per_v: spec.kvco_hz_per_v,
+            vcm_v: spec.vctrl_cm_v,
+            n_stages: spec.vco_stages,
+            phase_noise_per_sqrt_hz: spec.phase_noise_per_sqrt_hz,
+        };
+        let vco_mm = MismatchModel::new(spec.vco_mismatch_sigma);
+        let cm_window = ComparatorFlavor::Nor3.cm_window(vdd);
+        let n = spec.n_slices;
+        let mut slices = Vec::with_capacity(n);
+        for i in 0..n {
+            let common = 2.0 * PI * i as f64 / n as f64;
+            let ladder = PI * (i as f64 + 0.5) / n as f64;
+            let mut node_p = SummingNode::new(node_cap, spec.vctrl_cm_v);
+            let mut node_n = SummingNode::new(node_cap, spec.vctrl_cm_v);
+            if spec.thermal_noise && node_cap > 0.0 {
+                node_p = node_p.with_thermal_noise();
+                node_n = node_n.with_thermal_noise();
+            }
+            let in_p = node_p.add_branch(spec.rin_ohm, spec.input_cm_v);
+            let in_n = node_n.add_branch(spec.rin_ohm, spec.input_cm_v);
+            let vco_p = RingVco::with_mismatch(vco_params, &vco_mm, &mut rng, common + ladder);
+            let vco_n = RingVco::with_mismatch(vco_params, &vco_mm, &mut rng, common);
+            let mk_cmp = |rng: &mut SimRng| {
+                ClockedComparator::new(ComparatorParams {
+                    offset_v: rng.gaussian(spec.comparator_offset_sigma_v),
+                    noise_rms_v: spec.comparator_noise_v,
+                    metastability_window_v: 20e-6,
+                    cm_window,
+                })
+            };
+            let cmp_p: Vec<ClockedComparator> =
+                (0..spec.vco_stages).map(|_| mk_cmp(&mut rng)).collect();
+            let cmp_n: Vec<ClockedComparator> =
+                (0..spec.vco_stages).map(|_| mk_cmp(&mut rng)).collect();
+            let dac_mm = MismatchModel::new(spec.dac_mismatch_sigma);
+            let mk_dac = |rng: &mut SimRng, pull_up_when_low: bool| -> (f64, Vec<f64>) {
+                let g: Vec<f64> = dac_mm
+                    .draw_many(rng, spec.vco_stages)
+                    .into_iter()
+                    .map(|d| 1.0 / (spec.rdac_ohm * (1.0 + d)))
+                    .collect();
+                let g_total: f64 = g.iter().sum();
+                let r_thev = 1.0 / g_total;
+                let drives = (0..=spec.vco_stages)
+                    .map(|code| {
+                        let hi: f64 = if pull_up_when_low {
+                            g.iter().skip(code).sum()
+                        } else {
+                            g.iter().take(code).sum()
+                        };
+                        spec.vrefp_v * hi / g_total
+                    })
+                    .collect();
+                (r_thev, drives)
+            };
+            let (r_thev_p, dac_drive_p) = mk_dac(&mut rng, true);
+            let (r_thev_n, dac_drive_n) = mk_dac(&mut rng, false);
+            let mid = spec.vco_stages / 2;
+            let dac_p = node_p.add_branch(r_thev_p, dac_drive_p[mid]);
+            let dac_n = node_n.add_branch(r_thev_n, dac_drive_n[mid]);
+            slices.push(RefSlice {
+                node_p,
+                node_n,
+                in_p,
+                in_n,
+                dac_p,
+                dac_n,
+                dac_drive_p,
+                dac_drive_n,
+                vco_p,
+                vco_n,
+                cmp_p,
+                cmp_n,
+                code: 0,
+                retimed_code: 0,
+                dac_code: 0,
+            });
+        }
+        let clock = Clock::new(spec.fs_hz).with_steps_per_period(spec.steps_per_cycle as u64);
+        RefSim {
+            buf_swing_v: 0.5 * vdd,
+            buf_cm_v: 0.23 * vdd,
+            spec,
+            slices,
+            clock,
+            rng,
+            time_s: 0.0,
+        }
+    }
+
+    fn run<F: Fn(f64) -> f64>(&mut self, input: F, n_samples: usize) -> Vec<f64> {
+        let dt = 1.0 / self.spec.fs_hz / self.spec.steps_per_cycle as f64;
+        let mut output = Vec::with_capacity(n_samples);
+        let start_time = self.time_s;
+        let mut step: u64 = 0;
+        while output.len() < n_samples {
+            step += 1;
+            self.time_s = start_time + step as f64 * dt;
+            let vin = input(self.time_s);
+            let drive_p = self.spec.input_cm_v + vin / 2.0;
+            let drive_n = self.spec.input_cm_v - vin / 2.0;
+            for slice in &mut self.slices {
+                slice.node_p.set_drive(slice.in_p, drive_p);
+                slice.node_n.set_drive(slice.in_n, drive_n);
+                slice.node_p.advance(dt, &mut self.rng);
+                slice.node_n.advance(dt, &mut self.rng);
+                let vp = slice.node_p.voltage();
+                let vn = slice.node_n.voltage();
+                slice.vco_p.advance(dt, vp, &mut self.rng);
+                slice.vco_n.advance(dt, vn, &mut self.rng);
+            }
+            match self.clock.advance(dt) {
+                EdgeKind::Rising => {
+                    let mut sum = 0.0;
+                    let stages = self.spec.vco_stages;
+                    let half = self.buf_swing_v / 2.0;
+                    let jitter_s = if self.spec.clock_jitter_rms_s > 0.0 {
+                        self.rng.gaussian(self.spec.clock_jitter_rms_s)
+                    } else {
+                        0.0
+                    };
+                    for slice in self.slices.iter_mut() {
+                        let mut code = 0u8;
+                        let jp =
+                            2.0 * PI * slice.vco_p.frequency_hz(slice.node_p.voltage()) * jitter_s;
+                        let jn =
+                            2.0 * PI * slice.vco_n.frequency_hz(slice.node_n.voltage()) * jitter_s;
+                        for tap in 0..stages {
+                            let offset = PI * tap as f64 / stages as f64;
+                            let sp =
+                                ((slice.vco_p.phase() + jp + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let sn =
+                                ((slice.vco_n.phase() + jn + offset).sin() * 3.0).clamp(-1.0, 1.0);
+                            let q1 = slice.cmp_p[tap].sample(
+                                self.buf_cm_v + half * sp,
+                                self.buf_cm_v - half * sp,
+                                &mut self.rng,
+                            );
+                            let q2 = slice.cmp_n[tap].sample(
+                                self.buf_cm_v + half * sn,
+                                self.buf_cm_v - half * sn,
+                                &mut self.rng,
+                            );
+                            if q1 ^ q2 {
+                                code += 1;
+                            }
+                        }
+                        slice.code = code;
+                        sum += code as f64;
+                    }
+                    output.push(sum);
+                }
+                EdgeKind::Falling => {
+                    for slice in &mut self.slices {
+                        slice.retimed_code = slice.code;
+                        if slice.retimed_code != slice.dac_code {
+                            slice.dac_code = slice.retimed_code;
+                            let code = slice.dac_code as usize;
+                            slice.node_p.set_drive(slice.dac_p, slice.dac_drive_p[code]);
+                            slice.node_n.set_drive(slice.dac_n, slice.dac_drive_n[code]);
+                        }
+                    }
+                }
+                EdgeKind::None => {}
+            }
+        }
+        output
+    }
+}
+
+/// Coherent-bin input near BW/5, the same snap as the jobs layer.
+fn tone(spec: &AdcSpec, samples: usize) -> (f64, f64) {
+    let bin = (spec.bw_hz / 5.0 * samples as f64 / spec.fs_hz)
+        .round()
+        .max(1.0);
+    let fin = bin * spec.fs_hz / samples as f64;
+    (fin, 0.79 * spec.full_scale_v())
+}
+
+fn assert_equivalent(spec: AdcSpec, extra_cap_f: f64, soa: &mut AdcSimulator, samples: usize) {
+    let (fin, amp) = tone(&spec, samples);
+    let cap = soa.run_tone(fin, amp, samples);
+    let mut reference = RefSim::build(spec, extra_cap_f);
+    let w = 2.0 * PI * fin;
+    let ref_out = reference.run(|t| amp * (w * t).sin(), samples);
+    assert_eq!(ref_out.len(), samples);
+    for (k, (r, s)) in ref_out.iter().zip(&cap.output).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            s.to_bits(),
+            "engines diverge at sample {k}: ref={r} soa={s}"
+        );
+    }
+}
+
+#[test]
+fn soa_engine_matches_scalar_reference_40nm() {
+    let mut spec = AdcSpec::paper_40nm().unwrap();
+    spec.steps_per_cycle = 8;
+    spec.seed = 7;
+    let mut soa = AdcSimulator::new(spec.clone()).unwrap();
+    assert_equivalent(spec, 0.0, &mut soa, 2048);
+}
+
+#[test]
+fn soa_engine_matches_scalar_reference_180nm_4_slices() {
+    let mut spec = AdcSpec::paper_180nm().unwrap().with_slices(4).unwrap();
+    spec.steps_per_cycle = 8;
+    spec.seed = 42;
+    let mut soa = AdcSimulator::new(spec.clone()).unwrap();
+    assert_equivalent(spec, 0.0, &mut soa, 2048);
+}
+
+#[test]
+fn soa_engine_matches_scalar_reference_with_parasitics() {
+    let mut spec = AdcSpec::paper_40nm().unwrap();
+    spec.steps_per_cycle = 8;
+    spec.seed = 2017;
+    // Real extracted parasitics via the layout pipeline, split across
+    // the P/N control nodes exactly like `AdcSimulator::with_parasitics`.
+    let design = netgen::generate(&spec).unwrap();
+    let flat = design.flatten();
+    let plan = PowerPlan::infer(&flat).unwrap();
+    let layout = synthesize(&flat, &plan, &spec.tech, &AprOptions::default()).unwrap();
+    let vctrl = layout
+        .parasitics
+        .total_capacitance_where(|n| n.contains("VCTRL"));
+    let mut soa = AdcSimulator::with_parasitics(spec.clone(), &layout.parasitics).unwrap();
+    assert_equivalent(spec, vctrl / 2.0, &mut soa, 1024);
+}

@@ -151,14 +151,7 @@ fn transform(data: &mut [Complex], inverse: bool) {
         n.is_power_of_two() && n > 0,
         "FFT length must be a power of two, got {n}"
     );
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
+    bit_reverse(data);
     // Iterative butterflies.
     let sign = if inverse { 1.0 } else { -1.0 };
     let mut len = 2;
@@ -178,6 +171,129 @@ fn transform(data: &mut [Complex], inverse: bool) {
             i += len;
         }
         len <<= 1;
+    }
+}
+
+fn bit_reverse(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return; // trivial permutation; also avoids a 64-bit shift below
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Reusable state for repeated forward FFTs: the twiddle factors for each
+/// butterfly stage plus a conversion buffer for real input, so the per-call
+/// cost is the butterflies alone — no allocation, no `cis` evaluations.
+///
+/// # Bit-exactness
+///
+/// The cached twiddles are produced by the *same* repeated-multiplication
+/// chain (`w ← w·wlen`, starting from `1`) that [`fft_in_place`] evaluates
+/// inline, not by fresh `cis(j·ang)` calls — the chained products and the
+/// directly-evaluated phasors differ in the last few ulps, and the golden
+/// fixtures check spectra to the bit. Every transform through a scratch is
+/// therefore bit-identical to the allocating free functions.
+///
+/// The scratch is lazily sized: the first call at a given length builds the
+/// table (n−1 twiddles, stage-major), and subsequent calls at that length
+/// reuse it. A call at a different length rebuilds.
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    len: usize,
+    twiddles: Vec<Complex>,
+    buf: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// Creates an empty scratch; tables are built on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The transform length the cached tables are built for (0 before
+    /// first use).
+    pub fn planned_len(&self) -> usize {
+        self.len
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.len == n {
+            return;
+        }
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT length must be a power of two, got {n}"
+        );
+        // Stage-major layout: stage `len` (2, 4, …, n) contributes its
+        // len/2 running twiddles at offset len/2 − 1; total n − 1 entries.
+        self.twiddles.clear();
+        self.twiddles.reserve(n - 1);
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * PI / len as f64;
+            let wlen = Complex::cis(ang);
+            let mut w = Complex::from_real(1.0);
+            for _ in 0..len / 2 {
+                self.twiddles.push(w);
+                w = w * wlen;
+            }
+            len <<= 1;
+        }
+        self.len = n;
+    }
+
+    /// In-place forward FFT using the cached twiddles. Bit-identical to
+    /// [`fft_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a power of two (including zero).
+    pub fn fft_in_place(&mut self, data: &mut [Complex]) {
+        self.prepare(data.len());
+        bit_reverse(data);
+        let n = data.len();
+        let mut len = 2;
+        let mut off = 0;
+        while len <= n {
+            let half = len / 2;
+            let stage = &self.twiddles[off..off + half];
+            let mut i = 0;
+            while i < n {
+                for j in 0..half {
+                    let u = data[i + j];
+                    let v = data[i + j + half] * stage[j];
+                    data[i + j] = u + v;
+                    data[i + j + half] = u - v;
+                }
+                i += len;
+            }
+            off += half;
+            len <<= 1;
+        }
+    }
+
+    /// Forward FFT of real samples into the scratch's internal buffer;
+    /// returns the full complex spectrum as a borrow. Bit-identical to
+    /// [`fft_real`] without its per-call allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` is not a power of two (including zero).
+    pub fn fft_real(&mut self, samples: &[f64]) -> &[Complex] {
+        self.buf.clear();
+        self.buf
+            .extend(samples.iter().map(|&x| Complex::from_real(x)));
+        let mut buf = std::mem::take(&mut self.buf);
+        self.fft_in_place(&mut buf);
+        self.buf = buf;
+        &self.buf
     }
 }
 
@@ -316,6 +432,46 @@ mod tests {
         assert!((Complex::cis(PI / 2.0) - Complex::new(0.0, 1.0)).abs() < 1e-12);
         assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1-2i");
         assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1+2i");
+    }
+
+    #[test]
+    fn scratch_fft_is_bit_identical_to_free_functions() {
+        // The cached-twiddle path must reproduce the allocating path to
+        // the bit — the golden spectrum fixtures depend on it. One scratch
+        // is reused across sizes (forcing re-plans) and across repeated
+        // calls at the same size (exercising table reuse).
+        let mut scratch = FftScratch::new();
+        for n in [1usize, 2, 8, 64, 256, 1 << 12] {
+            let samples: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 2.1).cos())
+                .collect();
+            let reference = fft_real(&samples);
+            for _ in 0..2 {
+                let got = scratch.fft_real(&samples).to_vec();
+                assert_eq!(scratch.planned_len(), n);
+                assert_eq!(got.len(), reference.len());
+                for (a, b) in got.iter().zip(&reference) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
+                }
+            }
+            // The complex in-place entry point too.
+            let mut buf: Vec<Complex> = samples.iter().map(|&x| Complex::new(x, -x)).collect();
+            let mut expect = buf.clone();
+            fft_in_place(&mut expect);
+            scratch.fft_in_place(&mut buf);
+            for (a, b) in buf.iter().zip(&expect) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn scratch_rejects_non_power_of_two() {
+        let mut scratch = FftScratch::new();
+        let _ = scratch.fft_real(&[0.0; 12]);
     }
 
     #[test]

@@ -1,9 +1,42 @@
 //! Amplitude spectra in dBFS — the representation the paper's Fig. 17/18
 //! plots.
 
-use crate::fft::{fft_real, Complex};
+use crate::fft::{Complex, FftScratch};
 use crate::window::Window;
 use std::fmt;
+
+/// Reusable buffers for repeated [`Spectrum`] computations: the window
+/// coefficients for the current `(window, length)` pair, the windowed
+/// sample buffer, and the FFT twiddle tables. The transient+spectrum hot
+/// path (sweeps, optimizer loops) holds one of these and calls
+/// [`Spectrum::from_samples_scratch`] so nothing but the result's bin
+/// vector is allocated per capture.
+///
+/// Bit-identical to the allocating constructors: cached window
+/// coefficients are the same deterministic values
+/// [`Window::coefficients`] returns, and [`FftScratch`] documents its own
+/// bit-exactness contract.
+#[derive(Debug, Clone, Default)]
+pub struct SpectrumScratch {
+    window_key: Option<(Window, usize)>,
+    coeffs: Vec<f64>,
+    windowed: Vec<f64>,
+    fft: FftScratch,
+}
+
+impl SpectrumScratch {
+    /// Creates an empty scratch; buffers are built on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn window_coeffs(&mut self, window: Window, n: usize) {
+        if self.window_key != Some((window, n)) {
+            self.coeffs = window.coefficients(n);
+            self.window_key = Some((window, n));
+        }
+    }
+}
 
 /// A single-sided amplitude spectrum of a real capture.
 ///
@@ -44,20 +77,47 @@ impl Spectrum {
         window: Window,
         full_scale: f64,
     ) -> Self {
+        Self::from_samples_scratch(
+            samples,
+            sample_rate_hz,
+            window,
+            full_scale,
+            &mut SpectrumScratch::new(),
+        )
+    }
+
+    /// [`Self::from_samples_with_full_scale`] with caller-owned scratch
+    /// buffers: window coefficients, the windowed copy, and FFT twiddles
+    /// are reused across calls instead of reallocated. Bit-identical to
+    /// the allocating constructors (see [`SpectrumScratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::from_samples_with_full_scale`].
+    pub fn from_samples_scratch(
+        samples: &[f64],
+        sample_rate_hz: f64,
+        window: Window,
+        full_scale: f64,
+        scratch: &mut SpectrumScratch,
+    ) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
         assert!(full_scale > 0.0, "full scale must be positive");
         let n = samples.len();
         // Remove the mean so DC leakage does not pollute low bins — delta-
         // sigma outputs have a large DC offset (half the quantizer range).
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let coeffs = window.coefficients(n);
-        let windowed: Vec<f64> = samples
-            .iter()
-            .zip(&coeffs)
-            .map(|(&x, &w)| (x - mean) * w)
-            .collect();
-        let spec: Vec<Complex> = fft_real(&windowed);
-        let gain = window.coherent_gain(n);
+        scratch.window_coeffs(window, n);
+        scratch.windowed.clear();
+        scratch.windowed.extend(
+            samples
+                .iter()
+                .zip(&scratch.coeffs)
+                .map(|(&x, &w)| (x - mean) * w),
+        );
+        let spec: &[Complex] = scratch.fft.fft_real(&scratch.windowed);
+        // Same fold as `Window::coherent_gain`, over the cached coefficients.
+        let gain = scratch.coeffs.iter().sum::<f64>() / n as f64;
         // Single-sided amplitude: |X[k]|·2/(N·gain); power relative to FS.
         let scale = 2.0 / (n as f64 * gain * full_scale);
         let bins: Vec<f64> = spec[..n / 2 + 1]
@@ -268,6 +328,30 @@ mod tests {
     #[should_panic(expected = "sample rate")]
     fn zero_sample_rate_panics() {
         let _ = Spectrum::from_samples(&sine(64, 5.0, 1.0), 0.0, Window::Hann);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One SpectrumScratch cycled through different lengths, windows,
+        // and full scales must reproduce the allocating constructor bin
+        // for bin, to the bit.
+        let mut scratch = SpectrumScratch::new();
+        for (n, cycles, window, fs_amp) in [
+            (1024usize, 37.0, Window::Hann, 1.0),
+            (1024, 37.0, Window::Hamming, 1.0),
+            (4096, 129.0, Window::Hann, 4.0),
+            (256, 9.0, Window::BlackmanHarris, 0.5),
+            (1024, 37.0, Window::Hann, 1.0),
+        ] {
+            let samples = sine(n, cycles, 0.8 * fs_amp);
+            let fresh = Spectrum::from_samples_with_full_scale(&samples, 1e6, window, fs_amp);
+            let reused =
+                Spectrum::from_samples_scratch(&samples, 1e6, window, fs_amp, &mut scratch);
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.powers().iter().zip(reused.powers()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} window={window}");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! smooth, quantitative noise-floor estimate — the right tool for reading
 //! noise densities (V/√Hz) off a simulation.
 
-use crate::fft::fft_real;
+use crate::fft::FftScratch;
 use crate::window::Window;
 use std::fmt;
 
@@ -15,6 +15,7 @@ pub struct PsdEstimate {
     psd: Vec<f64>,
     bin_width_hz: f64,
     segments: usize,
+    samples_used: usize,
 }
 
 impl PsdEstimate {
@@ -36,6 +37,14 @@ impl PsdEstimate {
     /// Number of averaged segments.
     pub fn segments(&self) -> usize {
         self.segments
+    }
+
+    /// Number of input samples that actually entered the estimate:
+    /// `(segments − 1)·hop + segment_len` with 50 % overlap. Anything past
+    /// the last full segment is dropped (see [`welch_psd`]'s tail note), so
+    /// this can be up to `hop − 1` short of the input length.
+    pub fn samples_used(&self) -> usize {
+        self.samples_used
     }
 
     /// Number of frequency bins.
@@ -118,8 +127,44 @@ impl fmt::Display for PsdEstimate {
     }
 }
 
+/// Reusable buffers for repeated [`welch_psd_with`] calls: the window
+/// coefficients for the current `(window, segment_len)` pair, the windowed
+/// segment buffer, and the FFT twiddle tables. A sweep that estimates
+/// hundreds of PSDs at one segment length pays the window/twiddle setup
+/// once and allocates nothing per call.
+///
+/// Results are bit-identical to the scratch-free [`welch_psd`] — the
+/// cached window coefficients are the same deterministic values
+/// [`Window::coefficients`] returns, and [`FftScratch`] documents its own
+/// bit-exactness contract.
+#[derive(Debug, Clone, Default)]
+pub struct WelchScratch {
+    window_key: Option<(Window, usize)>,
+    coeffs: Vec<f64>,
+    windowed: Vec<f64>,
+    fft: FftScratch,
+}
+
+impl WelchScratch {
+    /// Creates an empty scratch; buffers are built on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn window_coeffs(&mut self, window: Window, n: usize) -> &[f64] {
+        if self.window_key != Some((window, n)) {
+            self.coeffs = window.coefficients(n);
+            self.window_key = Some((window, n));
+        }
+        &self.coeffs
+    }
+}
+
 /// Estimates the one-sided PSD of `samples` with Welch's method:
 /// `segment_len`-point windowed periodograms, 50 % overlap, averaged.
+///
+/// Allocates its working buffers per call; hot loops should hold a
+/// [`WelchScratch`] and call [`welch_psd_with`], which is bit-identical.
 ///
 /// # DC convention
 ///
@@ -131,6 +176,17 @@ impl fmt::Display for PsdEstimate {
 /// starts at exactly 0 Hz: DC residue is an artifact of the estimator,
 /// not in-band noise.
 ///
+/// # Unaligned tail
+///
+/// Segments advance by `hop = segment_len/2`; the last segment is the one
+/// ending at or before `samples.len()`. When the input length is not of
+/// the form `k·hop + segment_len` the trailing `(len − segment_len) % hop`
+/// samples contribute to **no** segment and are silently dropped — the
+/// estimator never zero-pads or shortens a segment, because a partial
+/// window would bias the normalisation `U`. [`PsdEstimate::samples_used`]
+/// reports how many samples actually entered the estimate; callers that
+/// care should size captures so `len ≡ segment_len (mod hop)`.
+///
 /// # Panics
 ///
 /// Panics if `segment_len` is not a power of two or exceeds the input
@@ -141,6 +197,29 @@ pub fn welch_psd(
     window: Window,
     sample_rate_hz: f64,
 ) -> PsdEstimate {
+    welch_psd_with(
+        samples,
+        segment_len,
+        window,
+        sample_rate_hz,
+        &mut WelchScratch::new(),
+    )
+}
+
+/// [`welch_psd`] with caller-owned scratch buffers: no per-call window
+/// evaluation, twiddle computation, or segment allocation. Bit-identical
+/// to [`welch_psd`] (see [`WelchScratch`]).
+///
+/// # Panics
+///
+/// Same conditions as [`welch_psd`].
+pub fn welch_psd_with(
+    samples: &[f64],
+    segment_len: usize,
+    window: Window,
+    sample_rate_hz: f64,
+    scratch: &mut WelchScratch,
+) -> PsdEstimate {
     assert!(
         segment_len.is_power_of_two() && segment_len >= 8,
         "segment length must be a power of two >= 8"
@@ -148,21 +227,23 @@ pub fn welch_psd(
     assert!(segment_len <= samples.len(), "segment longer than input");
     assert!(sample_rate_hz > 0.0, "sample rate must be positive");
     let hop = segment_len / 2;
-    let coeffs = window.coefficients(segment_len);
+    scratch.window_coeffs(window, segment_len);
     // Window power normalisation (U in Welch's paper).
-    let u: f64 = coeffs.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
+    let u: f64 = scratch.coeffs.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
 
     let mut acc = vec![0.0f64; segment_len / 2 + 1];
     let mut segments = 0usize;
     let mut start = 0usize;
     while start + segment_len <= samples.len() {
-        let windowed: Vec<f64> = samples[start..start + segment_len]
-            .iter()
-            .zip(&coeffs)
-            .map(|(&x, &w)| (x - mean) * w)
-            .collect();
-        let spec = fft_real(&windowed);
+        scratch.windowed.clear();
+        scratch.windowed.extend(
+            samples[start..start + segment_len]
+                .iter()
+                .zip(&scratch.coeffs)
+                .map(|(&x, &w)| (x - mean) * w),
+        );
+        let spec = scratch.fft.fft_real(&scratch.windowed);
         for (k, a) in acc.iter_mut().enumerate() {
             let scale = if k == 0 || k == segment_len / 2 {
                 1.0
@@ -181,6 +262,7 @@ pub fn welch_psd(
         psd: acc,
         bin_width_hz: sample_rate_hz / segment_len as f64,
         segments,
+        samples_used: (segments - 1) * hop + segment_len,
     }
 }
 
@@ -279,6 +361,58 @@ mod tests {
     }
 
     #[test]
+    fn segment_count_and_samples_used_around_hop_boundaries() {
+        // With segment_len L and hop L/2, an input of k·hop + L samples
+        // holds exactly k+1 segments; one sample fewer drops a whole
+        // segment, and the next hop−1 extra samples change nothing. The
+        // off-by-one cases here pin the boundary arithmetic.
+        let fs = 1e6;
+        let seg = 64usize;
+        let hop = seg / 2;
+        for (len, want_segments) in [
+            (seg, 1usize),             // exactly one segment
+            (seg + hop - 1, 1),        // tail one short of a second segment
+            (seg + hop, 2),            // second segment lands exactly
+            (seg + hop + 1, 2),        // one spare sample, still two
+            (10 * hop + seg, 11),      // aligned long record
+            (10 * hop + seg + 17, 11), // 17-sample tail dropped
+        ] {
+            let samples = white_noise(len, 0.1, 5);
+            let psd = welch_psd(&samples, seg, Window::Hann, fs);
+            assert_eq!(psd.segments(), want_segments, "len {len}");
+            let used = (want_segments - 1) * hop + seg;
+            assert_eq!(psd.samples_used(), used, "len {len}");
+            assert!(psd.samples_used() <= len);
+            assert!(len - psd.samples_used() < hop, "drop is bounded by hop");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One WelchScratch reused across calls — different windows,
+        // segment lengths, and record lengths — must reproduce the
+        // allocating path to the bit.
+        let fs = 2.5e6;
+        let mut scratch = WelchScratch::new();
+        for (len, seg, window) in [
+            (4096usize, 256usize, Window::Hann),
+            (4096, 256, Window::Hamming),
+            (1 << 13, 1 << 10, Window::Hann),
+            (3000, 512, Window::BlackmanHarris),
+            (4096, 256, Window::Hann), // back to the first shape
+        ] {
+            let samples = white_noise(len, 0.2, len as u64);
+            let fresh = welch_psd(&samples, seg, window, fs);
+            let reused = welch_psd_with(&samples, seg, window, fs, &mut scratch);
+            assert_eq!(fresh.segments(), reused.segments());
+            assert_eq!(fresh.samples_used(), reused.samples_used());
+            for (a, b) in fresh.values().iter().zip(reused.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len} seg {seg}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn bad_segment_panics() {
         let _ = welch_psd(&[0.0; 100], 100, Window::Hann, 1e3);
@@ -290,6 +424,7 @@ mod tests {
             psd,
             bin_width_hz,
             segments: 1,
+            samples_used: 0,
         }
     }
 

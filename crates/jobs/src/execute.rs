@@ -13,7 +13,16 @@ use std::time::Instant;
 use tdsigma_core::flow::DesignFlow;
 use tdsigma_core::sim::AdcSimulator;
 use tdsigma_dsp::metrics::enob_from_sndr;
+use tdsigma_dsp::spectrum::SpectrumScratch;
 use tdsigma_obs as obs;
+
+std::thread_local! {
+    /// Per-thread DSP scratch: a pool worker analyzes every sim job it
+    /// runs with reused window/twiddle/windowed buffers (bit-identical to
+    /// the allocating path — see `SpectrumScratch`).
+    static DSP_SCRATCH: std::cell::RefCell<SpectrumScratch> =
+        std::cell::RefCell::new(SpectrumScratch::new());
+}
 
 /// Executes one job to completion on the calling thread.
 ///
@@ -49,7 +58,7 @@ fn execute_sim(job: &Job) -> Result<(JobReport, StageTimes), JobError> {
     stages.execute_ms = ms_since(t);
 
     let t = Instant::now();
-    let analysis = capture.analyze(spec.bw_hz);
+    let analysis = DSP_SCRATCH.with(|s| capture.analyze_with(spec.bw_hz, &mut s.borrow_mut()));
     let report = JobReport {
         key: job.key(),
         job: job.clone(),
