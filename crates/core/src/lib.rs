@@ -37,6 +37,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod fingerprint;
 pub mod flow;
 pub mod netgen;
 pub mod power;
@@ -46,6 +47,7 @@ pub mod spec;
 
 pub use backend::{DecimatedSignal, DecimationBackend};
 pub use error::CoreError;
+pub use fingerprint::{engine_fingerprint, ARTIFACT_SCHEMA_VERSION};
 pub use flow::{DesignFlow, FlowOutcome};
 pub use report::AdcReport;
 pub use sim::{AdcSimulator, SimCapture};

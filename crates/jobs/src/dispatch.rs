@@ -224,12 +224,54 @@ struct Backend {
     /// from the breaker: the backend is healthy, just full, so tripping
     /// Closed→Open (and burning the failure streak) would be wrong.
     cooldown_until: Mutex<Option<Instant>>,
+    /// Whether the backend last advertised an engine fingerprint
+    /// different from this process's. A skewed backend is excluded from
+    /// dispatch — its reports are not interchangeable with ours — until
+    /// a later verification (e.g. a half-open probe after it was
+    /// replaced) sees matching fingerprints again.
+    skewed: AtomicBool,
 }
 
 impl Backend {
     fn gauge(&self) {
         tdsigma_obs::gauge(&format!("dispatch.{}.breaker", self.client.addr()))
             .set(self.breaker.state().gauge_value());
+    }
+
+    fn skewed(&self) -> bool {
+        self.skewed.load(Ordering::Relaxed)
+    }
+
+    /// Health-checks the backend and compares its advertised engine
+    /// fingerprint against this process's. Returns `true` only for a
+    /// reachable backend with a matching fingerprint (clearing any skew
+    /// mark); a mismatch marks the backend skewed and counts under
+    /// `dispatch.<addr>.version_skew`.
+    fn verify_fingerprint(&self) -> bool {
+        match self.client.health() {
+            Ok(h) if h.fingerprint == tdsigma_core::engine_fingerprint() => {
+                self.skewed.store(false, Ordering::Relaxed);
+                true
+            }
+            Ok(h) => {
+                self.mark_skewed(&h.fingerprint);
+                false
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn mark_skewed(&self, theirs: &str) {
+        tdsigma_obs::counter(&format!("dispatch.{}.version_skew", self.client.addr())).inc();
+        if !self.skewed.swap(true, Ordering::Relaxed) {
+            let theirs = if theirs.is_empty() { "unknown" } else { theirs };
+            eprintln!(
+                "warning: backend {} excluded: engine fingerprint {} != local {}",
+                self.client.addr(),
+                theirs,
+                tdsigma_core::engine_fingerprint(),
+            );
+        }
     }
 
     /// Whether a `retry_after_ms` cooldown from a busy rejection is
@@ -330,6 +372,7 @@ impl Dispatcher {
                         .with_faults(config.faults),
                     breaker: CircuitBreaker::new(config.breaker.clone()),
                     cooldown_until: Mutex::new(None),
+                    skewed: AtomicBool::new(false),
                 })
             })
             .collect();
@@ -348,7 +391,10 @@ impl Dispatcher {
     /// Health-checks every backend once (the startup probe). Returns
     /// `(addr, health)` per backend; `None` marks an unreachable peer —
     /// which also seeds its breaker with a failure, so a fleet that is
-    /// down at startup stops being retried almost immediately.
+    /// down at startup stops being retried almost immediately. A
+    /// reachable backend advertising a different engine fingerprint is
+    /// marked skewed here — registration is the first exclusion point —
+    /// and the rotation will refuse to give it jobs.
     pub fn probe(&self) -> Vec<(String, Option<BackendHealth>)> {
         self.backends
             .iter()
@@ -356,6 +402,11 @@ impl Dispatcher {
                 let health = match b.client.health() {
                     Ok(h) => {
                         b.breaker.record_success();
+                        if h.fingerprint == tdsigma_core::engine_fingerprint() {
+                            b.skewed.store(false, Ordering::Relaxed);
+                        } else {
+                            b.mark_skewed(&h.fingerprint);
+                        }
                         Some(h)
                     }
                     Err(_) => {
@@ -471,6 +522,19 @@ impl Dispatcher {
                         backend.gauge();
                         continue;
                     }
+                    // A marked-skewed backend, and every half-open
+                    // probe, must re-prove fingerprint equality before
+                    // carrying a job: the probe is how a replaced
+                    // binary (matching again) rejoins the rotation, and
+                    // how a mismatched one keeps its breaker open
+                    // instead of corrupting results. A failed check
+                    // resolves the admit() claim as a failure.
+                    let half_open = backend.breaker.state() == BreakerState::HalfOpen;
+                    if (half_open || backend.skewed()) && !backend.verify_fingerprint() {
+                        backend.breaker.record_failure();
+                        backend.gauge();
+                        continue;
+                    }
                     let deadline = self.remaining_budget(started);
                     let result = if self.hedge_ms > 0 {
                         self.hedged_attempt(
@@ -528,7 +592,11 @@ impl Dispatcher {
         for candidate in rest {
             if let Candidate::Remote(i) = candidate {
                 let backend = &self.backends[*i];
-                if !backend.cooling() && backend.breaker.admit() {
+                // Skew is checked before admit() so a skewed backend
+                // never carries a hedge (its answer would not be
+                // interchangeable) and no breaker claim is left
+                // dangling.
+                if !backend.cooling() && !backend.skewed() && backend.breaker.admit() {
                     return Some(Arc::clone(backend));
                 }
             }
@@ -634,6 +702,7 @@ impl Dispatcher {
                     retried: get("retried"),
                     hedged: get("hedged"),
                     shed_deferred: get("shed_deferred"),
+                    version_skew: get("version_skew"),
                     breaker_open: b.breaker.state() != BreakerState::Closed,
                 }
             })
@@ -677,6 +746,12 @@ mod tests {
     }
 
     fn spawn_backend() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        spawn_backend_with_faults(crate::faults::FaultPlan::none())
+    }
+
+    fn spawn_backend_with_faults(
+        faults: crate::faults::FaultPlan,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
         let runner: Arc<Runner> = Arc::new(|job: &Job| Ok(ok_report(job)));
         let engine = Arc::new(
             Engine::with_runner(
@@ -687,7 +762,7 @@ mod tests {
                         ..PoolConfig::default()
                     },
                     cache_dir: None,
-                    faults: Default::default(),
+                    faults,
                 },
                 runner,
             )
@@ -954,6 +1029,51 @@ mod tests {
             "the 30s cooldown must keep the rotation away after one rejection"
         );
         stop_backend(live, handle);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_backend_is_excluded_not_trusted() {
+        // A backend whose every supervision frame advertises a garbled
+        // engine fingerprint: alive, fast — and not to be trusted.
+        let (skewed, handle) = spawn_backend_with_faults(crate::faults::FaultPlan {
+            seed: 11,
+            wrong_fingerprint_permille: 1000,
+            ..crate::faults::FaultPlan::none()
+        });
+        let dispatcher = Dispatcher::new(&fast_config(vec![skewed.to_string()]), local_runner());
+        let probes = dispatcher.probe();
+        assert!(
+            probes[0].1.is_some(),
+            "the backend is healthy at the transport level"
+        );
+        assert!(
+            dispatcher.backends[0].skewed(),
+            "the probe must mark the version skew"
+        );
+        for seed in 0..3u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            let (report, _) = dispatcher.run_job(&job).expect("local absorbs the work");
+            assert_eq!(report.key, job.key());
+        }
+        let summary = dispatcher.summary();
+        assert_eq!(
+            summary.backends[0].dispatched, 0,
+            "a skewed backend must never receive a job: {summary}"
+        );
+        assert!(
+            summary.backends[0].version_skew >= 1,
+            "skew must be counted: {summary}"
+        );
+        assert_eq!(summary.local_fallbacks, 3, "every job still completed");
+        let rendered = summary.to_string();
+        assert!(
+            rendered.contains("DEGRADED: version_skew"),
+            "the summary must flag the degradation: {rendered}"
+        );
+        stop_backend(skewed, handle);
     }
 
     #[test]

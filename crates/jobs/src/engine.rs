@@ -53,6 +53,7 @@ pub struct Engine {
     pool: WorkerPool,
     cache: ResultCache,
     totals: Mutex<EngineTotals>,
+    faults: FaultPlan,
 }
 
 /// What a batch run returns: per-job results in submission order, plus
@@ -100,12 +101,19 @@ impl Engine {
             pool: WorkerPool::with_faults(config.pool, runner, config.faults),
             cache,
             totals: Mutex::new(EngineTotals::default()),
+            faults: config.faults,
         })
     }
 
     /// The result cache.
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The fault plan this engine was built with (the serve layer
+    /// consults it for frame-level faults such as `wrong_fingerprint`).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Number of worker threads.
@@ -177,6 +185,7 @@ impl Engine {
             .attr("journaled", journal.is_some());
         let started = Instant::now();
         let quarantined_before = self.cache.quarantined();
+        let stale_before = self.cache.stale();
         let mut metrics = BatchMetrics {
             jobs: jobs.len(),
             ..BatchMetrics::default()
@@ -225,6 +234,7 @@ impl Engine {
             let mut recs = Vec::with_capacity(1 + hit_keys.len() + planned.len());
             recs.push(JournalRecord::BatchPlanned {
                 run_id: j.run_id().to_string(),
+                fingerprint: tdsigma_core::engine_fingerprint().to_string(),
                 jobs: jobs.to_vec(),
             });
             for key in &hit_keys {
@@ -325,6 +335,7 @@ impl Engine {
         }
 
         metrics.cache_quarantined = self.cache.quarantined() - quarantined_before;
+        metrics.cache_stale = self.cache.stale() - stale_before;
         metrics.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let results: Vec<_> = slots
             .into_iter()

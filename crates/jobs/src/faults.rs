@@ -32,6 +32,7 @@ enum Site {
     SlowClient = 9,
     Flood = 10,
     ChildKill = 11,
+    WrongFingerprint = 12,
 }
 
 /// A fault injected before a job attempt runs.
@@ -116,6 +117,12 @@ pub struct FaultPlan {
     /// Not part of [`FaultPlan::chaos`]: killing real processes is the
     /// fleet's own opt-in.
     pub child_kill_permille: u16,
+    /// Chance a server advertises a deliberately wrong engine
+    /// fingerprint in one supervision frame (health/ready/stats).
+    /// Exercises the dispatcher's and fleet's version-skew exclusion.
+    /// Not part of [`FaultPlan::chaos`]: faking version skew changes
+    /// fleet membership, which is its own opt-in like child kills.
+    pub wrong_fingerprint_permille: u16,
 }
 
 impl FaultPlan {
@@ -144,6 +151,7 @@ impl FaultPlan {
             flood_permille: 100,
             flood_burst: 3,
             child_kill_permille: 0,
+            wrong_fingerprint_permille: 0,
         }
     }
 
@@ -162,6 +170,7 @@ impl FaultPlan {
             && self.slow_client_ms == 0
             && self.flood_permille == 0
             && self.child_kill_permille == 0
+            && self.wrong_fingerprint_permille == 0
     }
 
     /// The fault (if any) to inject into attempt `attempt` of the job
@@ -287,6 +296,19 @@ impl FaultPlan {
         self.hit(Site::ChildKill, &key, poll, self.child_kill_permille)
     }
 
+    /// Whether a server should advertise a deliberately wrong engine
+    /// fingerprint in its `index`-th supervision frame. A skew-aware
+    /// client must exclude the backend, never accept its results.
+    pub fn wrong_fingerprint(&self, index: u64) -> bool {
+        let key = format!("frame-{index}");
+        self.hit(
+            Site::WrongFingerprint,
+            &key,
+            0,
+            self.wrong_fingerprint_permille,
+        )
+    }
+
     /// One permille draw from the decision stream for `(site, key,
     /// attempt)`.
     fn hit(&self, site: Site, key: &str, attempt: u32, permille: u16) -> bool {
@@ -340,6 +362,7 @@ mod tests {
         assert_eq!(plan.slow_client_stall(7), None);
         assert_eq!(plan.flood_at(7), 0);
         assert!(!plan.child_kill(0, 1));
+        assert!(!plan.wrong_fingerprint(1));
     }
 
     #[test]
@@ -458,6 +481,25 @@ mod tests {
         assert!(
             !FaultPlan::chaos(31).is_empty(),
             "chaos plan is never empty"
+        );
+    }
+
+    #[test]
+    fn wrong_fingerprint_fires_deterministically_when_enabled() {
+        let plan = FaultPlan {
+            seed: 67,
+            wrong_fingerprint_permille: 400,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty(), "enabled class must register");
+        let hits: Vec<u64> = (0..100).filter(|&i| plan.wrong_fingerprint(i)).collect();
+        assert!(!hits.is_empty(), "enabled wrong-fingerprint must fire");
+        let again: Vec<u64> = (0..100).filter(|&i| plan.wrong_fingerprint(i)).collect();
+        assert_eq!(hits, again, "decisions must be pure");
+        assert_eq!(
+            FaultPlan::chaos(67).wrong_fingerprint_permille,
+            0,
+            "faking version skew changes fleet membership; it must stay opt-in"
         );
     }
 

@@ -51,6 +51,12 @@ pub enum JournalRecord {
     BatchPlanned {
         /// The run this journal belongs to.
         run_id: String,
+        /// The engine fingerprint of the process that planned the batch
+        /// (see [`tdsigma_core::engine_fingerprint`]). Empty on records
+        /// written before fingerprinting existed; resume treats empty as
+        /// "unknown, warn but proceed" and any other mismatch as a hard
+        /// error.
+        fingerprint: String,
         /// Every job in the batch, in original order.
         jobs: Vec<Job>,
     },
@@ -86,9 +92,19 @@ impl JournalRecord {
     pub fn to_json(&self) -> Json {
         let mut obj = Vec::new();
         match self {
-            JournalRecord::BatchPlanned { run_id, jobs } => {
+            JournalRecord::BatchPlanned {
+                run_id,
+                fingerprint,
+                jobs,
+            } => {
                 obj.push(("t".into(), Json::Str("batch_planned".into())));
                 obj.push(("run_id".into(), Json::Str(run_id.clone())));
+                // Emitted only when set, so pre-fingerprint records
+                // re-serialize byte-identically and their crc envelopes
+                // still verify on replay.
+                if !fingerprint.is_empty() {
+                    obj.push(("fingerprint".into(), Json::Str(fingerprint.clone())));
+                }
                 obj.push((
                     "jobs".into(),
                     Json::Arr(jobs.iter().map(Job::to_json).collect()),
@@ -143,6 +159,11 @@ impl JournalRecord {
                     .and_then(Json::as_str)
                     .ok_or_else(|| JobError::Invalid("batch_planned missing 'run_id'".into()))?
                     .to_string();
+                let fingerprint = v
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
                 let jobs = v
                     .get("jobs")
                     .and_then(Json::as_arr)
@@ -150,7 +171,11 @@ impl JournalRecord {
                     .iter()
                     .map(Job::from_json)
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(JournalRecord::BatchPlanned { run_id, jobs })
+                Ok(JournalRecord::BatchPlanned {
+                    run_id,
+                    fingerprint,
+                    jobs,
+                })
             }
             "job_started" => Ok(JournalRecord::JobStarted { key: key_of(v)? }),
             "job_finished" => Ok(JournalRecord::JobFinished { key: key_of(v)? }),
@@ -346,6 +371,7 @@ impl Journal {
         let text = fs::read_to_string(&path).map_err(|e| JobError::io_at(&path, &e))?;
         let mut replay = JournalReplay {
             run_id: run_id.to_string(),
+            fingerprint: String::new(),
             jobs: Vec::new(),
             started: HashSet::new(),
             finished: HashSet::new(),
@@ -380,7 +406,12 @@ impl Journal {
             };
             replay.records += 1;
             match rec {
-                JournalRecord::BatchPlanned { jobs, .. } => replay.jobs = jobs,
+                JournalRecord::BatchPlanned {
+                    jobs, fingerprint, ..
+                } => {
+                    replay.jobs = jobs;
+                    replay.fingerprint = fingerprint;
+                }
                 JournalRecord::JobStarted { key } => {
                     replay.started.insert(key);
                 }
@@ -403,6 +434,9 @@ impl Journal {
 pub struct JournalReplay {
     /// The run id replayed.
     pub run_id: String,
+    /// Engine fingerprint recorded by the planning process (empty for
+    /// journals that predate fingerprinting).
+    pub fingerprint: String,
     /// The planned batch, in original submission order.
     pub jobs: Vec<Job>,
     /// Keys of jobs known to have been submitted.
@@ -546,6 +580,12 @@ mod tests {
         let recs = vec![
             JournalRecord::BatchPlanned {
                 run_id: "r1".into(),
+                fingerprint: "feedfacecafebeef".into(),
+                jobs: jobs.clone(),
+            },
+            JournalRecord::BatchPlanned {
+                run_id: "r1-prefingerprint".into(),
+                fingerprint: String::new(),
                 jobs: jobs.clone(),
             },
             JournalRecord::JobStarted { key: jobs[0].key() },
@@ -565,6 +605,30 @@ mod tests {
     }
 
     #[test]
+    fn pre_fingerprint_batch_planned_lines_still_verify() {
+        // A plan with no fingerprint serializes without the field at
+        // all, so journals written by pre-fingerprint binaries and by
+        // this one are byte-compatible and crc-stable in both
+        // directions.
+        let rec = JournalRecord::BatchPlanned {
+            run_id: "old".into(),
+            fingerprint: String::new(),
+            jobs: two_jobs(),
+        };
+        let line = rec.to_line();
+        assert!(
+            !line.contains("fingerprint"),
+            "empty fingerprint must not be emitted: {line}"
+        );
+        match parse_line(line.trim_end()).expect("old-format line verifies") {
+            JournalRecord::BatchPlanned { fingerprint, .. } => {
+                assert_eq!(fingerprint, "", "missing field reads back empty");
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
     fn append_replay_reconstructs_progress() {
         let dir = temp_dir("roundtrip");
         let jobs = two_jobs();
@@ -572,6 +636,7 @@ mod tests {
         j.append_all(&[
             JournalRecord::BatchPlanned {
                 run_id: "run-a".into(),
+                fingerprint: "0011223344556677".into(),
                 jobs: jobs.clone(),
             },
             JournalRecord::JobStarted { key: jobs[0].key() },
@@ -583,6 +648,7 @@ mod tests {
 
         let replay = Journal::replay(&dir, "run-a").unwrap();
         assert_eq!(replay.jobs, jobs);
+        assert_eq!(replay.fingerprint, "0011223344556677");
         assert_eq!(replay.started.len(), 2);
         assert!(replay.finished.contains(&jobs[0].key()));
         assert!(!replay.torn_tail);
@@ -599,6 +665,7 @@ mod tests {
         j.append_all(&[
             JournalRecord::BatchPlanned {
                 run_id: "run-torn".into(),
+                fingerprint: String::new(),
                 jobs: jobs.clone(),
             },
             JournalRecord::JobFinished { key: jobs[0].key() },
@@ -688,6 +755,7 @@ mod tests {
         let mut j = Journal::create(dir, run_id).unwrap();
         let mut recs = vec![JournalRecord::BatchPlanned {
             run_id: run_id.into(),
+            fingerprint: "1122334455667788".into(),
             jobs: jobs.clone(),
         }];
         for job in jobs.iter().take(finished_of_two) {
@@ -767,6 +835,7 @@ mod tests {
         j.append_all(&[
             JournalRecord::BatchPlanned {
                 run_id: "run-d".into(),
+                fingerprint: String::new(),
                 jobs: jobs.clone(),
             },
             JournalRecord::JobFinished { key: jobs[0].key() },

@@ -12,7 +12,11 @@
 //!   cooperative cancellation.
 //! * **[`ResultCache`]** — a content-addressed result store (in-memory
 //!   map + on-disk JSON artifacts, conventionally under `results/cache/`)
-//!   so repeated sweeps are answered without re-running flows.
+//!   so repeated sweeps are answered without re-running flows. Artifacts
+//!   are checksummed and stamped with the engine fingerprint
+//!   ([`tdsigma_core::engine_fingerprint`]); a stamp from a different
+//!   engine demotes the artifact to a `stale/` tier instead of replaying
+//!   it, and unchecksummed artifacts are quarantined outright.
 //! * **[`Engine`]** — pool + cache + [`BatchMetrics`] accounting behind
 //!   one API: [`Engine::run_batch`] for sweeps, [`Engine::submit_one`]
 //!   for the [`Server`] line protocol.
@@ -54,7 +58,7 @@ pub mod report;
 pub mod server;
 pub mod supervise;
 
-pub use cache::ResultCache;
+pub use cache::{CacheScrub, CacheStats, ResultCache};
 pub use dispatch::{BreakerConfig, BreakerState, CircuitBreaker, DispatchConfig, Dispatcher};
 pub use engine::{BatchReport, Engine, EngineConfig, EngineTotals};
 pub use error::JobError;

@@ -55,6 +55,11 @@ pub struct BatchMetrics {
     /// `*.quarantine` and recomputed. Non-zero means the result store
     /// took damage — silent before, visible now.
     pub cache_quarantined: usize,
+    /// Cache artifacts stamped by a different engine fingerprint,
+    /// demoted to the `stale/` tier and recomputed. Non-zero means the
+    /// warm cache was written by another binary — version skew that
+    /// used to replay silently.
+    pub cache_stale: usize,
     /// Faults injected by the active fault plan (0 without `--chaos-seed`).
     pub faults_injected: usize,
     /// Completed jobs whose report could not be persisted to the disk
@@ -149,15 +154,17 @@ impl fmt::Display for BatchMetrics {
             self.stages.analyze_ms,
         )?;
         if self.cache_quarantined > 0
+            || self.cache_stale > 0
             || self.faults_injected > 0
             || self.backoff_ms_total > 0.0
             || self.cache_store_failures > 0
         {
             write!(
                 f,
-                "\nresilience: {} cache artifacts quarantined, {} faults injected, \
+                "\nresilience: {} cache artifacts quarantined, {} stale, {} faults injected, \
                  {:.0} ms retry backoff, {} cache store failures",
                 self.cache_quarantined,
+                self.cache_stale,
                 self.faults_injected,
                 self.backoff_ms_total,
                 self.cache_store_failures,
@@ -185,6 +192,10 @@ pub struct BackendDispatchStats {
     /// Structured busy/shed rejections honored as cooldowns (never
     /// counted toward the breaker — the backend was alive, just full).
     pub shed_deferred: u64,
+    /// Times this backend was excluded for advertising an engine
+    /// fingerprint different from the dispatching process's. Non-zero
+    /// means a mixed-version fleet: the backend ran no jobs.
+    pub version_skew: u64,
     /// Whether the breaker was anything but closed at snapshot time.
     pub breaker_open: bool,
 }
@@ -227,9 +238,20 @@ impl fmt::Display for DispatchSummary {
             if b.shed_deferred > 0 {
                 write!(f, ", {} shed (deferred)", b.shed_deferred)?;
             }
+            if b.version_skew > 0 {
+                write!(f, ", version skew ×{}", b.version_skew)?;
+            }
         }
         if self.local_in_rotation {
             write!(f, "\n  local — rotation member")?;
+        }
+        let skewed = self.backends.iter().filter(|b| b.version_skew > 0).count();
+        if skewed > 0 {
+            write!(
+                f,
+                "\n  DEGRADED: version_skew — {skewed} backend(s) excluded for engine \
+                 fingerprint mismatch"
+            )?;
         }
         if self.degraded() {
             write!(
@@ -310,6 +332,7 @@ mod tests {
                 retried: 3,
                 hedged: 1,
                 shed_deferred: 2,
+                version_skew: 0,
                 breaker_open: true,
             }],
             local_fallbacks: 2,
@@ -321,9 +344,46 @@ mod tests {
         assert!(text.contains("breaker OPEN"), "{text}");
         assert!(text.contains("2 shed (deferred)"), "{text}");
         assert!(text.contains("DEGRADED: 2 job(s)"), "{text}");
+        assert!(!text.contains("version_skew"), "{text}");
         let healthy = DispatchSummary::default();
         assert!(!healthy.degraded());
         assert!(!healthy.to_string().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn dispatch_summary_flags_version_skew() {
+        let s = DispatchSummary {
+            backends: vec![
+                BackendDispatchStats {
+                    addr: "10.0.0.7:4000".into(),
+                    dispatched: 12,
+                    failed: 0,
+                    retried: 0,
+                    hedged: 0,
+                    shed_deferred: 0,
+                    version_skew: 0,
+                    breaker_open: false,
+                },
+                BackendDispatchStats {
+                    addr: "10.0.0.8:4000".into(),
+                    dispatched: 0,
+                    failed: 3,
+                    retried: 0,
+                    hedged: 0,
+                    shed_deferred: 0,
+                    version_skew: 3,
+                    breaker_open: true,
+                },
+            ],
+            local_fallbacks: 0,
+            local_in_rotation: false,
+        };
+        let text = s.to_string();
+        assert!(text.contains("version skew ×3"), "{text}");
+        assert!(
+            text.contains("DEGRADED: version_skew — 1 backend(s) excluded"),
+            "{text}"
+        );
     }
 
     #[test]

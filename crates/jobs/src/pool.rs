@@ -738,6 +738,39 @@ mod tests {
     }
 
     #[test]
+    fn backoff_jitter_is_deterministic_across_job_seeds() {
+        // The schedule is a pure function of (key, attempt): recomputing
+        // the whole seed × attempt grid yields the identical grid, so a
+        // resumed run (or another machine) sleeps the same milliseconds.
+        let grid = |_: ()| -> Vec<Vec<u64>> {
+            (0..32u64)
+                .map(|seed| {
+                    let key = job_with_seed(seed).key();
+                    (1..=6)
+                        .map(|a| backoff_delay_ms(25, 1_000, &key, a))
+                        .collect()
+                })
+                .collect()
+        };
+        let first = grid(());
+        assert_eq!(first, grid(()), "the grid must be a pure function");
+        // And the herd decorrelates: no two seeds share a full schedule.
+        let unique: std::collections::HashSet<&Vec<u64>> = first.iter().collect();
+        assert_eq!(
+            unique.len(),
+            first.len(),
+            "32 seeds must not collide on a whole schedule"
+        );
+        // Saturation edges: an absurd attempt number clamps at the cap
+        // instead of overflowing, and a zero cap disables backoff.
+        let key = job_with_seed(0).key();
+        let huge = backoff_delay_ms(25, 1_000, &key, 1_000_000);
+        assert!(huge <= 1_000, "cap must hold at saturation, got {huge}");
+        assert!(huge > 0, "saturated backoff still sleeps");
+        assert_eq!(backoff_delay_ms(25, 0, &key, 3), 0);
+    }
+
+    #[test]
     fn backoff_is_applied_between_retries() {
         let failures = Arc::new(AtomicUsize::new(0));
         let f = Arc::clone(&failures);

@@ -119,6 +119,12 @@ pub struct BackendHealth {
     /// Jobs served since start; with `uptime_ms` this distinguishes a
     /// fresh restart from a long-lived backend at a glance.
     pub served_jobs: u64,
+    /// The backend's engine fingerprint (see
+    /// [`tdsigma_core::engine_fingerprint`]). Empty when the backend
+    /// predates fingerprinting; anything different from the local value
+    /// means its reports are not interchangeable with locally computed
+    /// ones.
+    pub fingerprint: String,
 }
 
 /// A client for one backend address. Cheap to clone; every exchange
@@ -255,7 +261,39 @@ impl RemoteClient {
             workers: num("workers") as usize,
             uptime_ms: num("uptime_ms"),
             served_jobs: num("served_jobs"),
+            fingerprint: health
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
         })
+    }
+
+    /// Health-checks the backend *and* requires its engine fingerprint
+    /// to match this process's — the connect-time verification the
+    /// fleet supervisor and other integrity-critical callers use. A
+    /// reachable backend with a different (or absent) fingerprint is a
+    /// [`RemoteError::Backend`] naming both values.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Backend`] when the peer is unreachable, answers
+    /// garbage, or advertises a mismatched engine fingerprint.
+    pub fn verify_fingerprint(&self) -> Result<BackendHealth, RemoteError> {
+        let health = self.health()?;
+        let ours = tdsigma_core::engine_fingerprint();
+        if health.fingerprint != ours {
+            let theirs = if health.fingerprint.is_empty() {
+                "unknown (pre-fingerprint binary)"
+            } else {
+                health.fingerprint.as_str()
+            };
+            return Err(RemoteError::Backend(format!(
+                "{} engine fingerprint {} does not match local {}",
+                self.addr, theirs, ours
+            )));
+        }
+        Ok(health)
     }
 
     /// Asks the backend whether it can usefully take more work right now
@@ -513,6 +551,14 @@ mod tests {
         assert_eq!(health.status, "ok");
         assert_eq!(health.workers, 2);
         assert_eq!(health.served_jobs, 1);
+        assert_eq!(
+            health.fingerprint,
+            tdsigma_core::engine_fingerprint(),
+            "an in-process backend advertises this process's fingerprint"
+        );
+        client
+            .verify_fingerprint()
+            .expect("matching fingerprints verify");
         assert!(client.ready().expect("ready"));
         shutdown(addr);
         handle.join().unwrap();
@@ -747,6 +793,45 @@ mod tests {
                 assert!(e.to_string().contains("deadline"), "{e}");
             }
             other => panic!("expected Job error, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn verify_fingerprint_rejects_a_mismatched_backend() {
+        // A live, protocol-correct peer built from a different binary:
+        // health answers fine, but the fingerprint gives it away.
+        let (addr, handle) = hostile_backend(|mut stream| {
+            let _ = stream.write_all(
+                b"{\"ok\":true,\"health\":{\"status\":\"ok\",\"workers\":2,\
+                  \"uptime_ms\":5,\"served_jobs\":0,\
+                  \"fingerprint\":\"ffffffffffffffff\"}}\n",
+            );
+        });
+        let client = fast_client(addr);
+        match client.verify_fingerprint() {
+            Err(RemoteError::Backend(m)) => {
+                assert!(m.contains("fingerprint"), "{m}");
+                assert!(m.contains("ffffffffffffffff"), "{m}");
+                assert!(m.contains(tdsigma_core::engine_fingerprint()), "{m}");
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        handle.join().unwrap();
+
+        // A pre-fingerprint backend (no field at all) is equally
+        // untrusted — absence of evidence is not a match.
+        let (addr, handle) = hostile_backend(|mut stream| {
+            let _ = stream.write_all(
+                b"{\"ok\":true,\"health\":{\"status\":\"ok\",\"workers\":2,\
+                  \"uptime_ms\":5,\"served_jobs\":0}}\n",
+            );
+        });
+        match fast_client(addr).verify_fingerprint() {
+            Err(RemoteError::Backend(m)) => {
+                assert!(m.contains("pre-fingerprint"), "{m}");
+            }
+            other => panic!("expected mismatch for absent fingerprint, got {other:?}"),
         }
         handle.join().unwrap();
     }

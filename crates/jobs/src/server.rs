@@ -359,6 +359,10 @@ struct Supervision {
     allow_remote_shutdown: bool,
     started: Instant,
     admission: Arc<Admission>,
+    /// Monotonic supervision-frame counter, shared by every connection:
+    /// each `health`/`ready`/`stats` response consumes one index so the
+    /// `wrong_fingerprint` fault site draws deterministically per frame.
+    frames: Arc<AtomicU64>,
 }
 
 /// A running line-protocol server. One thread per connection; all
@@ -371,6 +375,7 @@ pub struct Server {
     active: Arc<AtomicUsize>,
     started: Instant,
     admission: Arc<Admission>,
+    frames: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -403,6 +408,7 @@ impl Server {
             active: Arc::new(AtomicUsize::new(0)),
             started: Instant::now(),
             admission,
+            frames: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -464,9 +470,10 @@ impl Server {
             let config = self.config.clone();
             let started = self.started;
             let admission = Arc::clone(&self.admission);
+            let frames = Arc::clone(&self.frames);
             handles.push(thread::spawn(move || {
                 let _ = serve_connection(
-                    stream, &engine, &stop, addr, &config, &active, started, &admission,
+                    stream, &engine, &stop, addr, &config, &active, started, &admission, &frames,
                 );
                 let n = active.fetch_sub(1, Ordering::SeqCst) - 1;
                 tdsigma_obs::gauge("serve.active_connections").set(n as f64);
@@ -527,6 +534,7 @@ fn serve_connection(
     active: &Arc<AtomicUsize>,
     started: Instant,
     admission: &Arc<Admission>,
+    frames: &Arc<AtomicU64>,
 ) -> io::Result<()> {
     let supervision = Supervision {
         active: Arc::clone(active),
@@ -535,6 +543,7 @@ fn serve_connection(
         allow_remote_shutdown: config.allow_remote_shutdown,
         started,
         admission: Arc::clone(admission),
+        frames: Arc::clone(frames),
     };
     if config.idle_timeout_ms > 0 {
         let timeout = Some(Duration::from_millis(config.idle_timeout_ms));
@@ -721,6 +730,21 @@ fn error_response(message: &str) -> Json {
     ])
 }
 
+/// The engine fingerprint this supervision frame advertises. Normally
+/// the process-wide [`tdsigma_core::engine_fingerprint`]; under the
+/// `wrong_fingerprint` fault site the hex digits come back reversed —
+/// a deterministic garble a skew-aware client must reject, never a
+/// value that could collide with a real engine's fingerprint by luck.
+fn advertised_fingerprint(engine: &Engine, supervision: &Supervision) -> String {
+    let ours = tdsigma_core::engine_fingerprint();
+    let frame = supervision.frames.fetch_add(1, Ordering::Relaxed);
+    if engine.fault_plan().wrong_fingerprint(frame) {
+        tdsigma_obs::counter("serve.wrong_fingerprint_injected").inc();
+        return ours.chars().rev().collect();
+    }
+    ours.to_string()
+}
+
 /// The liveness watchdog's verdict: worker heartbeats, connection
 /// pressure, and lifetime failure counts in one object. `status` is
 /// `"degraded"` the moment any busy worker goes silent past the stall
@@ -742,6 +766,10 @@ fn health_response(engine: &Engine, supervision: &Supervision) -> Json {
         "health".into(),
         Json::Obj(vec![
             ("status".into(), Json::Str(status.into())),
+            (
+                "fingerprint".into(),
+                Json::Str(advertised_fingerprint(engine, supervision)),
+            ),
             ("workers".into(), Json::Num(beats.len() as f64)),
             ("busy_workers".into(), Json::Num(busy as f64)),
             ("stalled_workers".into(), Json::Num(stalled as f64)),
@@ -808,7 +836,13 @@ fn ready_response(engine: &Engine, supervision: &Supervision) -> Json {
     } else {
         None
     };
-    let mut fields = vec![("ready".into(), Json::Bool(reason.is_none()))];
+    let mut fields = vec![
+        ("ready".into(), Json::Bool(reason.is_none())),
+        (
+            "fingerprint".into(),
+            Json::Str(advertised_fingerprint(engine, supervision)),
+        ),
+    ];
     if let Some(reason) = reason {
         fields.push(("reason".into(), Json::Str(reason)));
     }
@@ -823,6 +857,10 @@ fn stats_response(engine: &Engine, supervision: &Supervision) -> Json {
     ok_response(vec![(
         "stats".into(),
         Json::Obj(vec![
+            (
+                "fingerprint".into(),
+                Json::Str(advertised_fingerprint(engine, supervision)),
+            ),
             ("workers".into(), Json::Num(engine.workers() as f64)),
             ("jobs".into(), Json::Num(totals.jobs as f64)),
             (
@@ -840,6 +878,14 @@ fn stats_response(engine: &Engine, supervision: &Supervision) -> Json {
             (
                 "cache_quarantined".into(),
                 Json::Num(engine.cache().quarantined() as f64),
+            ),
+            (
+                "cache_stale".into(),
+                Json::Num(engine.cache().stale() as f64),
+            ),
+            (
+                "cache_legacy_rejected".into(),
+                Json::Num(engine.cache().legacy_rejected() as f64),
             ),
             ("obs".into(), obs_snapshot_json()),
         ]),
@@ -977,11 +1023,16 @@ fn job_from_request(v: &Json) -> Result<Job, JobError> {
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
+    use crate::faults::FaultPlan;
     use crate::metrics::StageTimes;
     use crate::pool::{PoolConfig, Runner};
     use crate::report::JobReport;
 
     fn test_engine() -> Arc<Engine> {
+        test_engine_with_faults(FaultPlan::none())
+    }
+
+    fn test_engine_with_faults(faults: FaultPlan) -> Arc<Engine> {
         let runner: Arc<Runner> = Arc::new(|job: &Job| {
             if job.node_nm == 13.0 {
                 return Err(JobError::Invalid("unsupported node".into()));
@@ -1011,7 +1062,7 @@ mod tests {
                         ..PoolConfig::default()
                     },
                     cache_dir: None,
-                    faults: Default::default(),
+                    faults,
                 },
                 runner,
             )
@@ -1059,6 +1110,7 @@ mod tests {
             allow_remote_shutdown: true,
             started: Instant::now(),
             admission: Arc::new(Admission::new(&ServerConfig::default())),
+            frames: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -1551,5 +1603,85 @@ mod tests {
         let bye = ask(r#"{"cmd":"shutdown"}"#);
         assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn health_ready_and_stats_advertise_the_engine_fingerprint() {
+        let engine = test_engine();
+        let sup = test_supervision();
+        let ours = tdsigma_core::engine_fingerprint();
+        let (r, _) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+        assert_eq!(
+            r.get("health")
+                .and_then(|h| h.get("fingerprint"))
+                .and_then(Json::as_str),
+            Some(ours)
+        );
+        let (r, _) = handle_line(r#"{"cmd":"ready"}"#, &engine, &sup);
+        assert_eq!(r.get("fingerprint").and_then(Json::as_str), Some(ours));
+        let (r, _) = handle_line(r#"{"cmd":"stats"}"#, &engine, &sup);
+        assert_eq!(
+            r.get("stats")
+                .and_then(|s| s.get("fingerprint"))
+                .and_then(Json::as_str),
+            Some(ours)
+        );
+        assert_eq!(
+            r.get("stats")
+                .and_then(|s| s.get("cache_stale"))
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            r.get("stats")
+                .and_then(|s| s.get("cache_legacy_rejected"))
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn wrong_fingerprint_fault_garbles_every_supervision_frame() {
+        let engine = test_engine_with_faults(FaultPlan {
+            seed: 7,
+            wrong_fingerprint_permille: 1000,
+            ..FaultPlan::none()
+        });
+        let sup = test_supervision();
+        let ours = tdsigma_core::engine_fingerprint();
+        let garbled: String = ours.chars().rev().collect();
+        assert_ne!(garbled, ours, "fingerprint must not be a palindrome");
+        for _ in 0..3 {
+            let (r, _) = handle_line(r#"{"cmd":"health"}"#, &engine, &sup);
+            assert_eq!(
+                r.get("health")
+                    .and_then(|h| h.get("fingerprint"))
+                    .and_then(Json::as_str),
+                Some(garbled.as_str()),
+                "a 1000-permille fault must garble every frame, deterministically"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_after_hint_is_clamped_to_sane_bounds() {
+        let adm = Admission::new(&ServerConfig::default());
+        // No service samples yet, empty queue, many live workers: the
+        // raw estimate (25 ms / 64) would be sub-millisecond — the hint
+        // floors at 50 ms so clients never hot-spin.
+        assert_eq!(adm.retry_after_ms(64), 50);
+        // Pathological backlog (120 s/job, 500 deep, one worker): the
+        // raw estimate is a day — the hint caps at 30 s so a turned-away
+        // peer still probes within a human attention span.
+        adm.avg_service_us.store(120_000_000, Ordering::Relaxed);
+        adm.inflight.store(500, Ordering::SeqCst);
+        assert_eq!(adm.retry_after_ms(1), 30_000);
+        // In between the hint is the backlog-drain estimate itself:
+        // 1 s/job × (3+1) in line ÷ 2 workers = 2 s.
+        adm.avg_service_us.store(1_000_000, Ordering::Relaxed);
+        adm.inflight.store(3, Ordering::SeqCst);
+        assert_eq!(adm.retry_after_ms(2), 2_000);
+        // Zero live workers is treated as one, not a divide-by-zero.
+        assert_eq!(adm.retry_after_ms(0), 4_000);
     }
 }

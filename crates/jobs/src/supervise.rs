@@ -11,6 +11,14 @@
 //! flapped forever, and when every child is abandoned the supervisor
 //! exits non-zero rather than pretending a fleet exists.
 //!
+//! Every freshly (re)started child passes an **adoption check**: its
+//! advertised engine fingerprint must match the supervisor's own
+//! ([`tdsigma_core::engine_fingerprint`]). A child whose binary changed
+//! under the supervisor — upgrade, rollback, wrong binary on the
+//! restart path — is killed and its slot abandoned (counted on
+//! `fleet.version_skew`) instead of being allowed to serve reports the
+//! rest of the fleet cannot trust.
+//!
 //! On a stop request (SIGTERM/SIGINT via [`install_stop_handler`], or
 //! any [`AtomicBool`] the embedder owns) the supervisor performs a
 //! **graceful rolling drain**: children are asked to shut down one at a
@@ -135,6 +143,10 @@ struct Slot {
     misses: u32,
     /// Storm cap hit: the slot is abandoned.
     failed: bool,
+    /// Engine-fingerprint adoption check passed for the current child
+    /// process. Reset on every (re)spawn: a restarted child may be a
+    /// different binary than the one that crashed.
+    verified: bool,
 }
 
 impl Slot {
@@ -173,6 +185,7 @@ impl Fleet {
                 restart_count: 0,
                 misses: 0,
                 failed: false,
+                verified: false,
             });
         }
         let mut fleet = Fleet { config, slots };
@@ -226,6 +239,7 @@ impl Fleet {
         slot.child = Some(child);
         slot.restart_at = None;
         slot.misses = 0;
+        slot.verified = false;
         Ok(())
     }
 
@@ -289,7 +303,12 @@ impl Fleet {
         if self.config.probe_health {
             let client = RemoteClient::with_config(&self.slots[i].addr, probe_config.clone());
             match client.ready() {
-                Ok(_) => self.slots[i].misses = 0,
+                Ok(_) => {
+                    self.slots[i].misses = 0;
+                    if !self.slots[i].verified {
+                        self.verify_child(i, &client);
+                    }
+                }
                 Err(_) => {
                     self.slots[i].misses += 1;
                     if self.slots[i].misses >= self.config.stall_after_misses {
@@ -306,6 +325,39 @@ impl Fleet {
                 }
             }
         }
+    }
+
+    /// One-time adoption check for a freshly (re)started child: a child
+    /// whose engine fingerprint differs from the supervisor's would
+    /// serve reports the rest of the fleet cannot trust — it was
+    /// swapped out under us (upgrade, rollback, wrong binary on the
+    /// restart path). Such a child is killed and its slot abandoned
+    /// loudly instead of adopted; respawning would only exec the same
+    /// mismatched binary again.
+    fn verify_child(&mut self, i: usize, client: &RemoteClient) {
+        let Ok(health) = client.health() else {
+            return; // transient: the next tick retries, misses cover silence
+        };
+        let ours = tdsigma_core::engine_fingerprint();
+        if health.fingerprint == ours {
+            self.slots[i].verified = true;
+            return;
+        }
+        let theirs = if health.fingerprint.is_empty() {
+            "unknown (pre-fingerprint binary)".to_string()
+        } else {
+            health.fingerprint
+        };
+        tdsigma_obs::counter("fleet.version_skew").inc();
+        eprintln!(
+            "fleet: child {i} engine fingerprint {theirs} != supervisor {ours}; refusing to adopt"
+        );
+        if let Some(mut child) = self.slots[i].child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.slots[i].failed = true;
+        self.slots[i].restart_at = None;
     }
 
     /// Books one restart against the storm cap and, if the budget

@@ -9,7 +9,7 @@
 //!                [--retries 1] [--cache-dir results/cache]
 //!                [--no-cache] [--trace results/trace/sweep.jsonl] [--out results]
 //!                [--run-id ID] [--journal-dir results/journal] [--no-journal]
-//!                [--resume ID]
+//!                [--resume ID] [--resume-force]
 //! tdsigma optimize [--space FILE] [--strategy cma|halving] [--kind flow|sim]
 //!                [--budget 32] [--seed 2017] [--sndr-floor 70] [--samples K]
 //!                [--population L] [--nodes 40,180] [--slices-range 2,16]
@@ -26,6 +26,7 @@
 //! tdsigma fleet  [--children 2] [--workers W] [--cache-dir DIR]
 //!                [--max-connections N] [--restart-max 5]
 //!                [--health-interval-ms 500]
+//! tdsigma cache  stats|scrub [--cache-dir results/cache]
 //! tdsigma nodes
 //! tdsigma help
 //! ```
@@ -81,6 +82,18 @@
 //! bounded `results/journal/`, like the cache quarantine prune);
 //! successful sweeps also auto-prune, keeping the newest 32.
 //!
+//! Every cache artifact is checksummed and stamped with the **engine
+//! fingerprint** (see `tdsigma_core::engine_fingerprint`): a warm cache
+//! written by a different binary is demoted to a `stale/` tier instead
+//! of replayed, `--resume` refuses a journal planned by a different
+//! engine unless `--resume-force` re-executes everything, serve
+//! advertises the fingerprint in `health`/`ready`/`stats`, sweeps
+//! exclude mismatched-fingerprint backends from dispatch (degrading to
+//! matching backends plus local fallback), and `fleet` refuses to
+//! adopt a restarted child whose fingerprint changed under it.
+//! `tdsigma cache stats` inspects the tiers; `tdsigma cache scrub`
+//! prunes everything the current engine would not replay.
+//!
 //! `--trace FILE` (sweep and serve) turns on the observability layer's
 //! JSON-lines trace sink: one line per flow stage span, job attempt and
 //! engine event. Both commands also print a per-stage wall-time
@@ -120,6 +133,7 @@ fn main() -> ExitCode {
         Some("optimize") => dispatch(&args[1..], OPTIMIZE_FLAGS, run_optimize),
         Some("serve") => dispatch(&args[1..], SERVE_FLAGS, run_serve),
         Some("fleet") => dispatch(&args[1..], FLEET_FLAGS, run_fleet),
+        Some("cache") => run_cache(&args[1..]),
         Some("nodes") => {
             println!("supported technology nodes:");
             for id in NodeId::ALL {
@@ -156,7 +170,8 @@ fn print_help() {
     println!("                 [--workers N | host:port,host:port[,local]] [--hedge-ms MS]");
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE] [--out DIR]");
     println!("                 [--run-id ID] [--journal-dir DIR] [--no-journal]");
-    println!("                 [--resume ID] [--dry-run]       run a cached parallel grid");
+    println!("                 [--resume ID] [--resume-force] [--dry-run]");
+    println!("                                                run a cached parallel grid");
     println!("  tdsigma optimize [--space FILE] [--strategy cma|halving]");
     println!("                 [--kind flow|sim] [--budget N] [--seed S]");
     println!("                 [--sndr-floor DB] [--samples K] [--population L]");
@@ -174,6 +189,7 @@ fn print_help() {
     println!("                 [--max-connections N] [--restart-max 5]");
     println!("                 [--health-interval-ms 500] [serve admission flags]");
     println!("                                                self-healing serve fleet");
+    println!("  tdsigma cache  stats|scrub [--cache-dir DIR]  inspect / prune the cache");
     println!("  tdsigma nodes                                 list technology nodes");
     println!("  tdsigma help | --help | -h                    this message");
     println!("  tdsigma version | --version | -V              print the version");
@@ -205,6 +221,11 @@ fn print_help() {
     println!("  N serve children alive (crash/stall restart with backoff and a storm");
     println!("  cap) and drains them gracefully on SIGTERM. `sweep --journal-gc`");
     println!("  prunes journals of finished runs; successful sweeps keep the newest 32.");
+    println!("CACHE INTEGRITY: artifacts are checksummed and stamped with the engine");
+    println!("  fingerprint; a warm cache written by a different binary is demoted to");
+    println!("  stale/, never replayed, and `--resume` refuses a journal planned by a");
+    println!("  different engine unless --resume-force re-executes everything.");
+    println!("  `tdsigma cache stats` inspects the tiers; `cache scrub` prunes them.");
 }
 
 /// Parsed command line: `--key value` pairs plus bare `--switch` flags.
@@ -214,12 +235,13 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 5] = [
+const SWITCHES: [&str; 6] = [
     "no-cache",
     "no-journal",
     "allow-remote-shutdown",
     "dry-run",
     "journal-gc",
+    "resume-force",
 ];
 
 /// The flags each subcommand accepts (anything else is an error).
@@ -243,6 +265,9 @@ const SWEEP_FLAGS: &[&str] = &[
     "run-id",
     "journal-dir",
     "resume",
+    // Resume across an engine change: re-execute everything instead of
+    // failing on the journal's fingerprint mismatch.
+    "resume-force",
     "no-journal",
     // Distributed dispatch: only meaningful with a backend list in
     // --workers.
@@ -284,12 +309,14 @@ const OPTIMIZE_FLAGS: &[&str] = &[
     "run-id",
     "journal-dir",
     "resume",
+    "resume-force",
     "no-journal",
     "hedge-ms",
     "deadline-ms",
     "dry-run",
     "chaos-seed",
 ];
+const CACHE_FLAGS: &[&str] = &["cache-dir"];
 const SERVE_FLAGS: &[&str] = &[
     "addr",
     "workers",
@@ -483,6 +510,79 @@ fn try_run_design(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `tdsigma cache stats|scrub`: inventory or prune the on-disk result
+/// cache against the current engine fingerprint. `stats` only reads;
+/// `scrub` removes every artifact the current engine would not replay
+/// (foreign fingerprints, unstamped/corrupt suspects, the demoted
+/// `stale/` tier and `.quarantine` files) and keeps the fresh ones.
+fn run_cache(args: &[String]) -> ExitCode {
+    let Some(action) = args.first().map(String::as_str) else {
+        eprintln!("usage: tdsigma cache <stats|scrub> [--cache-dir DIR]");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..], CACHE_FLAGS) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = flags.str("cache-dir", "results/cache");
+    let fingerprint = tdsigma::core::engine_fingerprint();
+    let result = match action {
+        "stats" => ResultCache::inspect(Path::new(&dir), fingerprint).map(|stats| {
+            println!("cache {dir} (engine {fingerprint}):");
+            println!("{stats}");
+        }),
+        "scrub" => ResultCache::scrub(Path::new(&dir), fingerprint).map(|scrub| {
+            println!("cache {dir} (engine {fingerprint}): {scrub}");
+        }),
+        other => {
+            eprintln!("unknown cache action {other:?} (expected stats or scrub)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fails a `--resume` loudly when the journal was planned by a
+/// different engine: its "finished" claims are backed by cache
+/// artifacts this binary will demote rather than replay, so silently
+/// reconciling against them would mix engines in one artifact.
+/// `--resume-force` downgrades the mismatch to a warning and
+/// re-executes every job under the current engine.
+fn verify_resume_fingerprint(run_id: &str, planned: &str, force: bool) -> Result<(), String> {
+    let ours = tdsigma::core::engine_fingerprint();
+    if planned.is_empty() {
+        eprintln!(
+            "warning: journal for {run_id} predates engine fingerprinting; \
+             foreign cache artifacts will be demoted, not replayed"
+        );
+        return Ok(());
+    }
+    if planned == ours {
+        return Ok(());
+    }
+    if force {
+        eprintln!(
+            "warning: resuming {run_id} across an engine change \
+             ({planned} → {ours}); completed jobs re-execute from scratch"
+        );
+        return Ok(());
+    }
+    Err(format!(
+        "journal for {run_id} was planned by engine {planned}, but this binary \
+         is {ours}: its cached results are not comparable. Start a fresh run, \
+         or pass --resume-force to re-execute every job under the current engine"
+    ))
+}
+
 /// What `--workers` asked for: a local thread count, or a fleet of
 /// serve backends (with `local` optionally joining the rotation).
 enum WorkerSpec {
@@ -579,8 +679,13 @@ fn engine_from_flags(flags: &Flags) -> Result<EngineSetup, Box<dyn std::error::E
             // size the dispatch pool from the fleet's actual capacity
             // (each pool thread just blocks on one remote call).
             let mut remote_workers = 0usize;
+            let ours = tdsigma::core::engine_fingerprint();
             for (addr, health) in dispatcher.probe() {
                 match health {
+                    // The probe already marked (and warned about) the
+                    // version skew; a skewed backend never receives
+                    // work, so it must not size the pool either.
+                    Some(h) if h.fingerprint != ours => {}
                     Some(h) => {
                         println!(
                             "backend {addr}: {} workers, status {}, up {:.0} s, {} jobs served",
@@ -749,9 +854,20 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
             print_dry_run(flags, &replay.jobs)?;
             return Ok(0);
         }
+        verify_resume_fingerprint(&run_id, &replay.fingerprint, flags.switch("resume-force"))?;
+        // With --no-cache there is nothing to reconcile completion
+        // against: the journal's "finished" claims point at cache
+        // artifacts we will not read, so every job re-executes.
+        let no_cache = flags.switch("no-cache");
+        if no_cache {
+            println!(
+                "cache disabled: re-executing all {} jobs",
+                replay.jobs.len()
+            );
+        }
         let mut journal = Journal::open_existing(&journal_dir, &run_id)?;
         journal.append(&JournalRecord::Resumed {
-            completed: complete as u64,
+            completed: if no_cache { 0 } else { complete as u64 },
         })?;
         (replay.jobs, run_id, Some(journal))
     } else {
@@ -871,8 +987,12 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     // journal; a clean sweep quietly prunes old finished runs but keeps a
     // recent window so `--resume` stays useful. The current run is always
     // protected (it may still be referenced by the degraded hint above).
+    // Under --no-cache a clean finish does NOT auto-prune: the journal's
+    // completion claims are not backed by cache artifacts, so only an
+    // explicit --journal-gc may reconcile them away.
     let gc_requested = flags.switch("journal-gc");
-    if !flags.switch("no-journal") && (gc_requested || failed == 0) {
+    let auto_gc = failed == 0 && !flags.switch("no-cache");
+    if !flags.switch("no-journal") && (gc_requested || auto_gc) {
         let keep = if gc_requested { 0 } else { 32 };
         match gc_finished(Path::new(&journal_dir), keep, &[run_id.as_str()]) {
             Ok(gc) if !gc.pruned.is_empty() => println!(
@@ -1004,14 +1124,23 @@ fn try_run_optimize(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
             return Ok(());
         }
         let replay = Journal::replay(&journal_dir, &run_id)?;
+        verify_resume_fingerprint(&run_id, &replay.fingerprint, flags.switch("resume-force"))?;
         println!(
             "resuming optimize {run_id}: {} evaluation(s) journaled complete, resume #{}",
             replay.finished.len(),
             replay.resumes + 1
         );
+        let no_cache = flags.switch("no-cache");
+        if no_cache {
+            println!("cache disabled: re-executing every evaluation");
+        }
         let mut journal = Journal::open_existing(&journal_dir, &run_id)?;
         journal.append(&JournalRecord::Resumed {
-            completed: replay.finished.len() as u64,
+            completed: if no_cache {
+                0
+            } else {
+                replay.finished.len() as u64
+            },
         })?;
         (config, run_id, Some(journal))
     } else {

@@ -112,6 +112,17 @@ pub fn metric(stdout: &str, marker: &str) -> usize {
 /// draining on a background thread so the child can never block on a
 /// full pipe.
 pub fn spawn_serve(cache_dir: &Path, workers: usize) -> (Child, String) {
+    spawn_serve_with_env(cache_dir, workers, &[])
+}
+
+/// [`spawn_serve`] with extra environment variables — used by the
+/// version-skew tests to fake a mismatched engine via
+/// `TDSIGMA_FINGERPRINT`.
+pub fn spawn_serve_with_env(
+    cache_dir: &Path,
+    workers: usize,
+    envs: &[(&str, &str)],
+) -> (Child, String) {
     let mut child = Command::new(bin())
         .args([
             "serve",
@@ -122,6 +133,7 @@ pub fn spawn_serve(cache_dir: &Path, workers: usize) -> (Child, String) {
             "--cache-dir",
             &cache_dir.to_string_lossy(),
         ])
+        .envs(envs.iter().copied())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()

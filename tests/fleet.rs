@@ -289,3 +289,56 @@ fn fleet_serves_a_sweep_and_drains_on_sigterm() {
     }
     let _ = std::fs::remove_dir_all(&root);
 }
+
+#[test]
+fn fleet_refuses_to_adopt_a_child_with_a_foreign_fingerprint() {
+    let root = std::env::temp_dir().join(format!("tdsigma_fleet_skew_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("mkdir root");
+
+    // A real serve child whose binary "changed under" the supervisor:
+    // the shell wrapper overrides the child's fingerprint while the
+    // in-process supervisor keeps the real one. The adoption check must
+    // kill it, abandon the slot, and — with every slot abandoned — make
+    // the supervisor give up with exit code 1 instead of letting a
+    // mismatched engine serve.
+    let config = tdsigma::jobs::FleetConfig {
+        program: "/bin/sh".into(),
+        child_args: vec![
+            "-c".into(),
+            format!(
+                "TDSIGMA_FINGERPRINT=cafef00ddeadbeef exec '{}' serve --addr {{addr}} \
+                 --workers 1 --cache-dir '{}'",
+                bin(),
+                root.join("cache").display()
+            ),
+        ],
+        children: 1,
+        health_interval_ms: 50,
+        // Give the child ample time to bind before a probe miss could
+        // count it as stalled — only the fingerprint may fail it here.
+        stall_after_misses: 200,
+        ..tdsigma::jobs::FleetConfig::default()
+    };
+    let skew_before = tdsigma::obs::counter("fleet.version_skew").get();
+    let mut fleet = tdsigma::jobs::Fleet::spawn(config).expect("spawn fleet");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let run_stop = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        let _ = tx.send(fleet.run(&run_stop));
+    });
+    let code = match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(code) => code,
+        Err(_) => {
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            panic!("supervisor kept running instead of refusing the mismatched child");
+        }
+    };
+    assert_eq!(code, 1, "an all-refused fleet must fail loudly");
+    assert!(
+        tdsigma::obs::counter("fleet.version_skew").get() > skew_before,
+        "the refusal must be counted on fleet.version_skew"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
