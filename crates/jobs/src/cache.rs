@@ -53,6 +53,12 @@ const STALE_DIR: &str = "stale";
 /// cache directory with recurring corruption cannot grow without bound.
 const QUARANTINE_RETAIN: usize = 32;
 
+/// How many demoted `stale/` artifacts to retain for rollback recovery.
+/// Like the quarantine tier, anything older is pruned on open: a fleet
+/// that rolls its binary repeatedly would otherwise re-demote the whole
+/// cache on every version flip and grow `stale/` without bound.
+const STALE_RETAIN: usize = 32;
+
 /// A two-tier (memory + optional disk) result cache. All methods take
 /// `&self`; the cache is safe to share across worker and server threads.
 #[derive(Debug)]
@@ -63,6 +69,7 @@ pub struct ResultCache {
     stale: AtomicUsize,
     legacy_rejected: AtomicUsize,
     quarantine_pruned: usize,
+    stale_pruned: usize,
     faults: FaultPlan,
     fingerprint: String,
 }
@@ -77,6 +84,7 @@ impl ResultCache {
             stale: AtomicUsize::new(0),
             legacy_rejected: AtomicUsize::new(0),
             quarantine_pruned: 0,
+            stale_pruned: 0,
             faults: FaultPlan::none(),
             fingerprint: engine_fingerprint().to_string(),
         }
@@ -85,8 +93,9 @@ impl ResultCache {
     /// A cache backed by a directory of `<key>.json` artifacts; the
     /// directory is created if missing. Opening the cache also prunes
     /// accumulated `.quarantine` files down to the newest
-    /// `QUARANTINE_RETAIN` (pruning is best-effort and never fails the
-    /// open).
+    /// `QUARANTINE_RETAIN` and demoted `stale/` artifacts down to the
+    /// newest `STALE_RETAIN` (pruning is best-effort and never fails
+    /// the open).
     ///
     /// # Errors
     ///
@@ -95,6 +104,7 @@ impl ResultCache {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| JobError::io_at(&dir, &e))?;
         let quarantine_pruned = prune_quarantine(&dir, QUARANTINE_RETAIN);
+        let stale_pruned = prune_stale(&dir.join(STALE_DIR), STALE_RETAIN);
         Ok(ResultCache {
             mem: Mutex::new(HashMap::new()),
             dir: Some(dir),
@@ -102,6 +112,7 @@ impl ResultCache {
             stale: AtomicUsize::new(0),
             legacy_rejected: AtomicUsize::new(0),
             quarantine_pruned,
+            stale_pruned,
             faults: FaultPlan::none(),
             fingerprint: engine_fingerprint().to_string(),
         })
@@ -151,6 +162,11 @@ impl ResultCache {
     /// Stale `.quarantine` files removed when this cache was opened.
     pub fn quarantine_pruned(&self) -> usize {
         self.quarantine_pruned
+    }
+
+    /// Demoted `stale/` artifacts removed when this cache was opened.
+    pub fn stale_pruned(&self) -> usize {
+        self.stale_pruned
     }
 
     /// Looks up a result by job key: memory first, then disk (a disk hit
@@ -520,10 +536,34 @@ fn remove_files(dir: &Path, matches: impl Fn(&str) -> bool) -> usize {
 }
 
 /// Removes all but the newest `retain` quarantined artifacts from `dir`.
+fn prune_quarantine(dir: &Path, retain: usize) -> usize {
+    prune_oldest(
+        dir,
+        retain,
+        ".quarantine",
+        "jobs.cache_quarantine_pruned",
+        "cache.quarantine_prune",
+    )
+}
+
+/// Removes all but the newest `retain` demoted artifacts from the
+/// `stale/` tier at `dir`.
+fn prune_stale(dir: &Path, retain: usize) -> usize {
+    prune_oldest(
+        dir,
+        retain,
+        ".json",
+        "jobs.cache_stale_pruned",
+        "cache.stale_prune",
+    )
+}
+
+/// Removes all but the newest `retain` files ending in `suffix` from
+/// `dir`, bumping `counter` and emitting `event` when anything goes.
 /// Ordering is by (mtime, name) so files with identical timestamps still
 /// prune deterministically. Best-effort: an unreadable directory or a
 /// failed removal just prunes less.
-fn prune_quarantine(dir: &Path, retain: usize) -> usize {
+fn prune_oldest(dir: &Path, retain: usize, suffix: &str, counter: &str, event: &str) -> usize {
     let Ok(entries) = fs::read_dir(dir) else {
         return 0;
     };
@@ -531,11 +571,12 @@ fn prune_quarantine(dir: &Path, retain: usize) -> usize {
         .flatten()
         .filter_map(|entry| {
             let path = entry.path();
-            let is_quarantine = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.ends_with(".quarantine"));
-            if !is_quarantine {
+            let matches = path.is_file()
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(suffix));
+            if !matches {
                 return None;
             }
             let mtime = entry
@@ -557,10 +598,10 @@ fn prune_quarantine(dir: &Path, retain: usize) -> usize {
         }
     }
     if pruned > 0 {
-        tdsigma_obs::counter("jobs.cache_quarantine_pruned").add(pruned as u64);
+        tdsigma_obs::counter(counter).add(pruned as u64);
         if tdsigma_obs::tracing_enabled() {
             tdsigma_obs::event(
-                "cache.quarantine_prune",
+                event,
                 &[
                     ("dir", dir.display().to_string()),
                     ("pruned", pruned.to_string()),
@@ -972,6 +1013,34 @@ mod tests {
         let again = ResultCache::with_disk(&dir).unwrap();
         assert_eq!(again.quarantine_pruned(), 0);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tier_backlog_is_pruned_to_retention_on_open() {
+        let dir = temp_dir("stale_prune");
+        let stale_dir = dir.join(STALE_DIR);
+        fs::create_dir_all(&stale_dir).unwrap();
+        let total = STALE_RETAIN + 7;
+        for i in 0..total {
+            fs::write(stale_dir.join(format!("{i:032x}.json")), "old-version junk").unwrap();
+        }
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(cache.stale_pruned(), 7);
+        let remaining = fs::read_dir(&stale_dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().to_string_lossy().ends_with(".json"))
+            .count();
+        assert_eq!(remaining, STALE_RETAIN);
+        // A second open has nothing left to prune, and a cache opened on
+        // a directory with no stale/ tier at all reports zero.
+        let again = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(again.stale_pruned(), 0);
+        let fresh = temp_dir("stale_prune_fresh");
+        let empty = ResultCache::with_disk(&fresh).unwrap();
+        assert_eq!(empty.stale_pruned(), 0);
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&fresh);
     }
 
     #[test]

@@ -36,20 +36,34 @@
 //!    job runs in-process on the wrapped local runner. A sweep never
 //!    fails solely because the fleet did; the degradation is counted
 //!    (`dispatch.local_fallback`) and warned once on stderr.
+//! 6. **Result integrity** (optional, off by default). With
+//!    [`DispatchConfig::verify_permille`] non-zero, a deterministic
+//!    sample of remote results — drawn by hashing the report key, so
+//!    the same keys verify on every run and on `--resume` — is
+//!    redundantly re-executed on a second backend or the local engine
+//!    and compared byte-for-byte. Reports are pure functions of their
+//!    jobs, so any disagreement proves corruption: the backend that
+//!    disagrees with the local recomputation is **integrity-quarantined**
+//!    (excluded for the rest of the run, never re-probed — unlike a
+//!    breaker, there is no recovering from lying) and the verified
+//!    bytes win. Hedged duplicates that both complete are cross-checked
+//!    the same way for free.
 //!
 //! Per-backend instrumentation lands in `tdsigma-obs` under
-//! `dispatch.<addr>.…`: `dispatched`/`failed`/`retried`/`hedged`
-//! counters, a `breaker` gauge (0 = closed, 1 = half-open, 2 = open)
-//! and an `rtt` histogram. [`Dispatcher::summary`] snapshots the same
-//! numbers for end-of-sweep reporting.
+//! `dispatch.<addr>.…`: `dispatched`/`failed`/`retried`/`hedged`/
+//! `integrity_failures` counters, a `breaker` gauge (0 = closed,
+//! 1 = half-open, 2 = open) and an `rtt` histogram.
+//! [`Dispatcher::summary`] snapshots the same numbers for end-of-sweep
+//! reporting.
 
 use crate::error::JobError;
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, VERIFY_BASIS};
 use crate::job::Job;
 use crate::metrics::{BackendDispatchStats, DispatchSummary, StageTimes};
-use crate::pool::Runner;
+use crate::pool::{lock_unpoisoned, Runner};
 use crate::remote::{BackendHealth, RemoteClient, RemoteConfig, RemoteError};
 use crate::report::JobReport;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -214,6 +228,11 @@ pub struct DispatchConfig {
     pub client_id: String,
     /// Deterministic network-fault injection for chaos runs.
     pub faults: FaultPlan,
+    /// Sampled redundant verification rate, permille (0 disables — the
+    /// zero-cost default; 1000 verifies every remote result). The sample
+    /// is drawn by hashing the report key, so it is stable across runs
+    /// and resumes, independent of scheduling.
+    pub verify_permille: u16,
 }
 
 /// One backend plus its breaker and instrumentation.
@@ -230,6 +249,12 @@ struct Backend {
     /// a later verification (e.g. a half-open probe after it was
     /// replaced) sees matching fingerprints again.
     skewed: AtomicBool,
+    /// Whether this backend returned result bytes that disagreed with a
+    /// redundant recomputation. Terminal for the run: unlike a breaker
+    /// (transient failures recover) or a skew mark (a replaced binary
+    /// can rejoin), a backend caught lying about *values* is never
+    /// probed or trusted again.
+    integrity_quarantined: AtomicBool,
 }
 
 impl Backend {
@@ -240,6 +265,28 @@ impl Backend {
 
     fn skewed(&self) -> bool {
         self.skewed.load(Ordering::Relaxed)
+    }
+
+    fn quarantined(&self) -> bool {
+        self.integrity_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Marks this backend integrity-quarantined: its bytes disagreed
+    /// with a redundant recomputation. Counted per backend and warned
+    /// once on stderr.
+    fn mark_integrity_failure(&self) {
+        tdsigma_obs::counter(&format!(
+            "dispatch.{}.integrity_failures",
+            self.client.addr()
+        ))
+        .inc();
+        if !self.integrity_quarantined.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: backend {} integrity-quarantined: its report bytes disagree \
+                 with redundant recomputation",
+                self.client.addr(),
+            );
+        }
     }
 
     /// Health-checks the backend and compares its advertised engine
@@ -348,6 +395,13 @@ pub struct Dispatcher {
     local_in_rotation: bool,
     hedge_ms: u64,
     deadline_ms: u64,
+    verify_permille: u16,
+    /// Report keys already verified (this run, or replayed from the
+    /// journal on `--resume`): never re-verified.
+    verified: Mutex<HashSet<String>>,
+    /// Keys verified since the last [`Dispatcher::drain_verified`] —
+    /// what the caller journals so a resume skips re-verification.
+    fresh_verified: Mutex<Vec<String>>,
     rotation: AtomicUsize,
     fallback_warned: AtomicBool,
     local_fallbacks: AtomicUsize,
@@ -373,6 +427,7 @@ impl Dispatcher {
                     breaker: CircuitBreaker::new(config.breaker.clone()),
                     cooldown_until: Mutex::new(None),
                     skewed: AtomicBool::new(false),
+                    integrity_quarantined: AtomicBool::new(false),
                 })
             })
             .collect();
@@ -382,10 +437,27 @@ impl Dispatcher {
             local_in_rotation: config.local_in_rotation,
             hedge_ms: config.hedge_ms,
             deadline_ms: config.deadline_ms,
+            verify_permille: config.verify_permille,
+            verified: Mutex::new(HashSet::new()),
+            fresh_verified: Mutex::new(Vec::new()),
             rotation: AtomicUsize::new(0),
             fallback_warned: AtomicBool::new(false),
             local_fallbacks: AtomicUsize::new(0),
         })
+    }
+
+    /// Seeds the already-verified key set from a journal replay: these
+    /// keys were verified in a previous run of the same sweep, so a
+    /// `--resume` must not pay for re-verifying them.
+    pub fn seed_verified(&self, keys: impl IntoIterator<Item = String>) {
+        lock_unpoisoned(&self.verified).extend(keys);
+    }
+
+    /// Drains the report keys verified since the last call. The caller
+    /// journals them ([`crate::JournalRecord::JobVerified`]) so a resume
+    /// inherits the verification work already paid for.
+    pub fn drain_verified(&self) -> Vec<String> {
+        std::mem::take(&mut *lock_unpoisoned(&self.fresh_verified))
     }
 
     /// Health-checks every backend once (the startup probe). Returns
@@ -512,6 +584,11 @@ impl Dispatcher {
                 }
                 Candidate::Remote(i) => {
                     let backend = &self.backends[*i];
+                    if backend.quarantined() {
+                        // Integrity quarantine is terminal for the run:
+                        // no probe, no cooldown, no breaker claim.
+                        continue;
+                    }
                     if backend.cooling() {
                         // A busy rejection's retry_after is still
                         // running; skip without waking the backend.
@@ -544,14 +621,17 @@ impl Dispatcher {
                             deadline,
                         )
                     } else {
-                        backend.attempt(job, deadline)
+                        backend
+                            .attempt(job, deadline)
+                            .map(|report| (report, Arc::clone(backend)))
                     };
                     match result {
-                        Ok(report) => {
+                        Ok((report, origin)) => {
+                            let report = self.verify_sampled(&origin, report, job, deadline);
                             return RoundOutcome::Done(Box::new(Ok((
                                 report,
                                 StageTimes::default(),
-                            ))))
+                            ))));
                         }
                         Err(RemoteError::Job(e)) => return RoundOutcome::Done(Box::new(Err(e))),
                         Err(RemoteError::Busy { retry_after_ms, .. }) => {
@@ -592,11 +672,15 @@ impl Dispatcher {
         for candidate in rest {
             if let Candidate::Remote(i) = candidate {
                 let backend = &self.backends[*i];
-                // Skew is checked before admit() so a skewed backend
-                // never carries a hedge (its answer would not be
-                // interchangeable) and no breaker claim is left
-                // dangling.
-                if !backend.cooling() && !backend.skewed() && backend.breaker.admit() {
+                // Skew and quarantine are checked before admit() so an
+                // untrusted backend never carries a hedge (its answer
+                // would not be interchangeable) and no breaker claim is
+                // left dangling.
+                if !backend.quarantined()
+                    && !backend.cooling()
+                    && !backend.skewed()
+                    && backend.breaker.admit()
+                {
                     return Some(Arc::clone(backend));
                 }
             }
@@ -607,27 +691,33 @@ impl Dispatcher {
     /// Sends the job to `primary`; if no answer lands within `hedge_ms`
     /// and a hedge target was claimed, sends it there too and takes the
     /// first answer. Deterministic jobs make the duplicate execution
-    /// harmless.
+    /// harmless. When *both* attempts happen to complete before the
+    /// loser would be discarded, the two payloads are cross-checked
+    /// byte-for-byte — a redundant verification that cost nothing extra
+    /// — and any disagreement goes through the same local arbitration
+    /// and integrity quarantine as sampled verification.
     fn hedged_attempt(
         &self,
         primary: &Arc<Backend>,
         hedge: Option<Arc<Backend>>,
         job: &Job,
         deadline_ms: Option<u64>,
-    ) -> Result<JobReport, RemoteError> {
-        let (tx, rx) = mpsc::channel();
-        let spawn = |backend: Arc<Backend>, tx: mpsc::Sender<Result<JobReport, RemoteError>>| {
+    ) -> Result<(JobReport, Arc<Backend>), RemoteError> {
+        type Answer = (Arc<Backend>, Result<JobReport, RemoteError>);
+        let (tx, rx) = mpsc::channel::<Answer>();
+        let spawn = |backend: Arc<Backend>, tx: mpsc::Sender<Answer>| {
             let job = job.clone();
             std::thread::spawn(move || {
                 // The receiver may have taken an earlier answer and gone
                 // away; the loser's send failing is expected.
-                let _ = tx.send(backend.attempt(&job, deadline_ms));
+                let result = backend.attempt(&job, deadline_ms);
+                let _ = tx.send((backend, result));
             });
         };
         spawn(Arc::clone(primary), tx.clone());
         let mut in_flight = 1;
-        let first = match rx.recv_timeout(Duration::from_millis(self.hedge_ms)) {
-            Ok(result) => result,
+        let (first_from, first) = match rx.recv_timeout(Duration::from_millis(self.hedge_ms)) {
+            Ok(answer) => answer,
             Err(_) => {
                 if let Some(hedge) = hedge {
                     tdsigma_obs::counter(&format!("dispatch.{}.hedged", hedge.client.addr())).inc();
@@ -636,24 +726,172 @@ impl Dispatcher {
                 }
                 drop(tx);
                 match rx.recv() {
-                    Ok(result) => result,
+                    Ok(answer) => answer,
                     Err(_) => return Err(RemoteError::Backend("hedge channel closed".into())),
                 }
             }
         };
         // An admitted-but-unneeded hedge was never spawned, so `rx` has
         // at most one more answer. Prefer any success over an error.
-        if first.is_ok() {
-            return first;
+        if let Ok(report) = first {
+            if in_flight > 1 {
+                // Opportunistic cross-check: if the losing attempt also
+                // finished, its answer is already in the channel.
+                if let Ok((other_from, Ok(other_report))) = rx.try_recv() {
+                    if other_report.to_text() != report.to_text() {
+                        tdsigma_obs::counter("dispatch.hedge_mismatch").inc();
+                        return Ok(self.arbitrate_pair(
+                            job,
+                            (first_from, report),
+                            (other_from, other_report),
+                        ));
+                    }
+                    // Two independent backends agreeing is a redundant
+                    // verification in its own right.
+                    self.note_verified(&report.key);
+                }
+            }
+            return Ok((report, first_from));
         }
         for _ in 1..in_flight {
-            if let Ok(result) = rx.recv() {
+            if let Ok((from, result)) = rx.recv() {
                 if result.is_ok() || matches!(result, Err(RemoteError::Job(_))) {
-                    return result;
+                    return result.map(|report| (report, from));
                 }
             }
         }
-        first
+        first.map(|report| (report, first_from))
+    }
+
+    /// Two backends produced different bytes for the same job — one of
+    /// them is lying. The local engine recomputes (reports are pure
+    /// functions of their jobs, so the local bytes are ground truth) and
+    /// whichever backend disagrees with it is integrity-quarantined; the
+    /// verified bytes win. If local arbitration itself fails, no verdict
+    /// is reached: nobody is quarantined, the primary's answer stands,
+    /// and the miss is counted under `dispatch.verify_aborted`.
+    fn arbitrate_pair(
+        &self,
+        job: &Job,
+        primary: (Arc<Backend>, JobReport),
+        other: (Arc<Backend>, JobReport),
+    ) -> (JobReport, Arc<Backend>) {
+        match (self.local)(job) {
+            Ok((truth, _)) => {
+                let text = truth.to_text();
+                let primary_honest = primary.1.to_text() == text;
+                let other_honest = other.1.to_text() == text;
+                if !primary_honest {
+                    primary.0.mark_integrity_failure();
+                }
+                if !other_honest {
+                    other.0.mark_integrity_failure();
+                }
+                self.note_verified(&truth.key);
+                if primary_honest {
+                    (primary.1, primary.0)
+                } else if other_honest {
+                    (other.1, other.0)
+                } else {
+                    // Both lied: the local recomputation is the result.
+                    (truth, primary.0)
+                }
+            }
+            Err(_) => {
+                tdsigma_obs::counter("dispatch.verify_aborted").inc();
+                (primary.1, primary.0)
+            }
+        }
+    }
+
+    /// Sampled redundant verification of one remote result. Zero-cost
+    /// when disabled; otherwise the report key's hash decides — stably
+    /// across runs and resumes — whether this result is re-executed on a
+    /// second backend or the local engine and compared byte-for-byte.
+    /// On a mismatch the local engine arbitrates, the lying backend is
+    /// integrity-quarantined, and the verified bytes are returned — so
+    /// the sweep output stays byte-identical to a local run.
+    fn verify_sampled(
+        &self,
+        origin: &Arc<Backend>,
+        report: JobReport,
+        job: &Job,
+        deadline_ms: Option<u64>,
+    ) -> JobReport {
+        if self.verify_permille == 0 {
+            return report;
+        }
+        if self.verify_permille < 1000 {
+            let draw = crate::faults::fnv1a64(report.key.as_bytes(), VERIFY_BASIS) % 1000;
+            if draw >= self.verify_permille as u64 {
+                return report;
+            }
+        }
+        if lock_unpoisoned(&self.verified).contains(&report.key) {
+            return report;
+        }
+        tdsigma_obs::counter("dispatch.verify_sampled").inc();
+        // Second opinion from a different still-trusted backend when one
+        // exists (spreads the verification load across the fleet);
+        // otherwise the local engine referees directly.
+        let second = self
+            .verify_peer(origin)
+            .map(|peer| (peer.attempt(job, deadline_ms), peer));
+        match second {
+            Some((Ok(peer_report), peer)) => {
+                if peer_report.to_text() == report.to_text() {
+                    self.note_verified(&report.key);
+                    report
+                } else {
+                    tdsigma_obs::counter("dispatch.verify_mismatch").inc();
+                    self.arbitrate_pair(job, (Arc::clone(origin), report), (peer, peer_report))
+                        .0
+                }
+            }
+            // No usable peer (none trusted, or the peer itself failed):
+            // the local engine is the referee.
+            Some((Err(_), _)) | None => match (self.local)(job) {
+                Ok((truth, _)) => {
+                    if truth.to_text() == report.to_text() {
+                        self.note_verified(&report.key);
+                        report
+                    } else {
+                        tdsigma_obs::counter("dispatch.verify_mismatch").inc();
+                        origin.mark_integrity_failure();
+                        self.note_verified(&truth.key);
+                        truth
+                    }
+                }
+                Err(_) => {
+                    tdsigma_obs::counter("dispatch.verify_aborted").inc();
+                    report
+                }
+            },
+        }
+    }
+
+    /// The first still-trusted backend other than `origin` to use as a
+    /// verification peer, claiming its breaker admission. `None` when
+    /// the rest of the fleet is untrusted, cooling, or breaker-rejected.
+    fn verify_peer(&self, origin: &Arc<Backend>) -> Option<Arc<Backend>> {
+        self.backends
+            .iter()
+            .find(|b| {
+                !Arc::ptr_eq(b, origin)
+                    && !b.quarantined()
+                    && !b.skewed()
+                    && !b.cooling()
+                    && b.breaker.admit()
+            })
+            .cloned()
+    }
+
+    /// Records `key` as verified (skipped by later samples, drained for
+    /// journaling).
+    fn note_verified(&self, key: &str) {
+        if lock_unpoisoned(&self.verified).insert(key.to_string()) {
+            lock_unpoisoned(&self.fresh_verified).push(key.to_string());
+        }
     }
 
     /// Last-resort in-process execution, counted and warned once.
@@ -703,6 +941,7 @@ impl Dispatcher {
                     hedged: get("hedged"),
                     shed_deferred: get("shed_deferred"),
                     version_skew: get("version_skew"),
+                    integrity_failures: get("integrity_failures"),
                     breaker_open: b.breaker.state() != BreakerState::Closed,
                 }
             })
@@ -711,6 +950,7 @@ impl Dispatcher {
             backends,
             local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed) as u64,
             local_in_rotation: self.local_in_rotation,
+            unattested: tdsigma_obs::counter("dispatch.unattested").get(),
         }
     }
 }
@@ -1074,6 +1314,204 @@ mod tests {
             "the summary must flag the degradation: {rendered}"
         );
         stop_backend(skewed, handle);
+    }
+
+    #[test]
+    fn lying_backend_is_integrity_quarantined_and_verified_bytes_win() {
+        // A backend that computes correctly, then perturbs a report
+        // value while keeping the key (and a self-consistent
+        // attestation) intact. Only redundant recomputation can catch
+        // it.
+        let (liar, handle) = spawn_backend_with_faults(crate::faults::FaultPlan {
+            seed: 83,
+            lying_backend_permille: 1000,
+            ..crate::faults::FaultPlan::none()
+        });
+        let config = DispatchConfig {
+            verify_permille: 1000,
+            ..fast_config(vec![liar.to_string()])
+        };
+        let dispatcher = Dispatcher::new(&config, local_runner());
+        for seed in 0..3u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            let (report, _) = dispatcher.run_job(&job).expect("verified dispatch");
+            // The verified bytes win: every answer matches what a pure
+            // local run would have produced, lying backend or not.
+            assert_eq!(report.to_text(), ok_report(&job).0.to_text());
+        }
+        assert!(
+            dispatcher.backends[0].quarantined(),
+            "first verified mismatch must integrity-quarantine the liar"
+        );
+        let summary = dispatcher.summary();
+        assert_eq!(
+            summary.backends[0].dispatched, 1,
+            "a quarantined backend must never be re-probed this run: {summary}"
+        );
+        assert!(
+            summary.backends[0].integrity_failures >= 1,
+            "the mismatch must be counted: {summary}"
+        );
+        assert_eq!(summary.local_fallbacks, 2, "remaining jobs ran locally");
+        let rendered = summary.to_string();
+        assert!(
+            rendered.contains("DEGRADED: integrity"),
+            "the summary must flag the integrity degradation: {rendered}"
+        );
+        stop_backend(liar, handle);
+    }
+
+    #[test]
+    fn verify_sample_zero_costs_nothing() {
+        let (addr, handle) = spawn_backend();
+        let local_calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&local_calls);
+        let local: Arc<Runner> = Arc::new(move |job: &Job| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            Ok(ok_report(job))
+        });
+        // verify_permille defaults to 0: sampling must be disabled.
+        let dispatcher = Dispatcher::new(&fast_config(vec![addr.to_string()]), local);
+        for seed in 0..4u64 {
+            let job = Job {
+                seed,
+                ..Job::sim(40.0, 750e6, 5e6)
+            };
+            dispatcher.run_job(&job).expect("dispatched job");
+        }
+        let summary = dispatcher.summary();
+        assert_eq!(
+            summary.backends[0].dispatched, 4,
+            "exactly one dispatch per job, no verification re-dispatch"
+        );
+        assert_eq!(
+            local_calls.load(Ordering::SeqCst),
+            0,
+            "no local recomputation when sampling is off"
+        );
+        assert!(
+            dispatcher.drain_verified().is_empty(),
+            "nothing was verified, nothing to journal"
+        );
+        stop_backend(addr, handle);
+    }
+
+    #[test]
+    fn sampled_verification_referees_locally_and_remembers_verified_keys() {
+        let (addr, handle) = spawn_backend();
+        let local_calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&local_calls);
+        let local: Arc<Runner> = Arc::new(move |job: &Job| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            Ok(ok_report(job))
+        });
+        let config = DispatchConfig {
+            verify_permille: 1000,
+            ..fast_config(vec![addr.to_string()])
+        };
+        let dispatcher = Dispatcher::new(&config, local);
+        let job = Job {
+            seed: 5,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        dispatcher.run_job(&job).expect("verified dispatch");
+        assert_eq!(
+            local_calls.load(Ordering::SeqCst),
+            1,
+            "a single-backend fleet has no peer: the local engine referees"
+        );
+        assert_eq!(
+            dispatcher.drain_verified(),
+            vec![job.key()],
+            "the verified key must surface exactly once for journaling"
+        );
+        assert!(dispatcher.drain_verified().is_empty(), "drain is a take");
+        // The same key again: already verified, no second recomputation.
+        dispatcher.run_job(&job).expect("re-dispatch");
+        assert_eq!(local_calls.load(Ordering::SeqCst), 1);
+        let summary = dispatcher.summary();
+        assert_eq!(summary.backends[0].integrity_failures, 0);
+        assert!(!dispatcher.backends[0].quarantined());
+        stop_backend(addr, handle);
+    }
+
+    #[test]
+    fn seeded_verified_keys_skip_resampling_on_resume() {
+        let (addr, handle) = spawn_backend();
+        let local_calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&local_calls);
+        let local: Arc<Runner> = Arc::new(move |job: &Job| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            Ok(ok_report(job))
+        });
+        let config = DispatchConfig {
+            verify_permille: 1000,
+            ..fast_config(vec![addr.to_string()])
+        };
+        let dispatcher = Dispatcher::new(&config, local);
+        let job = Job {
+            seed: 6,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        // A resume replays journaled verification outcomes into the
+        // dispatcher before any job runs.
+        dispatcher.seed_verified([job.key()]);
+        dispatcher.run_job(&job).expect("dispatched job");
+        assert_eq!(
+            local_calls.load(Ordering::SeqCst),
+            0,
+            "a journaled verification must not be re-verified"
+        );
+        assert!(
+            dispatcher.drain_verified().is_empty(),
+            "seeded keys are not fresh: nothing new to journal"
+        );
+        stop_backend(addr, handle);
+    }
+
+    #[test]
+    fn hedge_cross_check_arbitrates_with_local_ground_truth() {
+        // Exercise the arbitration core directly: two backends returned
+        // different bytes for the same job, and the local recomputation
+        // decides which one lied. (No sockets needed — arbitration only
+        // touches the local runner and the backend trust flags.)
+        let dispatcher = Dispatcher::new(
+            &fast_config(vec!["127.0.0.1:21".into(), "127.0.0.1:22".into()]),
+            local_runner(),
+        );
+        let job = Job {
+            seed: 7,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let truth = ok_report(&job).0;
+        let mut lie = truth.clone();
+        lie.sndr_db += 3.0;
+        let (report, origin) = dispatcher.arbitrate_pair(
+            &job,
+            (Arc::clone(&dispatcher.backends[0]), lie),
+            (Arc::clone(&dispatcher.backends[1]), truth.clone()),
+        );
+        assert_eq!(report.to_text(), truth.to_text(), "the honest bytes win");
+        assert!(
+            Arc::ptr_eq(&origin, &dispatcher.backends[1]),
+            "the winning answer is attributed to the honest backend"
+        );
+        assert!(
+            dispatcher.backends[0].quarantined(),
+            "the liar is integrity-quarantined"
+        );
+        assert!(
+            !dispatcher.backends[1].quarantined(),
+            "the honest peer keeps its standing"
+        );
+        assert_eq!(
+            dispatcher.drain_verified(),
+            vec![job.key()],
+            "arbitration doubles as verification of the key"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ enum Site {
     Flood = 10,
     ChildKill = 11,
     WrongFingerprint = 12,
+    LyingBackend = 13,
 }
 
 /// A fault injected before a job attempt runs.
@@ -123,6 +124,14 @@ pub struct FaultPlan {
     /// Not part of [`FaultPlan::chaos`]: faking version skew changes
     /// fleet membership, which is its own opt-in like child kills.
     pub wrong_fingerprint_permille: u16,
+    /// Chance a serve backend perturbs a report's *values* after compute
+    /// while keeping the report key intact — a lying backend. This is
+    /// exactly the corruption class that frame crc64 and engine
+    /// fingerprints cannot catch: only redundant recomputation can.
+    /// Not part of [`FaultPlan::chaos`]: silently changing result values
+    /// breaks the byte-identity invariant every other class preserves,
+    /// so it must stay opt-in for the integrity suite.
+    pub lying_backend_permille: u16,
 }
 
 impl FaultPlan {
@@ -152,6 +161,7 @@ impl FaultPlan {
             flood_burst: 3,
             child_kill_permille: 0,
             wrong_fingerprint_permille: 0,
+            lying_backend_permille: 0,
         }
     }
 
@@ -171,6 +181,7 @@ impl FaultPlan {
             && self.flood_permille == 0
             && self.child_kill_permille == 0
             && self.wrong_fingerprint_permille == 0
+            && self.lying_backend_permille == 0
     }
 
     /// The fault (if any) to inject into attempt `attempt` of the job
@@ -309,6 +320,23 @@ impl FaultPlan {
         )
     }
 
+    /// The perturbation (if any) a lying backend applies to the report
+    /// for job `key`: a deterministic non-zero delta added to one of the
+    /// report's metric values *after* compute, with the report key left
+    /// intact. Keyed on the job key alone (no attempt) so the same job
+    /// is lied about identically every time this backend serves it —
+    /// which is what makes redundant-verification comparisons stable.
+    pub fn lying_report_delta(&self, key: &str) -> Option<f64> {
+        if !self.hit(Site::LyingBackend, key, 0, self.lying_backend_permille) {
+            return None;
+        }
+        let mut rng = self.stream(Site::LyingBackend, key, 1);
+        // 0.5..=10.4 dB: always large enough to survive the report's
+        // fixed-precision formatting, never absurd enough to trip range
+        // validation on the honest side.
+        Some(0.5 + rng.gen_range(100) as f64 / 10.0)
+    }
+
     /// One permille draw from the decision stream for `(site, key,
     /// attempt)`.
     fn hit(&self, site: Site, key: &str, attempt: u32, permille: u16) -> bool {
@@ -332,6 +360,18 @@ impl FaultPlan {
         Rng64::seed_from_u64(h)
     }
 }
+
+/// Basis for the wire attestation crc64 computed by serve over the
+/// canonical report text and re-verified by `RemoteClient`. Deliberately
+/// distinct from the cache artifact basis and the journal envelope basis
+/// so an attestation can never be confused with either.
+pub(crate) const ATTEST_BASIS: u64 = 0x7a30_9d4f_1bc8_55e1;
+
+/// Basis for the sampled-verification draw: a report key hashes under
+/// this basis to decide whether the result is redundantly re-executed.
+/// Keyed on the report key alone — no RNG state, no clock — so the same
+/// keys are verified on every run and on `--resume`.
+pub(crate) const VERIFY_BASIS: u64 = 0x2f63_b1a8_9e47_d025;
 
 /// FNV-1a over `data` from the given basis. Shared by the fault plan's
 /// decision streams and the cache's artifact checksums.
@@ -363,6 +403,7 @@ mod tests {
         assert_eq!(plan.flood_at(7), 0);
         assert!(!plan.child_kill(0, 1));
         assert!(!plan.wrong_fingerprint(1));
+        assert_eq!(plan.lying_report_delta("abc123"), None);
     }
 
     #[test]
@@ -459,6 +500,10 @@ mod tests {
             plan.child_kill_permille, 0,
             "process killing must stay opt-in, not part of default chaos"
         );
+        assert_eq!(
+            plan.lying_backend_permille, 0,
+            "value corruption must stay opt-in, not part of default chaos"
+        );
     }
 
     #[test]
@@ -500,6 +545,35 @@ mod tests {
             FaultPlan::chaos(67).wrong_fingerprint_permille,
             0,
             "faking version skew changes fleet membership; it must stay opt-in"
+        );
+    }
+
+    #[test]
+    fn lying_backend_fires_deterministically_when_enabled() {
+        let plan = FaultPlan {
+            seed: 83,
+            lying_backend_permille: 400,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty(), "enabled class must register");
+        let deltas: Vec<(u32, f64)> = (0..100u32)
+            .filter_map(|i| plan.lying_report_delta(&format!("{i:08x}")).map(|d| (i, d)))
+            .collect();
+        assert!(!deltas.is_empty(), "enabled lying backend must fire");
+        for &(_, d) in &deltas {
+            assert!(
+                d >= 0.5,
+                "delta must survive fixed-precision formatting: {d}"
+            );
+        }
+        let again: Vec<(u32, f64)> = (0..100u32)
+            .filter_map(|i| plan.lying_report_delta(&format!("{i:08x}")).map(|d| (i, d)))
+            .collect();
+        assert_eq!(deltas, again, "decisions must be pure");
+        assert_eq!(
+            FaultPlan::chaos(83).lying_backend_permille,
+            0,
+            "value corruption breaks byte-identity; it must stay opt-in"
         );
     }
 

@@ -80,6 +80,13 @@ pub enum JournalRecord {
         /// Whether the failure class is worth retrying on resume.
         retryable: bool,
     },
+    /// A job's remote result was verified against a redundant
+    /// recomputation (sampled verification or a hedge cross-check).
+    /// A resume must not pay for re-verifying it.
+    JobVerified {
+        /// The job's content-addressed key.
+        key: String,
+    },
     /// A `--resume` replayed this journal and continued the run.
     Resumed {
         /// Jobs already complete at resume time.
@@ -127,6 +134,10 @@ impl JournalRecord {
                 obj.push(("key".into(), Json::Str(key.clone())));
                 obj.push(("error".into(), Json::Str(error.clone())));
                 obj.push(("retryable".into(), Json::Bool(*retryable)));
+            }
+            JournalRecord::JobVerified { key } => {
+                obj.push(("t".into(), Json::Str("job_verified".into())));
+                obj.push(("key".into(), Json::Str(key.clone())));
             }
             JournalRecord::Resumed { completed } => {
                 obj.push(("t".into(), Json::Str("resumed".into())));
@@ -188,6 +199,7 @@ impl JournalRecord {
                     .to_string(),
                 retryable: v.get("retryable").and_then(Json::as_bool).unwrap_or(false),
             }),
+            "job_verified" => Ok(JournalRecord::JobVerified { key: key_of(v)? }),
             "resumed" => Ok(JournalRecord::Resumed {
                 completed: v.get("completed").and_then(Json::as_u64).unwrap_or(0),
             }),
@@ -375,6 +387,7 @@ impl Journal {
             jobs: Vec::new(),
             started: HashSet::new(),
             finished: HashSet::new(),
+            verified: HashSet::new(),
             degraded: HashMap::new(),
             resumes: 0,
             records: 0,
@@ -418,6 +431,9 @@ impl Journal {
                 JournalRecord::JobFinished { key } => {
                     replay.finished.insert(key);
                 }
+                JournalRecord::JobVerified { key } => {
+                    replay.verified.insert(key);
+                }
                 JournalRecord::JobDegraded { key, error, .. } => {
                     replay.degraded.insert(key, error);
                 }
@@ -443,6 +459,10 @@ pub struct JournalReplay {
     pub started: HashSet<String>,
     /// Keys of jobs known complete (report reached the cache).
     pub finished: HashSet<String>,
+    /// Keys whose results were already verified against a redundant
+    /// recomputation; resume seeds the dispatcher with these so
+    /// verification work is never repeated.
+    pub verified: HashSet<String>,
     /// Keys that exhausted their attempts, with the recorded error.
     /// Degraded jobs are *not* treated as complete: resume retries them.
     pub degraded: HashMap<String, String>,
@@ -590,6 +610,7 @@ mod tests {
             },
             JournalRecord::JobStarted { key: jobs[0].key() },
             JournalRecord::JobFinished { key: jobs[0].key() },
+            JournalRecord::JobVerified { key: jobs[0].key() },
             JournalRecord::JobDegraded {
                 key: jobs[1].key(),
                 error: "transient failure: injected".into(),
@@ -654,6 +675,32 @@ mod tests {
         assert!(!replay.torn_tail);
         let incomplete = replay.incomplete_jobs();
         assert_eq!(incomplete, vec![jobs[1].clone()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verified_records_replay_into_the_verified_set() {
+        let dir = temp_dir("verified");
+        let jobs = two_jobs();
+        let mut j = Journal::create(&dir, "run-v").unwrap();
+        j.append_all(&[
+            JournalRecord::BatchPlanned {
+                run_id: "run-v".into(),
+                fingerprint: String::new(),
+                jobs: jobs.clone(),
+            },
+            JournalRecord::JobFinished { key: jobs[0].key() },
+            JournalRecord::JobVerified { key: jobs[0].key() },
+        ])
+        .unwrap();
+        let replay = Journal::replay(&dir, "run-v").unwrap();
+        assert!(replay.verified.contains(&jobs[0].key()));
+        assert!(!replay.verified.contains(&jobs[1].key()));
+        assert_eq!(
+            replay.incomplete_jobs(),
+            vec![jobs[1].clone()],
+            "verification records must not affect completion accounting"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

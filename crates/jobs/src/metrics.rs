@@ -196,6 +196,10 @@ pub struct BackendDispatchStats {
     /// fingerprint different from the dispatching process's. Non-zero
     /// means a mixed-version fleet: the backend ran no jobs.
     pub version_skew: u64,
+    /// Times this backend's report bytes disagreed with a redundant
+    /// recomputation. Non-zero means the backend was caught lying and
+    /// is integrity-quarantined for the rest of the run.
+    pub integrity_failures: u64,
     /// Whether the breaker was anything but closed at snapshot time.
     pub breaker_open: bool,
 }
@@ -212,6 +216,10 @@ pub struct DispatchSummary {
     /// Whether `local` was an intentional fleet member (its executions
     /// are then load sharing, not degradation).
     pub local_in_rotation: bool,
+    /// Remote results accepted without a wire attestation (backends
+    /// predating the attestation sibling). Non-zero means part of the
+    /// fleet's payloads were protected only by the frame crc.
+    pub unattested: u64,
 }
 
 impl DispatchSummary {
@@ -241,9 +249,19 @@ impl fmt::Display for DispatchSummary {
             if b.version_skew > 0 {
                 write!(f, ", version skew ×{}", b.version_skew)?;
             }
+            if b.integrity_failures > 0 {
+                write!(f, ", integrity ×{}", b.integrity_failures)?;
+            }
         }
         if self.local_in_rotation {
             write!(f, "\n  local — rotation member")?;
+        }
+        if self.unattested > 0 {
+            write!(
+                f,
+                "\n  {} result(s) accepted unattested (pre-attestation backend)",
+                self.unattested
+            )?;
         }
         let skewed = self.backends.iter().filter(|b| b.version_skew > 0).count();
         if skewed > 0 {
@@ -251,6 +269,18 @@ impl fmt::Display for DispatchSummary {
                 f,
                 "\n  DEGRADED: version_skew — {skewed} backend(s) excluded for engine \
                  fingerprint mismatch"
+            )?;
+        }
+        let lying = self
+            .backends
+            .iter()
+            .filter(|b| b.integrity_failures > 0)
+            .count();
+        if lying > 0 {
+            write!(
+                f,
+                "\n  DEGRADED: integrity — {lying} backend(s) quarantined for report bytes \
+                 disagreeing with redundant recomputation"
             )?;
         }
         if self.degraded() {
@@ -333,10 +363,12 @@ mod tests {
                 hedged: 1,
                 shed_deferred: 2,
                 version_skew: 0,
+                integrity_failures: 0,
                 breaker_open: true,
             }],
             local_fallbacks: 2,
             local_in_rotation: false,
+            unattested: 0,
         };
         assert!(s.degraded());
         let text = s.to_string();
@@ -362,6 +394,7 @@ mod tests {
                     hedged: 0,
                     shed_deferred: 0,
                     version_skew: 0,
+                    integrity_failures: 0,
                     breaker_open: false,
                 },
                 BackendDispatchStats {
@@ -372,11 +405,13 @@ mod tests {
                     hedged: 0,
                     shed_deferred: 0,
                     version_skew: 3,
+                    integrity_failures: 0,
                     breaker_open: true,
                 },
             ],
             local_fallbacks: 0,
             local_in_rotation: false,
+            unattested: 0,
         };
         let text = s.to_string();
         assert!(text.contains("version skew ×3"), "{text}");
@@ -384,6 +419,48 @@ mod tests {
             text.contains("DEGRADED: version_skew — 1 backend(s) excluded"),
             "{text}"
         );
+        assert!(!text.contains("integrity"), "{text}");
+        assert!(!text.contains("unattested"), "{text}");
+    }
+
+    #[test]
+    fn dispatch_summary_flags_integrity_quarantine() {
+        let s = DispatchSummary {
+            backends: vec![
+                BackendDispatchStats {
+                    addr: "10.0.0.7:4000".into(),
+                    dispatched: 12,
+                    failed: 0,
+                    retried: 0,
+                    hedged: 0,
+                    shed_deferred: 0,
+                    version_skew: 0,
+                    integrity_failures: 0,
+                    breaker_open: false,
+                },
+                BackendDispatchStats {
+                    addr: "10.0.0.8:4000".into(),
+                    dispatched: 5,
+                    failed: 0,
+                    retried: 0,
+                    hedged: 0,
+                    shed_deferred: 0,
+                    version_skew: 0,
+                    integrity_failures: 2,
+                    breaker_open: false,
+                },
+            ],
+            local_fallbacks: 0,
+            local_in_rotation: false,
+            unattested: 3,
+        };
+        let text = s.to_string();
+        assert!(text.contains("integrity ×2"), "{text}");
+        assert!(
+            text.contains("DEGRADED: integrity — 1 backend(s) quarantined"),
+            "{text}"
+        );
+        assert!(text.contains("3 result(s) accepted unattested"), "{text}");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! on `(backend address, job key)` so a chaos run is replayable by seed.
 
 use crate::error::JobError;
-use crate::faults::{FaultPlan, NetFault};
+use crate::faults::{FaultPlan, NetFault, ATTEST_BASIS};
 use crate::job::Job;
 use crate::json::Json;
 use crate::pool::backoff_delay_ms;
@@ -234,6 +234,25 @@ impl RemoteClient {
                 "report key {} does not match job key {key}",
                 report.key
             )));
+        }
+        // Wire attestation: the backend hashed the canonical report text
+        // it sent; recomputing over the parsed report proves the payload
+        // survived transit *and* re-serialization byte-for-byte. A
+        // missing sibling is an old backend — accepted, but counted, so
+        // an operator can see how much of the fleet predates attestation.
+        match response.get("attest").and_then(Json::as_str) {
+            Some(claimed) => {
+                let ours = format!(
+                    "{:016x}",
+                    crate::faults::fnv1a64(report.to_text().as_bytes(), ATTEST_BASIS)
+                );
+                if claimed != ours {
+                    return Err(RemoteError::Backend(format!(
+                        "report attestation {claimed} does not match recomputed {ours}"
+                    )));
+                }
+            }
+            None => tdsigma_obs::counter("dispatch.unattested").inc(),
         }
         Ok(report)
     }
@@ -755,6 +774,116 @@ mod tests {
             .run_job(&Job::sim(40.0, 750e6, 5e6))
             .expect("dribbled frame must assemble");
         assert_eq!(report.sndr_db, 61.0);
+        handle.join().unwrap();
+    }
+
+    /// One valid `{"ok":true,"report":...}` response line for `job`,
+    /// with an optional attestation sibling.
+    fn report_response_line(job: &Job, sndr_db: f64, attest: Option<&str>) -> String {
+        let report = JobReport {
+            key: job.key(),
+            job: job.clone(),
+            fin_hz: job.input_frequency_hz(),
+            sndr_db,
+            enob: 9.7,
+            power_mw: None,
+            digital_fraction: None,
+            area_mm2: None,
+            fom_fj: None,
+            timing_slack_ps: None,
+        };
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("report".to_string(), report.to_json()),
+        ];
+        if let Some(attest) = attest {
+            fields.push(("attest".to_string(), Json::Str(attest.to_string())));
+        }
+        let mut line = Json::Obj(fields).to_text();
+        line.push('\n');
+        line
+    }
+
+    #[test]
+    fn pre_attestation_backend_is_accepted_and_counted() {
+        // A backend from before the attestation protocol omits the
+        // sibling entirely. Its reports must still be accepted — the
+        // fleet upgrades one node at a time — but each acceptance is
+        // counted so the operator can see the unattested fraction.
+        let job = Job {
+            seed: 4,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let line = report_response_line(&job, 64.0, None);
+        let before = tdsigma_obs::counter("dispatch.unattested").get();
+        let (addr, handle) = hostile_backend(move |mut stream| {
+            let _ = stream.write_all(line.as_bytes());
+        });
+        let report = fast_client(addr)
+            .run_job(&job)
+            .expect("pre-attestation backend must stay usable");
+        assert_eq!(report.sndr_db, 64.0);
+        assert!(
+            tdsigma_obs::counter("dispatch.unattested").get() > before,
+            "the unattested acceptance must be counted"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mismatched_attestation_is_a_backend_error() {
+        // The sibling is present but does not match the report bytes:
+        // the payload was corrupted after the backend summed it (or the
+        // backend is broken). Backend-class, so failover takes over.
+        let job = Job {
+            seed: 4,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let line = report_response_line(&job, 64.0, Some("deadbeefdeadbeef"));
+        let (addr, handle) = hostile_backend(move |mut stream| {
+            let _ = stream.write_all(line.as_bytes());
+        });
+        match fast_client(addr).run_job(&job) {
+            Err(RemoteError::Backend(m)) => {
+                assert!(m.contains("attestation"), "{m}");
+                assert!(m.contains("deadbeefdeadbeef"), "{m}");
+            }
+            other => panic!("expected attestation mismatch, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn self_computed_attestation_round_trips() {
+        // A frame whose sibling is computed exactly the way serve does
+        // it must verify — this pins the client and server to the same
+        // bytes (canonical report text) and the same basis.
+        let job = Job {
+            seed: 4,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let report = JobReport {
+            key: job.key(),
+            job: job.clone(),
+            fin_hz: job.input_frequency_hz(),
+            sndr_db: 64.0,
+            enob: 9.7,
+            power_mw: None,
+            digital_fraction: None,
+            area_mm2: None,
+            fom_fj: None,
+            timing_slack_ps: None,
+        };
+        let attest = format!(
+            "{:016x}",
+            crate::faults::fnv1a64(report.to_text().as_bytes(), ATTEST_BASIS)
+        );
+        let line = report_response_line(&job, 64.0, Some(&attest));
+        let (addr, handle) = hostile_backend(move |mut stream| {
+            let _ = stream.write_all(line.as_bytes());
+        });
+        let got = fast_client(addr).run_job(&job).expect("attested frame");
+        assert_eq!(got.sndr_db, 64.0);
         handle.join().unwrap();
     }
 

@@ -52,6 +52,7 @@
 
 use crate::engine::Engine;
 use crate::error::JobError;
+use crate::faults::ATTEST_BASIS;
 use crate::job::{Job, JobKind};
 use crate::json::Json;
 use crate::pool::lock_unpoisoned;
@@ -673,7 +674,22 @@ fn admitted_run(
     let result = engine.submit_one_with_deadline(job, deadline_ms.unwrap_or(0));
     drop(ticket);
     match result {
-        Ok(report) => ok_response(vec![("report".into(), report.to_json())]),
+        Ok(mut report) => {
+            // Lying-backend fault site: perturb a report *value* after
+            // compute, keeping the key intact. The attestation below is
+            // computed over the lying bytes, so it still verifies — by
+            // design, this corruption is only catchable by redundant
+            // recomputation on the dispatching side.
+            if let Some(delta) = engine.fault_plan().lying_report_delta(&job.key()) {
+                report.sndr_db += delta;
+                tdsigma_obs::counter("serve.lying_backend_injected").inc();
+            }
+            let attest = crate::faults::fnv1a64(report.to_text().as_bytes(), ATTEST_BASIS);
+            ok_response(vec![
+                ("report".into(), report.to_json()),
+                ("attest".into(), Json::Str(format!("{attest:016x}"))),
+            ])
+        }
         Err(e) => error_response(&e.to_string()),
     }
 }
@@ -1683,5 +1699,139 @@ mod tests {
         assert_eq!(adm.retry_after_ms(2), 2_000);
         // Zero live workers is treated as one, not a divide-by-zero.
         assert_eq!(adm.retry_after_ms(0), 4_000);
+    }
+
+    #[test]
+    fn token_bucket_long_idle_refill_clamps_at_burst() {
+        let mut bucket = TokenBucket::full(3);
+        for _ in 0..3 {
+            assert!(bucket.take(3, 1.0).is_ok(), "a full bucket serves burst");
+        }
+        let wait = bucket.take(3, 1.0).expect_err("drained bucket rejects");
+        assert!(
+            (1..=1_000).contains(&wait),
+            "the hint is at most one refill interval: {wait}"
+        );
+        // A client silent for a day does not bank a day of tokens: the
+        // continuous refill clamps at burst, so the comeback burst is
+        // exactly `burst` requests and not one per idle second.
+        bucket.last = Instant::now() - Duration::from_secs(86_400);
+        for _ in 0..3 {
+            assert!(bucket.take(3, 1.0).is_ok(), "idle refills to burst");
+        }
+        assert!(
+            bucket.take(3, 1.0).is_err(),
+            "token 4 must not exist after any idle, however long"
+        );
+        assert!(
+            bucket.tokens.is_finite() && bucket.tokens >= 0.0,
+            "clamped arithmetic keeps the level sane: {}",
+            bucket.tokens
+        );
+    }
+
+    #[test]
+    fn token_bucket_zero_refill_rate_stays_finite() {
+        // A pathological configuration (burst without refill) must not
+        // divide by zero or go NaN — the wait hint is huge but finite.
+        let mut bucket = TokenBucket::full(1);
+        assert!(bucket.take(1, 0.0).is_ok());
+        let wait = bucket.take(1, 0.0).expect_err("never refills");
+        assert!(wait > 0, "a finite wait, not a panic");
+        assert!(bucket.tokens.is_finite());
+    }
+
+    #[test]
+    fn quota_and_shed_hints_use_their_own_clamps() {
+        let adm = Admission::new(&ServerConfig {
+            quota_burst: 1,
+            quota_refill_per_sec: 2.0,
+            max_queue_per_worker: 1,
+            ..ServerConfig::default()
+        });
+        let ticket = adm.admit("c", None, 1, 0).expect("first token admits");
+        // The same client again, bucket empty: the rejection carries the
+        // bucket's own refill wait (≈500 ms at 2 tokens/s) — not the
+        // queue-drain estimate with its 50 ms floor.
+        let rejection = adm.admit("c", None, 1, 0).expect_err("quota rejects");
+        assert_eq!(rejection.get("quota").and_then(Json::as_bool), Some(true));
+        let wait = rejection
+            .get("retry_after_ms")
+            .and_then(Json::as_f64)
+            .expect("structured hint") as u64;
+        assert!(
+            (1..=500).contains(&wait),
+            "quota hint tracks the refill interval: {wait}"
+        );
+        // A fresh client has tokens, but the in-flight ticket fills the
+        // one-per-worker queue cap: the shed path answers, and with no
+        // service samples yet its drain estimate clamps to the 50 ms
+        // floor (interaction: quota was checked — and passed — first).
+        let shed = adm.admit("other", None, 1, 0).expect_err("shed rejects");
+        assert_eq!(shed.get("shed").and_then(Json::as_bool), Some(true));
+        let wait = shed
+            .get("retry_after_ms")
+            .and_then(Json::as_f64)
+            .expect("structured hint") as u64;
+        assert_eq!(wait, 50, "no samples: the floor of the clamp");
+        assert_eq!(adm.quota_rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(adm.shed.load(Ordering::Relaxed), 1);
+        // Releasing the ticket reopens the queue — but the shed attempt
+        // above already burned "other"'s only token (quota is checked
+        // first), so its next call is quota-rejected, while a brand-new
+        // client sails through.
+        drop(ticket);
+        let rejection = adm
+            .admit("other", None, 1, 0)
+            .expect_err("token spent on shed");
+        assert_eq!(rejection.get("quota").and_then(Json::as_bool), Some(true));
+        assert!(adm.admit("third", None, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn lying_backend_fault_perturbs_values_but_keeps_key_and_attestation() {
+        let engine = test_engine_with_faults(FaultPlan {
+            seed: 83,
+            lying_backend_permille: 1000,
+            ..FaultPlan::none()
+        });
+        let sup = test_supervision();
+        let job = Job {
+            seed: 5,
+            ..Job::sim(40.0, 750e6, 5e6)
+        };
+        let request = Json::Obj(vec![
+            ("cmd".into(), Json::Str("run".into())),
+            ("job".into(), job.to_json()),
+        ]);
+        let (r, _) = handle_line(&request.to_text(), &engine, &sup);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let report_json = r.get("report").expect("report object");
+        assert_eq!(
+            report_json.get("key").and_then(Json::as_str),
+            Some(job.key().as_str()),
+            "a lying backend keeps the key intact — that is what makes it hard"
+        );
+        let sndr = report_json
+            .get("sndr_db")
+            .and_then(Json::as_f64)
+            .expect("sndr_db");
+        assert!(
+            sndr >= 65.5,
+            "the honest runner says 65.0; the lie adds at least 0.5 dB: {sndr}"
+        );
+        // The attestation is computed over the lying bytes, so it still
+        // verifies — by design, wire attestation cannot catch a lying
+        // backend; only redundant recomputation can.
+        let report = JobReport::from_json(report_json).expect("parsable report");
+        let expected = format!(
+            "{:016x}",
+            crate::faults::fnv1a64(report.to_text().as_bytes(), crate::faults::ATTEST_BASIS)
+        );
+        assert_eq!(
+            r.get("attest").and_then(Json::as_str),
+            Some(expected.as_str())
+        );
+        assert!(tdsigma_obs::counter("serve.lying_backend_injected").get() >= 1);
     }
 }

@@ -171,6 +171,7 @@ fn print_help() {
     println!("                 [--cache-dir DIR] [--no-cache] [--trace FILE] [--out DIR]");
     println!("                 [--run-id ID] [--journal-dir DIR] [--no-journal]");
     println!("                 [--resume ID] [--resume-force] [--dry-run]");
+    println!("                 [--verify-sample P] [--verify-all]");
     println!("                                                run a cached parallel grid");
     println!("  tdsigma optimize [--space FILE] [--strategy cma|halving]");
     println!("                 [--kind flow|sim] [--budget N] [--seed S]");
@@ -221,6 +222,12 @@ fn print_help() {
     println!("  N serve children alive (crash/stall restart with backoff and a storm");
     println!("  cap) and drains them gracefully on SIGTERM. `sweep --journal-gc`");
     println!("  prunes journals of finished runs; successful sweeps keep the newest 32.");
+    println!("RESULT INTEGRITY: serve attests each report with a checksum the client");
+    println!("  re-verifies; `--verify-sample P` re-runs a deterministic fraction P of");
+    println!("  remote results on a second backend or locally and byte-compares them");
+    println!("  (`--verify-all` checks every result). A backend whose bytes disagree");
+    println!("  with redundant recomputation is integrity-quarantined for the run and");
+    println!("  the verified bytes win, so sweep.json matches a local run exactly.");
     println!("CACHE INTEGRITY: artifacts are checksummed and stamped with the engine");
     println!("  fingerprint; a warm cache written by a different binary is demoted to");
     println!("  stale/, never replayed, and `--resume` refuses a journal planned by a");
@@ -235,13 +242,14 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 6] = [
+const SWITCHES: [&str; 7] = [
     "no-cache",
     "no-journal",
     "allow-remote-shutdown",
     "dry-run",
     "journal-gc",
     "resume-force",
+    "verify-all",
 ];
 
 /// The flags each subcommand accepts (anything else is an error).
@@ -274,6 +282,10 @@ const SWEEP_FLAGS: &[&str] = &[
     "hedge-ms",
     // Per-job wall-clock budget forwarded to backends as deadline_ms.
     "deadline-ms",
+    // Result integrity: sampled redundant verification of remote
+    // results (a fraction 0..=1, or --verify-all for every result).
+    "verify-sample",
+    "verify-all",
     // Journal GC: prune journals of provably-finished runs.
     "journal-gc",
     // Plan preview: print the grid and predicted cache hits, run nothing.
@@ -313,6 +325,8 @@ const OPTIMIZE_FLAGS: &[&str] = &[
     "no-journal",
     "hedge-ms",
     "deadline-ms",
+    "verify-sample",
+    "verify-all",
     "dry-run",
     "chaos-seed",
 ];
@@ -621,16 +635,52 @@ fn parse_workers(flags: &Flags) -> Result<WorkerSpec, String> {
 }
 
 fn fault_plan(flags: &Flags) -> Result<FaultPlan, String> {
-    match flags.values.get("chaos-seed") {
-        None => Ok(FaultPlan::none()),
+    let mut plan = match flags.values.get("chaos-seed") {
+        None => FaultPlan::none(),
         Some(text) => {
             let seed = text
                 .parse::<u64>()
                 .map_err(|e| format!("--chaos-seed: {e}"))?;
             eprintln!("warning: chaos mode on (seed {seed}) — faults will be injected");
-            Ok(FaultPlan::chaos(seed))
+            FaultPlan::chaos(seed)
+        }
+    };
+    // Hidden test hook, mirroring TDSIGMA_FINGERPRINT: arm the
+    // lying-backend fault site from the environment. The site only
+    // fires in a serve process (it perturbs report values after
+    // compute), and it stays out of `chaos` because it silently breaks
+    // byte-identity — integration tests arm it on one fleet child to
+    // prove sampled verification catches the liar.
+    if let Ok(text) = std::env::var("TDSIGMA_LYING_PERMILLE") {
+        let permille = text
+            .parse::<u16>()
+            .map_err(|e| format!("TDSIGMA_LYING_PERMILLE: {e}"))?;
+        if permille > 0 {
+            plan.lying_backend_permille = permille.min(1000);
+            eprintln!(
+                "warning: lying-backend fault armed ({} permille) — \
+                 report values will be silently corrupted",
+                plan.lying_backend_permille
+            );
         }
     }
+    Ok(plan)
+}
+
+/// The `--verify-sample` / `--verify-all` pair as a permille rate for
+/// [`DispatchConfig::verify_permille`]. `--verify-sample` takes a
+/// fraction in `0..=1`; `--verify-all` pins it to every result.
+fn verify_permille(flags: &Flags) -> Result<u16, String> {
+    if flags.switch("verify-all") {
+        return Ok(1000);
+    }
+    let fraction = flags.f64("verify-sample", 0.0)?;
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(format!(
+            "--verify-sample must be a fraction in 0..=1, got {fraction}"
+        ));
+    }
+    Ok((fraction * 1000.0).round() as u16)
 }
 
 fn engine_config(flags: &Flags, workers: usize) -> Result<EngineConfig, String> {
@@ -670,6 +720,7 @@ fn engine_from_flags(flags: &Flags) -> Result<EngineSetup, Box<dyn std::error::E
                 local_in_rotation: local,
                 hedge_ms: flags.usize("hedge-ms", 0)? as u64,
                 deadline_ms: flags.usize("deadline-ms", 0)? as u64,
+                verify_permille: verify_permille(flags)?,
                 faults: fault_plan(flags)?,
                 ..DispatchConfig::default()
             };
@@ -824,7 +875,7 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
     // list the real invocation would submit, resumed or fresh.
     let dry_run = flags.switch("dry-run");
     let resume_id = flags.values.get("resume").cloned();
-    let (jobs, run_id, mut journal) = if let Some(run_id) = resume_id {
+    let (jobs, run_id, mut journal, already_verified) = if let Some(run_id) = resume_id {
         validate_run_id(&run_id)?;
         let replay = Journal::replay(&journal_dir, &run_id)?;
         if replay.torn_tail {
@@ -869,7 +920,7 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         journal.append(&JournalRecord::Resumed {
             completed: if no_cache { 0 } else { complete as u64 },
         })?;
-        (replay.jobs, run_id, Some(journal))
+        (replay.jobs, run_id, Some(journal), replay.verified)
     } else {
         let mut jobs = Vec::new();
         for &node in &nodes {
@@ -900,10 +951,15 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
         } else {
             Some(Journal::create(&journal_dir, &run_id)?)
         };
-        (jobs, run_id, journal)
+        (jobs, run_id, journal, Default::default())
     };
 
     let (engine, dispatcher) = engine_from_flags(flags)?;
+    if let Some(dispatcher) = &dispatcher {
+        // Journaled verification outcomes survive a crash: a resumed
+        // run never re-verifies what an earlier attempt already proved.
+        dispatcher.seed_verified(already_verified);
+    }
     println!(
         "sweep {run_id}: {} jobs on {} workers (journal: {})",
         jobs.len(),
@@ -913,6 +969,11 @@ fn try_run_sweep(flags: &Flags) -> Result<usize, Box<dyn std::error::Error>> {
             .map_or("off".to_string(), |j| j.path().display().to_string()),
     );
     let batch = engine.run_batch_with_journal(&jobs, journal.as_mut())?;
+    if let (Some(dispatcher), Some(journal)) = (&dispatcher, journal.as_mut()) {
+        for key in dispatcher.drain_verified() {
+            journal.append(&JournalRecord::JobVerified { key })?;
+        }
+    }
 
     println!("{}", tdsigma::jobs::JobReport::table_header());
     let mut failed = 0usize;
@@ -1113,7 +1174,7 @@ fn try_run_optimize(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     // cache make the re-run skip everything that already finished. A
     // fresh run builds the config from flags and persists it first.
     let resume_id = flags.values.get("resume").cloned();
-    let (config, run_id, mut journal) = if let Some(run_id) = resume_id {
+    let (config, run_id, mut journal, already_verified) = if let Some(run_id) = resume_id {
         validate_run_id(&run_id)?;
         let path = opt_config_path(&journal_dir, &run_id);
         let text = fs::read_to_string(&path)
@@ -1142,7 +1203,7 @@ fn try_run_optimize(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
                 replay.finished.len() as u64
             },
         })?;
-        (config, run_id, Some(journal))
+        (config, run_id, Some(journal), replay.verified)
     } else {
         let config = optimize_config(flags)?;
         if flags.switch("dry-run") {
@@ -1168,10 +1229,13 @@ fn try_run_optimize(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
             )?;
             Some(Journal::create(&journal_dir, &run_id)?)
         };
-        (config, run_id, journal)
+        (config, run_id, journal, Default::default())
     };
 
     let (engine, dispatcher) = engine_from_flags(flags)?;
+    if let Some(dispatcher) = &dispatcher {
+        dispatcher.seed_verified(already_verified);
+    }
     println!(
         "optimize {run_id}: strategy {}, kind {}, budget {} on {} workers (journal: {})",
         config.strategy.as_str(),
@@ -1186,8 +1250,14 @@ fn try_run_optimize(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     // The evaluation closure IS the jobs engine: every generation is an
     // ordinary journaled batch, so caching, dedup, fleet dispatch and
     // crash recovery apply to optimizer traffic unchanged.
+    let verify_dispatcher = dispatcher.clone();
     let mut eval = |jobs: &[Job]| {
         let batch = engine.run_batch_with_journal(jobs, journal.as_mut())?;
+        if let (Some(dispatcher), Some(journal)) = (&verify_dispatcher, journal.as_mut()) {
+            for key in dispatcher.drain_verified() {
+                journal.append(&JournalRecord::JobVerified { key })?;
+            }
+        }
         tdsigma::obs::counter("opt.cache_hits").add(batch.metrics.cache_hits as u64);
         println!(
             "  generation: {} job(s), {} cache hit(s), {} executed, {} failed",
